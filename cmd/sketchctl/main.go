@@ -1,0 +1,144 @@
+// Command sketchctl is the client for sketchd: it can act as a user
+// (sketch a profile locally and publish only the sketch) or as an analyst
+// (run a conjunctive query remotely).
+//
+// Usage:
+//
+//	# user side: profile bits are never sent, only the sketch
+//	sketchctl -addr 127.0.0.1:7070 publish -id 17 -profile 10110 -subset 0,2,4
+//
+//	# analyst side
+//	sketchctl -addr 127.0.0.1:7070 query -subset 0,2,4 -value 101
+//
+// The -p, -users, -tau and -keyhex flags must match the daemon's
+// configuration (they define the public function H and the sketch length).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/server"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func parseSubset(s string) bitvec.Subset {
+	parts := strings.Split(s, ",")
+	pos := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fail("bad subset %q: %v", s, err)
+		}
+		pos = append(pos, n)
+	}
+	sub, err := bitvec.NewSubset(pos...)
+	if err != nil {
+		fail("bad subset %q: %v", s, err)
+	}
+	return sub
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7070", "sketchd address")
+		p      = flag.Float64("p", 0.3, "bias parameter p")
+		users  = flag.Int("users", 1_000_000, "expected population size")
+		tau    = flag.Float64("tau", 1e-6, "sketch failure probability")
+		keyHex = flag.String("keyhex", "", "hex-encoded generator key (must match the daemon)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fail("usage: sketchctl [flags] publish|query [subcommand flags]")
+	}
+
+	key := make([]byte, prf.MinKeyBytes)
+	for i := range key {
+		key[i] = byte(0x42 + i)
+	}
+	if *keyHex != "" {
+		k, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			fail("bad -keyhex: %v", err)
+		}
+		key = k
+	}
+	prob, err := prf.NewProb(*p)
+	if err != nil {
+		fail("%v", err)
+	}
+	h := prf.NewBiased(key, prob)
+	params, err := sketch.ParamsFor(*p, *users, *tau)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	cli, err := server.Dial(*addr)
+	if err != nil {
+		fail("dial %s: %v", *addr, err)
+	}
+	defer cli.Close()
+
+	switch flag.Arg(0) {
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		id := fs.Uint64("id", 0, "public user id")
+		profileStr := fs.String("profile", "", "private profile bits, e.g. 10110 (never leaves this machine)")
+		subsetStr := fs.String("subset", "", "attribute positions to sketch, e.g. 0,2,4")
+		fs.Parse(flag.Args()[1:])
+		if *id == 0 || *profileStr == "" || *subsetStr == "" {
+			fail("publish requires -id, -profile and -subset")
+		}
+		data, err := bitvec.FromString(*profileStr)
+		if err != nil {
+			fail("bad profile: %v", err)
+		}
+		sk, err := sketch.NewSketcher(h, params)
+		if err != nil {
+			fail("%v", err)
+		}
+		subset := parseSubset(*subsetStr)
+		rng := stats.NewRNG(uint64(time.Now().UnixNano()))
+		s, err := sk.Sketch(rng, bitvec.Profile{ID: bitvec.UserID(*id), Data: data}, subset)
+		if err != nil {
+			fail("sketching failed: %v", err)
+		}
+		if err := cli.Publish(sketch.Published{ID: bitvec.UserID(*id), Subset: subset, S: s}); err != nil {
+			fail("publish failed: %v", err)
+		}
+		fmt.Printf("published %s for subset %s (%d bits on the wire)\n", s, subset, s.Length)
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		subsetStr := fs.String("subset", "", "sketched attribute positions, e.g. 0,2,4")
+		valueStr := fs.String("value", "", "target value over the subset, e.g. 101")
+		fs.Parse(flag.Args()[1:])
+		if *subsetStr == "" || *valueStr == "" {
+			fail("query requires -subset and -value")
+		}
+		value, err := bitvec.FromString(*valueStr)
+		if err != nil {
+			fail("bad value: %v", err)
+		}
+		res, err := cli.QueryConjunction(parseSubset(*subsetStr), value)
+		if err != nil {
+			fail("query failed: %v", err)
+		}
+		fmt.Printf("estimated fraction %.4f (raw %.4f) over %d users; estimated count %.0f\n",
+			res.Fraction, res.Raw, res.Users, res.Fraction*float64(res.Users))
+	default:
+		fail("unknown subcommand %q", flag.Arg(0))
+	}
+}

@@ -1,0 +1,94 @@
+// Command sketchd is the sketch-collection daemon: it listens on TCP,
+// accepts published sketches from users and answers conjunctive queries
+// from analysts.  Everything it stores is public (sketches only), so the
+// daemon needs no more trust than a bulletin board.
+//
+// Usage:
+//
+//	sketchd -addr 127.0.0.1:7070 -p 0.3 -users 1000000 -tau 1e-6 -keyhex <hex>
+//
+// The generator key must be shared with every user and analyst (it defines
+// the public function H); if -keyhex is omitted a deterministic development
+// key is used and a warning is printed.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/server"
+	"sketchprivacy/internal/sketch"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7070", "listen address")
+		p      = flag.Float64("p", 0.3, "bias parameter p (0 < p < 1/2)")
+		users  = flag.Int("users", 1_000_000, "expected population size (sets the Lemma 3.1 sketch length)")
+		tau    = flag.Float64("tau", 1e-6, "sketch failure probability")
+		keyHex = flag.String("keyhex", "", "hex-encoded generator key (>= 38 bytes)")
+	)
+	flag.Parse()
+
+	key := devKey()
+	if *keyHex != "" {
+		k, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -keyhex: %v\n", err)
+			os.Exit(2)
+		}
+		key = k
+	} else {
+		fmt.Fprintln(os.Stderr, "warning: using the built-in development generator key; pass -keyhex in production")
+	}
+
+	params, err := sketch.ParamsFor(*p, *users, *tau)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prob, err := prf.NewProb(*p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	eng, err := engine.New(prf.NewBiased(key, prob), params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv := server.New(eng)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sketchd listening on %s (%s)\n", bound, params)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// devKey is the deterministic development generator key (38 bytes ≥ 300
+// bits).  It exists so the quickstart works without ceremony; production
+// deployments must supply their own via -keyhex.
+func devKey() []byte {
+	key := make([]byte, prf.MinKeyBytes)
+	for i := range key {
+		key[i] = byte(0x42 + i)
+	}
+	return key
+}

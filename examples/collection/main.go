@@ -1,0 +1,96 @@
+// Collection example: the full client/server deployment over localhost TCP.
+// A sketchd-style server is started in-process, simulated users connect and
+// publish their sketches over the wire protocol, and an analyst client runs
+// a remote conjunctive query.
+//
+//	go run ./examples/collection
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	"sketchprivacy"
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/server"
+)
+
+func main() {
+	const users = 5000
+	const p = 0.3
+	key := bytes.Repeat([]byte{0x66}, prf.MinKeyBytes)
+
+	h, err := sketchprivacy.NewSource(key, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := sketchprivacy.ParamsFor(p, users, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := sketchprivacy.NewEngine(h, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("collection server listening on %s\n", addr)
+
+	pop := dataset.Epidemiology(13, users, dataset.DefaultEpidemiologyRates())
+	subset := bitvec.MustSubset(dataset.EpiHIV, dataset.EpiAIDS)
+	sketcher, err := sketchprivacy.NewSketcher(h, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated users connect in parallel and publish only their sketches.
+	const workers = 8
+	var wg sync.WaitGroup
+	per := users / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := server.Dial(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cli.Close()
+			rng := sketchprivacy.NewRNG(uint64(1000 + w))
+			for _, profile := range pop.Profiles[w*per : (w+1)*per] {
+				s, err := sketcher.Sketch(rng, profile, subset)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := cli.Publish(sketchprivacy.Published{ID: profile.ID, Subset: subset, S: s}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("users published %d sketches over TCP\n", eng.Sketches())
+
+	// Analyst client runs a remote query.
+	analyst, err := server.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer analyst.Close()
+	res, err := analyst.QueryConjunction(subset, bitvec.MustFromString("10"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, v := dataset.HIVNotAIDSQuery()
+	fmt.Printf("HIV+ and not AIDS: true %.4f, remotely estimated %.4f over %d users\n",
+		pop.TrueFraction(b, v), res.Fraction, res.Users)
+}

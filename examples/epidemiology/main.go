@@ -1,0 +1,111 @@
+// Epidemiology example: the paper's motivating query "what fraction of
+// individuals are HIV+ and do not have AIDS", answered from sketches of a
+// synthetic health survey, plus a decision-tree query over risk factors and
+// a privacy audit of what each participant actually disclosed.
+//
+//	go run ./examples/epidemiology
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sketchprivacy"
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/privacy"
+	"sketchprivacy/internal/query"
+)
+
+func main() {
+	const users = 30000
+	const p = 0.25
+	key := bytes.Repeat([]byte{0x27}, prf.MinKeyBytes)
+
+	h, err := sketchprivacy.NewSource(key, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := sketchprivacy.ParamsFor(p, users, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sketcher, err := sketchprivacy.NewSketcher(h, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := sketchprivacy.NewEngine(h, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic survey with correlated HIV/AIDS attributes.
+	pop := dataset.Epidemiology(7, users, dataset.DefaultEpidemiologyRates())
+
+	// Deployment decision: which subsets do participants sketch?  Here the
+	// HIV/AIDS pair (for the headline query) and one single-bit subset per
+	// risk factor (for the decision tree via Appendix F gluing).
+	subsets := []sketchprivacy.Subset{
+		bitvec.MustSubset(dataset.EpiHIV, dataset.EpiAIDS),
+		bitvec.MustSubset(dataset.EpiSmoker),
+		bitvec.MustSubset(dataset.EpiDiabetic),
+		bitvec.MustSubset(dataset.EpiHypertension),
+		bitvec.MustSubset(dataset.EpiObese),
+	}
+	rng := sketchprivacy.NewRNG(11)
+	for _, profile := range pop.Profiles {
+		pubs, err := sketcher.SketchAll(rng, profile, subsets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := engine.IngestBatch(pubs); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("collected %d sketches from %d users (%d bits each)\n\n", engine.Sketches(), users, params.Length)
+
+	// 1. The paper's running example: HIV+ ∧ ¬AIDS.
+	b, v := dataset.HIVNotAIDSQuery()
+	truth := pop.TrueFraction(b, v)
+	est, err := engine.Conjunction(bitvec.MustSubset(dataset.EpiHIV, dataset.EpiAIDS), bitvec.MustFromString("10"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HIV+ and not AIDS : true %.4f, estimated %.4f (±%.4f at 95%%)\n", truth, est.Fraction, est.ConfidenceRadius(0.05))
+
+	// 2. A decision tree over risk factors, glued from single-bit sketches.
+	tree := query.Node(dataset.EpiSmoker,
+		query.Node(dataset.EpiDiabetic, query.Leaf(false), query.Node(dataset.EpiObese, query.Leaf(false), query.Leaf(true))),
+		query.Node(dataset.EpiDiabetic, query.Node(dataset.EpiHypertension, query.Leaf(false), query.Leaf(true)), query.Leaf(true)),
+	)
+	trueTree := 0.0
+	for _, pr := range pop.Profiles {
+		if tree.Evaluate(pr.Data) {
+			trueTree++
+		}
+	}
+	trueTree /= users
+	treeEst, err := engine.DecisionTree(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("high-risk tree    : true %.4f, estimated %.4f (%d conjunctive queries)\n", trueTree, treeEst.Value, treeEst.Queries)
+
+	// 3. What did each participant disclose?  Audit one subset exactly and
+	// report the Corollary 3.4 budget for the five published sketches.
+	report, err := privacy.AuditSketch(h, params, 123, bitvec.MustSubset(dataset.EpiHIV, dataset.EpiAIDS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprivacy: per-sketch worst-case ratio %.3f (bound %.3f, holds=%v)\n", report.WorstRatio, report.Bound, report.Satisfied())
+	// Composition across the five sketches each user published: at p=0.25
+	// the per-sketch ratio is large, so a user who wants a lifetime budget
+	// of ε=1 over five sketches must instead use the Corollary 3.4 bias.
+	budget, _ := privacy.NewBudget(1.0)
+	needed, _ := budget.BiasFor(len(subsets))
+	spent, _ := privacy.SketchEpsilon(p, len(subsets))
+	fmt.Printf("privacy: composing %d sketches at p=%.2f spends epsilon = %.3g;\n", len(subsets), p, spent)
+	fmt.Printf("privacy: to keep a lifetime budget of epsilon=1 over %d sketches, Corollary 3.4 prescribes p = %.4f\n", len(subsets), needed)
+}

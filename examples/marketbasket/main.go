@@ -1,0 +1,104 @@
+// Market-basket example: itemset frequency estimation, the setting of
+// Evfimievski et al. that the paper's introduction compares against.  The
+// same synthetic transactions are released three ways — as sketches, as
+// Warner-flipped vectors and as Evfimievski-randomized transactions — and
+// the error of the estimated support is reported as the itemset grows.
+// Sketch error stays flat; the baselines degrade.
+//
+//	go run ./examples/marketbasket
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	"sketchprivacy"
+	"sketchprivacy/internal/baseline"
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/prf"
+)
+
+func main() {
+	const users = 30000
+	const items = 40
+	const p = 0.3
+	key := bytes.Repeat([]byte{0x51}, prf.MinKeyBytes)
+
+	// Dense-ish baskets so larger itemsets retain measurable support.
+	pop := dataset.MarketBasket(3, users, items, 18, 0.6)
+
+	// --- Sketch release -----------------------------------------------
+	h, err := sketchprivacy.NewSource(key, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := sketchprivacy.ParamsFor(p, users, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sketcher, err := sketchprivacy.NewSketcher(h, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := sketchprivacy.NewEngine(h, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	itemsetSizes := []int{1, 2, 4, 6, 8}
+	subsets := make([]sketchprivacy.Subset, len(itemsetSizes))
+	for i, k := range itemsetSizes {
+		subsets[i] = bitvec.Range(0, k) // the k most popular items
+	}
+	rng := sketchprivacy.NewRNG(7)
+	for _, profile := range pop.Profiles {
+		pubs, err := sketcher.SketchAll(rng, profile, subsets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := engine.IngestBatch(pubs); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Baseline releases ----------------------------------------------
+	w, err := baseline.NewWarner(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flipped := w.PerturbAll(sketchprivacy.NewRNG(8), pop.Profiles)
+	ir, err := baseline.NewItemRandomizer(0.7, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	randomized := ir.PerturbAll(sketchprivacy.NewRNG(9), pop.Profiles)
+
+	fmt.Printf("%-10s %-10s %-12s %-12s %-12s\n", "itemset k", "true", "sketch_err", "warner_err", "evfim_err")
+	for i, k := range itemsetSizes {
+		b := subsets[i]
+		v := bitvec.New(k)
+		for j := 0; j < k; j++ {
+			v.Set(j, true)
+		}
+		truth := pop.TrueFraction(b, v)
+
+		se, err := engine.Conjunction(b, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		we, err := w.EstimateConjunction(flipped, b, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ee, err := ir.EstimateItemsetSupport(randomized, b.Positions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-10.4f %-12.4f %-12.4f %-12.4f\n",
+			k, truth, math.Abs(se.Fraction-truth), math.Abs(we-truth), math.Abs(ee-truth))
+	}
+	fmt.Printf("\nper-user disclosure: sketches %d×%d bits vs %d flipped bits (Warner) vs %d randomized bits (Evfimievski)\n",
+		len(itemsetSizes), params.Length, items, items)
+}

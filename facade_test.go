@@ -1,0 +1,74 @@
+package sketchprivacy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sketchprivacy/internal/prf"
+)
+
+// TestFacadeEndToEnd exercises the public facade the way the README
+// quickstart does: users sketch, the engine ingests, the analyst queries.
+func TestFacadeEndToEnd(t *testing.T) {
+	key := bytes.Repeat([]byte{0xab}, prf.MinKeyBytes)
+	p := 0.25
+	h, err := NewSource(key, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSource(key, 1.5); err == nil {
+		t.Error("invalid bias accepted")
+	}
+	params, err := ParamsFor(p, 10000, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := NewSubset(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const m = 6000
+	rng := NewRNG(1)
+	truth := 0
+	for u := 1; u <= m; u++ {
+		profile := NewProfile(UserID(u), 4)
+		if u%3 == 0 {
+			profile.Data.Set(0, true)
+			profile.Data.Set(2, true)
+			truth++
+		}
+		pub, err := sk.Sketch(rng, profile, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest(Published{ID: profile.ID, Subset: subset, S: pub}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v, err := VectorFromString("11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(truth) / m
+	if math.Abs(est.Fraction-want) > 0.06 {
+		t.Errorf("facade estimate %v vs truth %v", est.Fraction, want)
+	}
+	if est.Users != m {
+		t.Errorf("Users = %d", est.Users)
+	}
+}

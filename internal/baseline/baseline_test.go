@@ -1,0 +1,242 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/stats"
+)
+
+func TestNewWarnerValidation(t *testing.T) {
+	for _, bad := range []float64{0, 0.5, -0.2, 1.2, math.NaN()} {
+		if _, err := NewWarner(bad); !errors.Is(err, ErrBadFlip) {
+			t.Errorf("NewWarner(%v) err = %v", bad, err)
+		}
+	}
+	if _, err := NewWarner(0.3); err != nil {
+		t.Error("valid flip probability rejected")
+	}
+}
+
+func TestWarnerEpsilon(t *testing.T) {
+	w, _ := NewWarner(0.25)
+	if math.Abs(w.Epsilon()-2) > 1e-12 {
+		t.Errorf("Epsilon = %v, want 2", w.Epsilon())
+	}
+	if w.EpsilonForBits(3) <= w.EpsilonForBits(2) {
+		t.Error("epsilon must grow with the number of published bits")
+	}
+	if w.PublishedBits(40) != 40 {
+		t.Error("randomized response publishes every bit")
+	}
+}
+
+func TestWarnerPerturbAndEstimateBit(t *testing.T) {
+	const m = 40000
+	w, _ := NewWarner(0.3)
+	pop := dataset.UniformBinary(5, m, 6, 0.35)
+	rng := stats.NewRNG(9)
+	perturbed := w.PerturbAll(rng, pop.Profiles)
+	if len(perturbed) != m || perturbed[0].Len() != 6 {
+		t.Fatal("perturbed shape wrong")
+	}
+	// Flip rate sanity: Hamming distance to the original ≈ p per bit.
+	flips := 0
+	for i, pr := range pop.Profiles {
+		flips += pr.Data.Hamming(perturbed[i])
+	}
+	rate := float64(flips) / float64(m*6)
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("flip rate %v, want ~0.3", rate)
+	}
+	// Bit frequency recovery.
+	truth := bitvec.FractionSatisfying(pop.Profiles, bitvec.MustSubset(2), bitvec.MustFromString("1"))
+	est, err := w.EstimateBit(perturbed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 0.02 {
+		t.Errorf("bit estimate %v vs truth %v", est, truth)
+	}
+	if _, err := w.EstimateBit(nil, 0); !errors.Is(err, ErrNoData) {
+		t.Error("empty data accepted")
+	}
+	if _, err := w.EstimateBit(perturbed, 9); !errors.Is(err, ErrMismatch) {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+func TestWarnerConjunctionDegradesWithK(t *testing.T) {
+	// For small k the estimate is close; the spread of the estimator grows
+	// with k (ConjunctionStdDev), which experiment E7 visualizes.
+	const m = 40000
+	w, _ := NewWarner(0.3)
+	pop := dataset.UniformBinary(15, m, 12, 0.5)
+	rng := stats.NewRNG(19)
+	perturbed := w.PerturbAll(rng, pop.Profiles)
+
+	for _, k := range []int{1, 2, 4} {
+		b := bitvec.Range(0, k)
+		v := bitvec.New(k)
+		truth := pop.TrueFraction(b, v)
+		est, err := w.EstimateConjunction(perturbed, b, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 5 * w.ConjunctionStdDev(k, m)
+		if math.Abs(est-truth) > tol+0.01 {
+			t.Errorf("k=%d: estimate %v vs truth %v (tol %v)", k, est, truth, tol)
+		}
+	}
+	if w.ConjunctionStdDev(8, m) <= w.ConjunctionStdDev(2, m)*2 {
+		t.Error("conjunction standard deviation should blow up with k")
+	}
+	if _, err := w.EstimateConjunction(perturbed, bitvec.MustSubset(0), bitvec.MustFromString("10")); !errors.Is(err, ErrMismatch) {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := w.EstimateConjunction(perturbed, bitvec.MustSubset(50), bitvec.MustFromString("1")); !errors.Is(err, ErrMismatch) {
+		t.Error("out-of-range subset accepted")
+	}
+	if _, err := w.EstimateConjunction(nil, bitvec.MustSubset(0), bitvec.MustFromString("1")); !errors.Is(err, ErrNoData) {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestNewItemRandomizerValidation(t *testing.T) {
+	cases := []struct{ rho, f float64 }{{0, 0.1}, {1.2, 0.1}, {0.5, -0.1}, {0.5, 1}, {0.3, 0.4}, {0.3, 0.3}}
+	for _, c := range cases {
+		if _, err := NewItemRandomizer(c.rho, c.f); !errors.Is(err, ErrBadFlip) {
+			t.Errorf("rho=%v f=%v accepted", c.rho, c.f)
+		}
+	}
+	if _, err := NewItemRandomizer(0.8, 0.05); err != nil {
+		t.Error("valid randomizer rejected")
+	}
+}
+
+func TestItemRandomizerEpsilon(t *testing.T) {
+	ir, _ := NewItemRandomizer(0.8, 0.05)
+	if ir.Epsilon() <= 0 {
+		t.Error("epsilon should be positive")
+	}
+	zeroF, _ := NewItemRandomizer(0.8, 0)
+	if !math.IsInf(zeroF.Epsilon(), 1) {
+		t.Error("f=0 should give infinite epsilon (an inserted item proves presence)")
+	}
+}
+
+func TestItemRandomizerSupportRecovery(t *testing.T) {
+	const m = 50000
+	ir, _ := NewItemRandomizer(0.85, 0.05)
+	pop := dataset.MarketBasket(25, m, 30, 5, 0.9)
+	rng := stats.NewRNG(26)
+	perturbed := ir.PerturbAll(rng, pop.Profiles)
+
+	for _, items := range [][]int{{0}, {0, 1}, {0, 1, 2}} {
+		sub := bitvec.MustSubset(items...)
+		target := bitvec.New(len(items))
+		for i := range items {
+			target.Set(i, true)
+		}
+		truth := pop.TrueFraction(sub, target)
+		est, err := ir.EstimateItemsetSupport(perturbed, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 5*ir.SupportStdDev(len(items), m) + 0.01
+		if math.Abs(est-truth) > tol {
+			t.Errorf("itemset %v: estimate %v vs truth %v (tol %v)", items, est, truth, tol)
+		}
+	}
+	if ir.SupportStdDev(6, m) <= ir.SupportStdDev(2, m) {
+		t.Error("support std dev should grow with itemset size")
+	}
+	if _, err := ir.EstimateItemsetSupport(perturbed, nil); !errors.Is(err, ErrMismatch) {
+		t.Error("empty itemset accepted")
+	}
+	if _, err := ir.EstimateItemsetSupport(perturbed, []int{99}); !errors.Is(err, ErrMismatch) {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := ir.EstimateItemsetSupport(nil, []int{0}); !errors.Is(err, ErrNoData) {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestNewRetentionReplacementValidation(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := NewRetentionReplacement(bad); !errors.Is(err, ErrBadFlip) {
+			t.Errorf("rho=%v accepted", bad)
+		}
+	}
+	if _, err := NewRetentionReplacement(0.4); err != nil {
+		t.Error("valid rho rejected")
+	}
+}
+
+func TestRetentionValueFrequencyRecovery(t *testing.T) {
+	const m = 60000
+	rr, _ := NewRetentionReplacement(0.4)
+	table := dataset.UniformCategorical(31, m, []int{5, 3})
+	rng := stats.NewRNG(32)
+	perturbed := rr.Perturb(rng, table)
+	if err := perturbed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Attribute 0 values are uniform over 5: every frequency ≈ 0.2.
+	for v := 0; v < 5; v++ {
+		est, err := rr.EstimateValueFrequency(perturbed, 0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-0.2) > 0.02 {
+			t.Errorf("value %d frequency %v, want ~0.2", v, est)
+		}
+	}
+	if _, err := rr.EstimateValueFrequency(perturbed, 7, 0); !errors.Is(err, ErrMismatch) {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := rr.EstimateValueFrequency(perturbed, 0, 9); !errors.Is(err, ErrMismatch) {
+		t.Error("bad value accepted")
+	}
+	if _, err := rr.EstimateValueFrequency(&dataset.CategoricalTable{DomainSizes: []int{2}}, 0, 0); !errors.Is(err, ErrNoData) {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestRetentionPartialKnowledgeAttackSucceeds(t *testing.T) {
+	// The paper's introduction: with two candidate rows that differ in
+	// every attribute, the attacker identifies the true row with
+	// probability close to 1 even for moderate retention probabilities.
+	const m = 20000
+	rr, _ := NewRetentionReplacement(0.5)
+	table, truth := dataset.TwoCandidatePopulation(41, m)
+	rng := stats.NewRNG(42)
+	perturbed := rr.Perturb(rng, table)
+
+	res, err := rr.PartialKnowledgeAttack(perturbed, dataset.TwoCandidateRows(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Users != m {
+		t.Errorf("Users = %d", res.Users)
+	}
+	if res.Correct < 0.95 {
+		t.Errorf("attack success %v, expected near-certain identification", res.Correct)
+	}
+	if res.MeanLogRatio <= 0 {
+		t.Error("mean log likelihood ratio should be positive")
+	}
+	// Validation paths.
+	if _, err := rr.PartialKnowledgeAttack(perturbed, dataset.TwoCandidateRows(), truth[:10]); !errors.Is(err, ErrMismatch) {
+		t.Error("mismatched truth labels accepted")
+	}
+	if _, err := rr.PartialKnowledgeAttack(&dataset.CategoricalTable{DomainSizes: []int{2}}, dataset.TwoCandidateRows(), nil); !errors.Is(err, ErrNoData) {
+		t.Error("empty table accepted")
+	}
+	if _, err := rr.RowLikelihood([]int{2, 2}, []int{0}, []int{0, 1}); !errors.Is(err, ErrMismatch) {
+		t.Error("ragged rows accepted")
+	}
+}

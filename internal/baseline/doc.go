@@ -1,0 +1,22 @@
+// Package baseline implements the prior mechanisms the paper positions
+// itself against, so the experiments can reproduce the comparisons its
+// introduction makes:
+//
+//   - Warner's randomized response (1965): every bit of the profile is
+//     flipped independently with probability p and published.  Single-bit
+//     estimates are easy; conjunctions over k bits require inverting a
+//     k-fold product channel, whose variance grows exponentially in k —
+//     the degradation the paper contrasts its flat error against.
+//   - Evfimievski et al.'s per-item randomization for transaction data: a
+//     true item is retained with probability rho, an absent item is
+//     inserted with probability f.  Itemset supports are recovered by
+//     inverting the asymmetric per-item channels; again the error grows
+//     with itemset size.
+//   - Agrawal et al.'s retention replacement for categorical attributes:
+//     each value is kept with probability rho and otherwise replaced by a
+//     uniform draw from the domain.  It admits unbiased single-attribute
+//     estimates but fails the paper's privacy definition: an attacker who
+//     knows the profile is one of two candidate rows identifies the true
+//     one with high probability (the introduction's ⟨1,1,2,2,3,3⟩ vs
+//     ⟨4,4,5,5,6,6⟩ example), which experiment E15 reproduces.
+package baseline

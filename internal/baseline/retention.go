@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/stats"
+)
+
+// RetentionReplacement is the Agrawal et al. perturbation for categorical
+// (non-binary) attributes: each attribute's true value is kept with
+// probability Rho and otherwise replaced by a value drawn uniformly from
+// the attribute's domain (the replacement may coincide with the true
+// value).
+type RetentionReplacement struct {
+	Rho float64
+}
+
+// NewRetentionReplacement validates the retention probability.
+func NewRetentionReplacement(rho float64) (*RetentionReplacement, error) {
+	if math.IsNaN(rho) || rho <= 0 || rho >= 1 {
+		return nil, fmt.Errorf("%w: retention probability %v", ErrBadFlip, rho)
+	}
+	return &RetentionReplacement{Rho: rho}, nil
+}
+
+// Perturb returns the perturbed copy of a categorical table.
+func (rr *RetentionReplacement) Perturb(rng *stats.RNG, t *dataset.CategoricalTable) *dataset.CategoricalTable {
+	out := &dataset.CategoricalTable{
+		Rows:        make([][]int, len(t.Rows)),
+		DomainSizes: append([]int(nil), t.DomainSizes...),
+	}
+	for u, row := range t.Rows {
+		pr := make([]int, len(row))
+		for j, v := range row {
+			if rng.Bernoulli(rr.Rho) {
+				pr[j] = v
+			} else {
+				pr[j] = rng.Intn(t.DomainSizes[j])
+			}
+		}
+		out.Rows[u] = pr
+	}
+	return out
+}
+
+// EstimateValueFrequency estimates the fraction of users whose true value
+// of attribute attr equals value, from the perturbed table:
+// Pr[observed = v] = rho·f_v + (1−rho)/|D|, inverted for f_v.
+func (rr *RetentionReplacement) EstimateValueFrequency(perturbed *dataset.CategoricalTable, attr, value int) (float64, error) {
+	if perturbed.Size() == 0 {
+		return 0, ErrNoData
+	}
+	if attr < 0 || attr >= perturbed.Attributes() {
+		return 0, fmt.Errorf("%w: attribute %d outside table with %d attributes", ErrMismatch, attr, perturbed.Attributes())
+	}
+	domain := perturbed.DomainSizes[attr]
+	if value < 0 || value >= domain {
+		return 0, fmt.Errorf("%w: value %d outside domain of size %d", ErrMismatch, value, domain)
+	}
+	hits := 0
+	for _, row := range perturbed.Rows {
+		if row[attr] == value {
+			hits++
+		}
+	}
+	observed := float64(hits) / float64(perturbed.Size())
+	return stats.Clamp01((observed - (1-rr.Rho)/float64(domain)) / rr.Rho), nil
+}
+
+// RowLikelihood returns the probability of observing a perturbed row given
+// a candidate true row: the product over attributes of
+// rho + (1−rho)/|D_j| when the values agree and (1−rho)/|D_j| when they
+// disagree.  The partial-knowledge attack is a likelihood-ratio test built
+// on this quantity.
+func (rr *RetentionReplacement) RowLikelihood(domainSizes []int, perturbed, candidate []int) (float64, error) {
+	if len(perturbed) != len(domainSizes) || len(candidate) != len(domainSizes) {
+		return 0, fmt.Errorf("%w: row lengths %d/%d vs %d attributes", ErrMismatch, len(perturbed), len(candidate), len(domainSizes))
+	}
+	like := 1.0
+	for j := range domainSizes {
+		replace := (1 - rr.Rho) / float64(domainSizes[j])
+		if perturbed[j] == candidate[j] {
+			like *= rr.Rho + replace
+		} else {
+			like *= replace
+		}
+	}
+	return like, nil
+}
+
+// AttackResult summarizes the partial-knowledge attack of the paper's
+// introduction against retention replacement.
+type AttackResult struct {
+	// Correct is the fraction of users whose true candidate the
+	// likelihood-ratio attacker identified.
+	Correct float64
+	// MeanLogRatio is the average absolute log-likelihood ratio between the
+	// two candidates — how confidently the attacker distinguishes them.
+	MeanLogRatio float64
+	// Users is the number of attacked users.
+	Users int
+}
+
+// PartialKnowledgeAttack runs the introduction's attack: the attacker knows
+// every user's true row is one of the two candidates and picks the
+// candidate with the higher likelihood given the perturbed row.  With the
+// paper's example rows (disjoint values in every attribute) the attack
+// succeeds with probability approaching 1, which is exactly why retention
+// replacement does not satisfy Definition 1.
+func (rr *RetentionReplacement) PartialKnowledgeAttack(perturbed *dataset.CategoricalTable, candidates [2][]int, truth []int) (AttackResult, error) {
+	if perturbed.Size() == 0 {
+		return AttackResult{}, ErrNoData
+	}
+	if len(truth) != perturbed.Size() {
+		return AttackResult{}, fmt.Errorf("%w: %d truth labels for %d rows", ErrMismatch, len(truth), perturbed.Size())
+	}
+	correct := 0
+	var sumAbsLog float64
+	for u, row := range perturbed.Rows {
+		l0, err := rr.RowLikelihood(perturbed.DomainSizes, row, candidates[0])
+		if err != nil {
+			return AttackResult{}, err
+		}
+		l1, err := rr.RowLikelihood(perturbed.DomainSizes, row, candidates[1])
+		if err != nil {
+			return AttackResult{}, err
+		}
+		guess := 0
+		if l1 > l0 {
+			guess = 1
+		}
+		if guess == truth[u] {
+			correct++
+		}
+		if l0 > 0 && l1 > 0 {
+			sumAbsLog += math.Abs(math.Log(l0 / l1))
+		}
+	}
+	return AttackResult{
+		Correct:      float64(correct) / float64(perturbed.Size()),
+		MeanLogRatio: sumAbsLog / float64(perturbed.Size()),
+		Users:        perturbed.Size(),
+	}, nil
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/stats"
+)
+
+// Common baseline errors.
+var (
+	// ErrBadFlip is returned when a flip/retention probability is outside
+	// its valid range.
+	ErrBadFlip = errors.New("baseline: invalid perturbation probability")
+	// ErrMismatch is returned when query shapes are inconsistent with the
+	// perturbed data.
+	ErrMismatch = errors.New("baseline: query shape mismatch")
+	// ErrNoData is returned when an estimator receives no perturbed rows.
+	ErrNoData = errors.New("baseline: no perturbed data")
+)
+
+// Warner is the classical randomized-response mechanism: every bit of the
+// profile is flipped independently with probability P before publication.
+// P must lie strictly in (0, 1/2).
+type Warner struct {
+	P float64
+}
+
+// NewWarner validates the flip probability.
+func NewWarner(p float64) (*Warner, error) {
+	if math.IsNaN(p) || p <= 0 || p >= 0.5 {
+		return nil, fmt.Errorf("%w: flip probability %v", ErrBadFlip, p)
+	}
+	return &Warner{P: p}, nil
+}
+
+// Epsilon returns the ε of the paper's Definition 1 for a single published
+// bit: (1−p)/p − 1 (Appendix B proves ε-privacy for p = 1/2 − εc, c ≤ 1/4).
+func (w *Warner) Epsilon() float64 { return (1-w.P)/w.P - 1 }
+
+// EpsilonForBits returns the ε for a user who publishes q flipped bits:
+// the worst-case likelihood ratio between two profiles is ((1−p)/p)^q.
+func (w *Warner) EpsilonForBits(q int) float64 {
+	return math.Pow((1-w.P)/w.P, float64(q)) - 1
+}
+
+// Perturb returns the flipped copy of a profile.  Unlike a sketch, the
+// output is as long as the profile itself — the "dense perturbed vector"
+// drawback the paper notes for sparse profiles.
+func (w *Warner) Perturb(rng *stats.RNG, d bitvec.Vector) bitvec.Vector {
+	out := d.Clone()
+	for i := 0; i < out.Len(); i++ {
+		if rng.Bernoulli(w.P) {
+			out.Flip(i)
+		}
+	}
+	return out
+}
+
+// PerturbAll perturbs every profile of a population and returns the public
+// flipped vectors in user order.
+func (w *Warner) PerturbAll(rng *stats.RNG, profiles []bitvec.Profile) []bitvec.Vector {
+	out := make([]bitvec.Vector, len(profiles))
+	for i, p := range profiles {
+		out[i] = w.Perturb(rng, p.Data)
+	}
+	return out
+}
+
+// EstimateBit estimates the fraction of users whose true bit at position
+// pos is 1, from the flipped vectors: r = (r̃ − p)/(1 − 2p).
+func (w *Warner) EstimateBit(perturbed []bitvec.Vector, pos int) (float64, error) {
+	if len(perturbed) == 0 {
+		return 0, ErrNoData
+	}
+	ones := 0
+	for _, v := range perturbed {
+		if pos < 0 || pos >= v.Len() {
+			return 0, fmt.Errorf("%w: position %d outside perturbed vector of length %d", ErrMismatch, pos, v.Len())
+		}
+		if v.Get(pos) {
+			ones++
+		}
+	}
+	observed := float64(ones) / float64(len(perturbed))
+	return stats.Clamp01((observed - w.P) / (1 - 2*w.P)), nil
+}
+
+// EstimateConjunction estimates the fraction of users whose true bits on
+// subset b equal v, from the flipped vectors.  Each bit is an independent
+// symmetric channel with flip probability p, so the unbiased estimator is
+// the per-user product of inverse-channel weights.  Its variance grows like
+// ((1−p)/(1−2p))^(2k) with the conjunction size k — the exponential
+// degradation the paper contrasts sketches against (experiment E7).
+func (w *Warner) EstimateConjunction(perturbed []bitvec.Vector, b bitvec.Subset, v bitvec.Vector) (float64, error) {
+	if len(perturbed) == 0 {
+		return 0, ErrNoData
+	}
+	if b.Len() != v.Len() || b.Len() == 0 {
+		return 0, fmt.Errorf("%w: subset size %d, value length %d", ErrMismatch, b.Len(), v.Len())
+	}
+	denom := 1 - 2*w.P
+	match := (1 - w.P) / denom
+	differ := -w.P / denom
+	var sum float64
+	for _, row := range perturbed {
+		if b.Max() >= row.Len() {
+			return 0, fmt.Errorf("%w: subset position %d outside perturbed vector of length %d", ErrMismatch, b.Max(), row.Len())
+		}
+		weight := 1.0
+		for i := 0; i < b.Len(); i++ {
+			if row.Get(b.At(i)) == v.Get(i) {
+				weight *= match
+			} else {
+				weight *= differ
+			}
+		}
+		sum += weight
+	}
+	return stats.Clamp01(sum / float64(len(perturbed))), nil
+}
+
+// ConjunctionStdDev returns the standard deviation of the per-user product
+// weight for a conjunction of size k — the analytic form of the exponential
+// blow-up: each factor has second moment ((1−p)² + p²)/(1−2p)² ≥ 1, so the
+// estimator's standard error is at least (that factor)^(k/2)/√M.
+func (w *Warner) ConjunctionStdDev(k, m int) float64 {
+	second := ((1-w.P)*(1-w.P) + w.P*w.P) / ((1 - 2*w.P) * (1 - 2*w.P))
+	return math.Sqrt(math.Pow(second, float64(k)) / float64(m))
+}
+
+// PublishedBits returns the number of bits a user must publish to support
+// queries over a q-attribute profile: all q of them (contrast with the
+// ⌈log log O(M)⌉-bit sketch, experiment E16).
+func (w *Warner) PublishedBits(q int) int { return q }

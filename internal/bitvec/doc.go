@@ -1,0 +1,17 @@
+// Package bitvec provides the bit-vector substrate for the sketching
+// mechanism: packed bit vectors for user profiles, attribute subsets and
+// their projections (the paper's d_B notation), literals and conjunctions
+// for conjunctive queries, and fixed-width integer attribute layouts used by
+// the numeric queries of Section 4.1 of Mishra & Sandler (PODS 2006).
+//
+// The conventions follow the paper:
+//
+//   - A user profile d is a bit vector over attributes x_1..x_q (index 0 is
+//     x_1).
+//   - A subset B ⊆ [1..|d|] is an ordered list of attribute positions; the
+//     projection d_B is the bit string read off in subset order.
+//   - A conjunctive query is a pair (B, v): the set of users with d_B = v.
+//   - A k-bit integer attribute a is stored MSB-first in consecutive
+//     positions; A_i denotes the prefix subset of its i highest bits and
+//     A_i (the index form) the position of the i-th highest bit.
+package bitvec

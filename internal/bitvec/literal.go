@@ -1,0 +1,126 @@
+package bitvec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Literal is a single term of a conjunctive query: attribute x_Position
+// either unnegated (Value=true, "x_i") or negated (Value=false, "¬x_i").
+type Literal struct {
+	Position int
+	Value    bool
+}
+
+// String renders the literal in the paper's notation.
+func (l Literal) String() string {
+	if l.Value {
+		return fmt.Sprintf("x%d", l.Position)
+	}
+	return fmt.Sprintf("¬x%d", l.Position)
+}
+
+// Conjunction is a conjunctive query over negated and unnegated literals:
+// the set of users whose profile satisfies every literal.  It is the paper's
+// query I(B, v) in literal form.
+type Conjunction []Literal
+
+// NewConjunction validates that positions are distinct and non-negative.
+func NewConjunction(literals ...Literal) (Conjunction, error) {
+	seen := make(map[int]struct{}, len(literals))
+	for _, l := range literals {
+		if l.Position < 0 {
+			return nil, fmt.Errorf("bitvec: negative attribute position %d", l.Position)
+		}
+		if _, dup := seen[l.Position]; dup {
+			return nil, fmt.Errorf("bitvec: attribute %d appears twice in conjunction", l.Position)
+		}
+		seen[l.Position] = struct{}{}
+	}
+	return Conjunction(append([]Literal(nil), literals...)), nil
+}
+
+// MustConjunction is NewConjunction that panics on invalid input.
+func MustConjunction(literals ...Literal) Conjunction {
+	c, err := NewConjunction(literals...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Split converts the conjunction to the (B, v) form used by the sketching
+// and query machinery: the subset of attribute positions and the value
+// vector they must equal.
+func (c Conjunction) Split() (Subset, Vector) {
+	pos := make([]int, len(c))
+	v := New(len(c))
+	for i, l := range c {
+		pos[i] = l.Position
+		if l.Value {
+			v.Set(i, true)
+		}
+	}
+	return Subset{positions: pos}, v
+}
+
+// Evaluate reports whether profile data d satisfies the conjunction.
+func (c Conjunction) Evaluate(d Vector) bool {
+	for _, l := range c {
+		if d.Get(l.Position) != l.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of literals.
+func (c Conjunction) Len() int { return len(c) }
+
+// String renders the conjunction in the paper's notation.
+func (c Conjunction) String() string {
+	if len(c) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// ConjunctionOf builds a conjunction from a subset and a value vector (the
+// inverse of Split).  It panics if the lengths differ.
+func ConjunctionOf(b Subset, v Vector) Conjunction {
+	if b.Len() != v.Len() {
+		panic(fmt.Sprintf("bitvec: subset of size %d with value of length %d", b.Len(), v.Len()))
+	}
+	c := make(Conjunction, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		c[i] = Literal{Position: b.At(i), Value: v.Get(i)}
+	}
+	return c
+}
+
+// CountSatisfying returns the exact number of profiles satisfying the
+// conjunctive query (B, v).  This is the ground truth I(B, v) that the
+// estimators are compared against in tests and experiments; in the paper's
+// threat model no party can actually compute it.
+func CountSatisfying(profiles []Profile, b Subset, v Vector) int {
+	n := 0
+	for _, p := range profiles {
+		if p.Satisfies(b, v) {
+			n++
+		}
+	}
+	return n
+}
+
+// FractionSatisfying is CountSatisfying divided by the number of profiles.
+// It returns 0 for an empty slice.
+func FractionSatisfying(profiles []Profile, b Subset, v Vector) float64 {
+	if len(profiles) == 0 {
+		return 0
+	}
+	return float64(CountSatisfying(profiles, b, v)) / float64(len(profiles))
+}

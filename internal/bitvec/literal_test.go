@@ -1,0 +1,108 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConjunctionValidation(t *testing.T) {
+	if _, err := NewConjunction(Literal{0, true}, Literal{0, false}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := NewConjunction(Literal{-1, true}); err == nil {
+		t.Error("negative attribute accepted")
+	}
+	if _, err := NewConjunction(Literal{3, true}, Literal{1, false}); err != nil {
+		t.Error("valid conjunction rejected")
+	}
+}
+
+func TestConjunctionSplitAndEvaluate(t *testing.T) {
+	// The paper's running example: HIV+ and not AIDS.
+	c := MustConjunction(Literal{Position: 2, Value: true}, Literal{Position: 5, Value: false})
+	b, v := c.Split()
+	if b.String() != "{2,5}" || v.String() != "10" {
+		t.Errorf("Split = %v, %v", b, v)
+	}
+	d := MustFromString("0010000")
+	if !c.Evaluate(d) {
+		t.Error("profile with x2=1, x5=0 should satisfy the conjunction")
+	}
+	d.Set(5, true)
+	if c.Evaluate(d) {
+		t.Error("profile with x5=1 should not satisfy the conjunction")
+	}
+}
+
+func TestConjunctionOfRoundTrip(t *testing.T) {
+	b := MustSubset(4, 1, 7)
+	v := MustFromString("101")
+	c := ConjunctionOf(b, v)
+	b2, v2 := c.Split()
+	if !b2.Equal(b) || !v2.Equal(v) {
+		t.Errorf("round trip gave %v,%v", b2, v2)
+	}
+}
+
+func TestConjunctionOfLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConjunctionOf with mismatched lengths did not panic")
+		}
+	}()
+	ConjunctionOf(MustSubset(1, 2), MustFromString("1"))
+}
+
+func TestConjunctionString(t *testing.T) {
+	c := MustConjunction(Literal{1, true}, Literal{3, false})
+	if c.String() != "x1 ∧ ¬x3" {
+		t.Errorf("String = %q", c.String())
+	}
+	if Conjunction(nil).String() != "⊤" {
+		t.Errorf("empty conjunction String = %q", Conjunction(nil).String())
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCountSatisfyingGroundTruth(t *testing.T) {
+	profiles := []Profile{
+		{ID: 1, Data: MustFromString("110")},
+		{ID: 2, Data: MustFromString("100")},
+		{ID: 3, Data: MustFromString("101")},
+		{ID: 4, Data: MustFromString("010")},
+	}
+	b := MustSubset(0, 1)
+	if got := CountSatisfying(profiles, b, MustFromString("10")); got != 2 {
+		t.Errorf("CountSatisfying = %d, want 2", got)
+	}
+	if got := FractionSatisfying(profiles, b, MustFromString("10")); got != 0.5 {
+		t.Errorf("FractionSatisfying = %v, want 0.5", got)
+	}
+	if FractionSatisfying(nil, b, MustFromString("10")) != 0 {
+		t.Error("FractionSatisfying of empty slice should be 0")
+	}
+}
+
+func TestEvaluateAgreesWithSatisfiesProperty(t *testing.T) {
+	prop := func(data uint16, posRaw [3]uint8, vals [3]bool) bool {
+		d := FromUint(uint64(data), 16)
+		seen := map[int]bool{}
+		var lits []Literal
+		for i, pr := range posRaw {
+			p := int(pr) % 16
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			lits = append(lits, Literal{Position: p, Value: vals[i]})
+		}
+		c := MustConjunction(lits...)
+		b, v := c.Split()
+		return c.Evaluate(d) == Profile{ID: 0, Data: d}.Satisfies(b, v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UserID is the public identifier the paper assumes each user holds ("which
+// does not contain any private information, for example it could be a
+// timestamp of user registration in the system").
+type UserID uint64
+
+// Bytes returns the canonical 8-byte big-endian encoding of the identifier,
+// used as the id component of the PRF input tuple.
+func (id UserID) Bytes() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// String implements fmt.Stringer.
+func (id UserID) String() string { return fmt.Sprintf("user-%d", uint64(id)) }
+
+// Profile couples a public user identifier with the user's private bit
+// vector d.  In the paper's threat model the profile never leaves the user's
+// machine; only sketches derived from it are published.
+type Profile struct {
+	ID   UserID
+	Data Vector
+}
+
+// NewProfile returns a profile with an all-zero data vector of length n.
+func NewProfile(id UserID, n int) Profile {
+	return Profile{ID: id, Data: New(n)}
+}
+
+// Satisfies reports whether the profile satisfies the conjunctive query
+// (B, v): d_B = v.
+func (p Profile) Satisfies(b Subset, v Vector) bool {
+	return b.Project(p.Data).Equal(v)
+}
+
+// IntField describes a k-bit unsigned integer attribute stored MSB-first at
+// a fixed offset inside the profile, following the paper's Section 4.1
+// layout: bit A_1 is the highest-order bit.
+type IntField struct {
+	// Offset is the profile position of the highest-order bit.
+	Offset int
+	// Width is the number of bits (k in the paper).
+	Width int
+}
+
+// NewIntField validates and returns an integer field layout.
+func NewIntField(offset, width int) (IntField, error) {
+	if offset < 0 {
+		return IntField{}, fmt.Errorf("bitvec: negative field offset %d", offset)
+	}
+	if width <= 0 || width > 64 {
+		return IntField{}, fmt.Errorf("bitvec: field width %d outside [1,64]", width)
+	}
+	return IntField{Offset: offset, Width: width}, nil
+}
+
+// MustIntField is NewIntField that panics on invalid input.
+func MustIntField(offset, width int) IntField {
+	f, err := NewIntField(offset, width)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Max returns the largest value representable in the field.
+func (f IntField) Max() uint64 {
+	if f.Width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(f.Width) - 1
+}
+
+// Encode writes value into the field's bits of d.  It panics if the value
+// does not fit or the profile is too short.
+func (f IntField) Encode(d Vector, value uint64) {
+	if value > f.Max() {
+		panic(fmt.Sprintf("bitvec: value %d does not fit in %d bits", value, f.Width))
+	}
+	for i := 0; i < f.Width; i++ {
+		bit := (value >> uint(f.Width-1-i)) & 1
+		d.Set(f.Offset+i, bit == 1)
+	}
+}
+
+// Decode reads the field's value from d.
+func (f IntField) Decode(d Vector) uint64 {
+	var x uint64
+	for i := 0; i < f.Width; i++ {
+		x <<= 1
+		if d.Get(f.Offset + i) {
+			x |= 1
+		}
+	}
+	return x
+}
+
+// BitIndex returns the profile position of the i-th highest bit (1-based,
+// the paper's A_i index form).  It panics if i is out of range.
+func (f IntField) BitIndex(i int) int {
+	if i < 1 || i > f.Width {
+		panic(fmt.Sprintf("bitvec: bit index %d outside [1,%d]", i, f.Width))
+	}
+	return f.Offset + i - 1
+}
+
+// BitSubset returns the single-position subset {A_i} for the i-th highest
+// bit (1-based), used by the sum/mean decomposition of Section 4.1.
+func (f IntField) BitSubset(i int) Subset {
+	return MustSubset(f.BitIndex(i))
+}
+
+// PrefixSubset returns the subset A_i of the i highest bits (1-based), used
+// by the interval queries of Section 4.1.  PrefixSubset(f.Width) is the full
+// field.
+func (f IntField) PrefixSubset(i int) Subset {
+	if i < 1 || i > f.Width {
+		panic(fmt.Sprintf("bitvec: prefix length %d outside [1,%d]", i, f.Width))
+	}
+	return Range(f.Offset, f.Offset+i)
+}
+
+// FullSubset returns the subset A of all bits of the field.
+func (f IntField) FullSubset() Subset { return f.PrefixSubset(f.Width) }
+
+// End returns the first profile position after the field, convenient for
+// laying fields out back to back.
+func (f IntField) End() int { return f.Offset + f.Width }

@@ -1,0 +1,130 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUserIDBytes(t *testing.T) {
+	a := UserID(1).Bytes()
+	b := UserID(256).Bytes()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatal("UserID.Bytes must be 8 bytes")
+	}
+	if string(a) == string(b) {
+		t.Error("distinct ids encode identically")
+	}
+	if UserID(42).String() != "user-42" {
+		t.Errorf("String = %q", UserID(42).String())
+	}
+}
+
+func TestProfileSatisfies(t *testing.T) {
+	p := Profile{ID: 1, Data: MustFromString("10110")}
+	b := MustSubset(0, 2, 3)
+	if !p.Satisfies(b, MustFromString("111")) {
+		t.Error("profile should satisfy (B, 111)")
+	}
+	if p.Satisfies(b, MustFromString("110")) {
+		t.Error("profile should not satisfy (B, 110)")
+	}
+}
+
+func TestNewIntFieldValidation(t *testing.T) {
+	if _, err := NewIntField(-1, 4); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := NewIntField(0, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewIntField(0, 65); err == nil {
+		t.Error("width > 64 accepted")
+	}
+	if _, err := NewIntField(3, 16); err != nil {
+		t.Error("valid field rejected")
+	}
+}
+
+func TestIntFieldEncodeDecode(t *testing.T) {
+	f := MustIntField(2, 4)
+	d := New(10)
+	f.Encode(d, 11) // 1011
+	if d.String() != "0010110000" {
+		t.Errorf("profile after Encode = %s", d)
+	}
+	if f.Decode(d) != 11 {
+		t.Errorf("Decode = %d, want 11", f.Decode(d))
+	}
+	// Re-encoding a smaller value must clear previously set bits.
+	f.Encode(d, 2)
+	if f.Decode(d) != 2 {
+		t.Errorf("Decode after re-encode = %d, want 2", f.Decode(d))
+	}
+}
+
+func TestIntFieldEncodeDecodeProperty(t *testing.T) {
+	prop := func(value uint64, width uint8, offset uint8) bool {
+		w := int(width%16) + 1
+		off := int(offset % 20)
+		f := MustIntField(off, w)
+		v := value & f.Max()
+		d := New(off + w + 3)
+		f.Encode(d, v)
+		return f.Decode(d) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntFieldEncodeOverflowPanics(t *testing.T) {
+	f := MustIntField(0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode of an overflowing value did not panic")
+		}
+	}()
+	f.Encode(New(3), 8)
+}
+
+func TestIntFieldSubsets(t *testing.T) {
+	f := MustIntField(5, 4)
+	if f.BitIndex(1) != 5 || f.BitIndex(4) != 8 {
+		t.Errorf("BitIndex wrong: %d %d", f.BitIndex(1), f.BitIndex(4))
+	}
+	if got := f.BitSubset(2).Positions(); len(got) != 1 || got[0] != 6 {
+		t.Errorf("BitSubset(2) = %v", got)
+	}
+	if got := f.PrefixSubset(3).Positions(); len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Errorf("PrefixSubset(3) = %v", got)
+	}
+	if !f.FullSubset().Equal(Range(5, 9)) {
+		t.Errorf("FullSubset = %v", f.FullSubset())
+	}
+	if f.End() != 9 {
+		t.Errorf("End = %d, want 9", f.End())
+	}
+	if f.Max() != 15 {
+		t.Errorf("Max = %d, want 15", f.Max())
+	}
+}
+
+func TestIntFieldMax64(t *testing.T) {
+	f := MustIntField(0, 64)
+	if f.Max() != ^uint64(0) {
+		t.Errorf("Max for 64-bit field = %d", f.Max())
+	}
+}
+
+func TestIntFieldPrefixDecodesHighBits(t *testing.T) {
+	// The prefix subset A_i must project exactly the i highest bits of the
+	// encoded value, which is what the interval-query decomposition relies
+	// on.
+	f := MustIntField(1, 8)
+	d := New(12)
+	f.Encode(d, 0xB6) // 10110110
+	got := f.PrefixSubset(5).Project(d)
+	if got.String() != "10110" {
+		t.Errorf("prefix projection = %s, want 10110", got)
+	}
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"fmt"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/stats"
+)
+
+// Population is a collection of user profiles over a fixed attribute width,
+// together with optional attribute names for reporting.
+type Population struct {
+	// Profiles holds one entry per user; IDs are assigned sequentially
+	// starting at 1 (the paper's public, non-private identifier).
+	Profiles []bitvec.Profile
+	// Width is the number of attributes in every profile.
+	Width int
+	// Names optionally labels each attribute; len(Names) == Width when set.
+	Names []string
+}
+
+// Size returns the number of users M.
+func (p *Population) Size() int { return len(p.Profiles) }
+
+// TrueFraction returns the exact fraction of users satisfying the
+// conjunctive query (B, v) — the ground truth the estimators are judged
+// against.
+func (p *Population) TrueFraction(b bitvec.Subset, v bitvec.Vector) float64 {
+	return bitvec.FractionSatisfying(p.Profiles, b, v)
+}
+
+// TrueCount returns the exact number of users satisfying (B, v).
+func (p *Population) TrueCount(b bitvec.Subset, v bitvec.Vector) int {
+	return bitvec.CountSatisfying(p.Profiles, b, v)
+}
+
+// AttributeName returns the label of attribute i, or "x<i>" when unnamed.
+func (p *Population) AttributeName(i int) string {
+	if i >= 0 && i < len(p.Names) && p.Names[i] != "" {
+		return p.Names[i]
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+// UniformBinary generates m profiles of width q where each bit is set
+// independently with probability density.
+func UniformBinary(seed uint64, m, q int, density float64) *Population {
+	rng := stats.NewRNG(seed)
+	pop := &Population{Width: q, Profiles: make([]bitvec.Profile, m)}
+	for u := 0; u < m; u++ {
+		d := bitvec.New(q)
+		for i := 0; i < q; i++ {
+			if rng.Bernoulli(density) {
+				d.Set(i, true)
+			}
+		}
+		pop.Profiles[u] = bitvec.Profile{ID: bitvec.UserID(u + 1), Data: d}
+	}
+	return pop
+}
+
+// PlantedConjunction generates m profiles of width q in which the
+// conjunctive query (B, v) holds for exactly round(frequency*m) users
+// (chosen at random), and every bit outside the query is independently set
+// with probability density.  Users not in the planted set are guaranteed to
+// violate at least one literal of the query.  The exact planted frequency
+// makes it the workload of choice for the error experiments of Lemma 4.1.
+func PlantedConjunction(seed uint64, m, q int, b bitvec.Subset, v bitvec.Vector, frequency, density float64) (*Population, error) {
+	if b.Len() != v.Len() {
+		return nil, fmt.Errorf("dataset: subset of size %d with value of length %d", b.Len(), v.Len())
+	}
+	if b.Max() >= q {
+		return nil, fmt.Errorf("dataset: subset position %d outside width %d", b.Max(), q)
+	}
+	if frequency < 0 || frequency > 1 {
+		return nil, fmt.Errorf("dataset: planted frequency %v outside [0,1]", frequency)
+	}
+	rng := stats.NewRNG(seed)
+	planted := int(frequency*float64(m) + 0.5)
+	perm := rng.Perm(m)
+	isPlanted := make([]bool, m)
+	for i := 0; i < planted; i++ {
+		isPlanted[perm[i]] = true
+	}
+
+	pop := &Population{Width: q, Profiles: make([]bitvec.Profile, m)}
+	for u := 0; u < m; u++ {
+		d := bitvec.New(q)
+		for i := 0; i < q; i++ {
+			if rng.Bernoulli(density) {
+				d.Set(i, true)
+			}
+		}
+		if isPlanted[u] {
+			// Force the query to hold.
+			for i := 0; i < b.Len(); i++ {
+				d.Set(b.At(i), v.Get(i))
+			}
+		} else if b.Project(d).Equal(v) {
+			// Force at least one literal to fail so the planted frequency is
+			// exact: flip a random query position.
+			i := rng.Intn(b.Len())
+			d.Set(b.At(i), !v.Get(i))
+		}
+		pop.Profiles[u] = bitvec.Profile{ID: bitvec.UserID(u + 1), Data: d}
+	}
+	return pop, nil
+}
+
+// MarketBasket generates m sparse transactions over items items, where each
+// user buys an expected avgBasket items chosen with Zipf(s) popularity.
+// This is the frequent-itemset setting of Evfimievski et al. that the paper
+// compares against; baskets are sparse (the regime where [10] applies) yet
+// itemset queries of any size remain answerable by sketches.
+func MarketBasket(seed uint64, m, items int, avgBasket float64, s float64) *Population {
+	rng := stats.NewRNG(seed)
+	pop := &Population{Width: items, Profiles: make([]bitvec.Profile, m)}
+	for u := 0; u < m; u++ {
+		d := bitvec.New(items)
+		// Draw the basket size around avgBasket, then pick items by
+		// popularity (duplicates collapse, which keeps baskets slightly
+		// smaller — the natural behaviour of revisiting a popular item).
+		size := int(avgBasket)
+		if rng.Bernoulli(avgBasket - float64(size)) {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			d.Set(rng.Zipf(items, s), true)
+		}
+		pop.Profiles[u] = bitvec.Profile{ID: bitvec.UserID(u + 1), Data: d}
+	}
+	return pop
+}

@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+)
+
+func TestUniformBinaryShapeAndDensity(t *testing.T) {
+	pop := UniformBinary(1, 5000, 20, 0.3)
+	if pop.Size() != 5000 || pop.Width != 20 {
+		t.Fatalf("size=%d width=%d", pop.Size(), pop.Width)
+	}
+	ones := 0
+	for _, p := range pop.Profiles {
+		if p.Data.Len() != 20 {
+			t.Fatal("profile width mismatch")
+		}
+		ones += p.Data.PopCount()
+	}
+	density := float64(ones) / float64(5000*20)
+	if math.Abs(density-0.3) > 0.01 {
+		t.Errorf("empirical density %v, want ~0.3", density)
+	}
+	// IDs sequential from 1.
+	if pop.Profiles[0].ID != 1 || pop.Profiles[4999].ID != 5000 {
+		t.Error("user IDs not sequential from 1")
+	}
+}
+
+func TestUniformBinaryDeterministicPerSeed(t *testing.T) {
+	a := UniformBinary(7, 100, 10, 0.5)
+	b := UniformBinary(7, 100, 10, 0.5)
+	for i := range a.Profiles {
+		if !a.Profiles[i].Data.Equal(b.Profiles[i].Data) {
+			t.Fatal("same seed produced different populations")
+		}
+	}
+	c := UniformBinary(8, 100, 10, 0.5)
+	diff := 0
+	for i := range a.Profiles {
+		if !a.Profiles[i].Data.Equal(c.Profiles[i].Data) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestPlantedConjunctionExactFrequency(t *testing.T) {
+	b := bitvec.MustSubset(2, 5, 9, 13)
+	v := bitvec.MustFromString("1010")
+	for _, freq := range []float64{0, 0.1, 0.37, 1} {
+		pop, err := PlantedConjunction(3, 2000, 16, b, v, freq, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pop.TrueFraction(b, v)
+		want := math.Round(freq*2000) / 2000
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("freq %v: planted fraction %v, want %v", freq, got, want)
+		}
+	}
+}
+
+func TestPlantedConjunctionValidation(t *testing.T) {
+	b := bitvec.MustSubset(0, 1)
+	if _, err := PlantedConjunction(1, 10, 8, b, bitvec.MustFromString("1"), 0.5, 0.5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PlantedConjunction(1, 10, 1, b, bitvec.MustFromString("10"), 0.5, 0.5); err == nil {
+		t.Error("out-of-range subset accepted")
+	}
+	if _, err := PlantedConjunction(1, 10, 8, b, bitvec.MustFromString("10"), 1.5, 0.5); err == nil {
+		t.Error("out-of-range frequency accepted")
+	}
+}
+
+func TestMarketBasketSparsity(t *testing.T) {
+	pop := MarketBasket(4, 3000, 100, 4, 1.1)
+	if pop.Size() != 3000 || pop.Width != 100 {
+		t.Fatalf("size=%d width=%d", pop.Size(), pop.Width)
+	}
+	total := 0
+	firstItem := 0
+	lastItem := 0
+	for _, p := range pop.Profiles {
+		total += p.Data.PopCount()
+		if p.Data.Get(0) {
+			firstItem++
+		}
+		if p.Data.Get(99) {
+			lastItem++
+		}
+	}
+	avg := float64(total) / 3000
+	if avg < 2 || avg > 4.5 {
+		t.Errorf("average basket size %v, want roughly 4 (minus duplicate collapses)", avg)
+	}
+	if firstItem <= lastItem {
+		t.Errorf("item popularity not Zipf-skewed: item0=%d item99=%d", firstItem, lastItem)
+	}
+}
+
+func TestEpidemiologyCorrelations(t *testing.T) {
+	rates := DefaultEpidemiologyRates()
+	pop := Epidemiology(5, 50000, rates)
+	if pop.Width != EpiWidth || len(pop.Names) != EpiWidth {
+		t.Fatalf("width=%d names=%d", pop.Width, len(pop.Names))
+	}
+	var hiv, aids, aidsNoHIV, diab, diabHyper, hyperNoDiab, noDiab int
+	for _, p := range pop.Profiles {
+		if p.Data.Get(EpiHIV) {
+			hiv++
+			if p.Data.Get(EpiAIDS) {
+				aids++
+			}
+		} else if p.Data.Get(EpiAIDS) {
+			aidsNoHIV++
+		}
+		if p.Data.Get(EpiDiabetic) {
+			diab++
+			if p.Data.Get(EpiHypertension) {
+				diabHyper++
+			}
+		} else {
+			noDiab++
+			if p.Data.Get(EpiHypertension) {
+				hyperNoDiab++
+			}
+		}
+	}
+	if aidsNoHIV != 0 {
+		t.Errorf("%d users have AIDS without HIV", aidsNoHIV)
+	}
+	if math.Abs(float64(hiv)/50000-rates.HIV) > 0.005 {
+		t.Errorf("HIV rate %v, want ~%v", float64(hiv)/50000, rates.HIV)
+	}
+	if hiv > 0 {
+		got := float64(aids) / float64(hiv)
+		if math.Abs(got-rates.AIDSGivenHIV) > 0.05 {
+			t.Errorf("P(AIDS|HIV) = %v, want ~%v", got, rates.AIDSGivenHIV)
+		}
+	}
+	// Diabetics must show elevated hypertension.
+	if diab > 0 && noDiab > 0 {
+		if float64(diabHyper)/float64(diab) <= float64(hyperNoDiab)/float64(noDiab) {
+			t.Error("hypertension not elevated among diabetics")
+		}
+	}
+}
+
+func TestHIVNotAIDSQueryMatchesManualCount(t *testing.T) {
+	pop := Epidemiology(6, 20000, DefaultEpidemiologyRates())
+	b, v := HIVNotAIDSQuery()
+	manual := 0
+	for _, p := range pop.Profiles {
+		if p.Data.Get(EpiHIV) && !p.Data.Get(EpiAIDS) {
+			manual++
+		}
+	}
+	if got := pop.TrueCount(b, v); got != manual {
+		t.Errorf("TrueCount=%d, manual=%d", got, manual)
+	}
+}
+
+func TestSalarySurvey(t *testing.T) {
+	cfg := DefaultSalaryConfig()
+	pop, layout := SalarySurvey(7, 20000, cfg)
+	if pop.Width != layout.Width {
+		t.Fatalf("population width %d != layout width %d", pop.Width, layout.Width)
+	}
+	meanAge := pop.TrueMean(layout.Age)
+	if meanAge < 45 || meanAge > 63 {
+		t.Errorf("mean age %v outside plausible band", meanAge)
+	}
+	meanSalary := pop.TrueMean(layout.Salary)
+	if meanSalary < 30 || meanSalary > 120 {
+		t.Errorf("mean salary %v k$ outside plausible band", meanSalary)
+	}
+	// Ages must respect the configured bounds.
+	for _, p := range pop.Profiles {
+		age := layout.Age.Decode(p.Data)
+		if age < uint64(cfg.MinAge) || age > uint64(cfg.MaxAge) {
+			t.Fatalf("age %d outside [%d,%d]", age, cfg.MinAge, cfg.MaxAge)
+		}
+	}
+	// CDF helper agrees with a manual count.
+	c := uint64(50)
+	manual := 0
+	for _, p := range pop.Profiles {
+		if layout.Salary.Decode(p.Data) <= c {
+			manual++
+		}
+	}
+	if got := pop.TrueFractionAtMost(layout.Salary, c); math.Abs(got-float64(manual)/20000) > 1e-12 {
+		t.Errorf("TrueFractionAtMost=%v manual=%v", got, float64(manual)/20000)
+	}
+	// Inner product mean is consistent with Cauchy-Schwarz-ish sanity: it is
+	// at least the product of the means only if positively correlated; just
+	// check it is positive and finite.
+	ip := pop.TrueInnerProductMean(layout.Age, layout.Salary)
+	if ip <= 0 || math.IsNaN(ip) || math.IsInf(ip, 0) {
+		t.Errorf("inner product mean %v", ip)
+	}
+}
+
+func TestPopulationHelpersEmpty(t *testing.T) {
+	var pop Population
+	f := bitvec.MustIntField(0, 4)
+	if pop.TrueMean(f) != 0 || pop.TrueFractionAtMost(f, 3) != 0 || pop.TrueInnerProductMean(f, f) != 0 {
+		t.Error("empty population helpers should return 0")
+	}
+	if pop.AttributeName(2) != "x2" {
+		t.Errorf("AttributeName fallback = %q", pop.AttributeName(2))
+	}
+}
+
+func TestUniformCategorical(t *testing.T) {
+	t1 := UniformCategorical(9, 1000, []int{3, 5, 2})
+	if t1.Size() != 1000 || t1.Attributes() != 3 {
+		t.Fatalf("size=%d attrs=%d", t1.Size(), t1.Attributes())
+	}
+	if err := t1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for _, row := range t1.Rows {
+		counts[row[0]]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)/1000-1.0/3) > 0.06 {
+			t.Errorf("attribute 0 value %d frequency %v", v, float64(c)/1000)
+		}
+	}
+}
+
+func TestCategoricalValidateCatchesCorruption(t *testing.T) {
+	t1 := UniformCategorical(9, 10, []int{3, 3})
+	t1.Rows[4][1] = 7
+	if err := t1.Validate(); err == nil {
+		t.Error("Validate accepted an out-of-domain value")
+	}
+	t1.Rows[4] = []int{1}
+	if err := t1.Validate(); err == nil {
+		t.Error("Validate accepted a short row")
+	}
+}
+
+func TestTwoCandidatePopulation(t *testing.T) {
+	tab, chosen := TwoCandidatePopulation(11, 4000)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cands := TwoCandidateRows()
+	zero := 0
+	for u, row := range tab.Rows {
+		want := cands[chosen[u]]
+		for j := range row {
+			if row[j] != want[j] {
+				t.Fatalf("row %d does not match its recorded candidate", u)
+			}
+		}
+		if chosen[u] == 0 {
+			zero++
+		}
+	}
+	frac := float64(zero) / 4000
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("candidate balance %v, want ~0.5", frac)
+	}
+}

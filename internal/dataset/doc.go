@@ -1,0 +1,28 @@
+// Package dataset generates the synthetic workloads used by the examples,
+// tests and experiment harness.
+//
+// The paper motivates its mechanism with sensitive survey data (the "have
+// you ever inhaled" randomized-response example, HIV+/AIDS conjunctive
+// queries, salary interval queries, poll data, market-basket transactions)
+// but, being a theory paper, reports no dataset.  Real survey microdata is
+// also exactly what the mechanism exists to avoid collecting.  This package
+// therefore substitutes seeded synthetic populations whose ground truth is
+// known exactly, which lets every experiment compare estimated answers
+// against the true ones:
+//
+//   - UniformBinary / PlantedConjunction: distribution-free bit vectors and
+//     bit vectors with a conjunction planted at a chosen frequency, used by
+//     the Lemma 4.1 error experiments.
+//   - Epidemiology: correlated health attributes (HIV+, AIDS, smoker, ...)
+//     for the paper's "HIV+ and not AIDS" query.
+//   - SalarySurvey: integer age and salary fields for the Section 4.1
+//     numeric queries (means, intervals, combined constraints).
+//   - MarketBasket: sparse transactions with Zipf-distributed item
+//     popularity, the frequent-itemset setting of Evfimievski et al. that
+//     the paper compares against.
+//   - Categorical: small-domain categorical rows reproducing the
+//     partial-knowledge attack example against retention replacement from
+//     the paper's introduction.
+//
+// All generators are deterministic given a seed.
+package dataset

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/stats"
+)
+
+// Epidemiology attribute positions.  The layout is fixed so queries in the
+// examples and experiments can be written against named constants.
+const (
+	EpiHIV = iota // HIV positive
+	EpiAIDS
+	EpiSmoker
+	EpiDiabetic
+	EpiHypertension
+	EpiObese
+	EpiInsured
+	EpiUrban
+	EpiWidth // number of attributes
+)
+
+// EpidemiologyNames labels the attributes in position order.
+var EpidemiologyNames = []string{
+	"hiv+", "aids", "smoker", "diabetic", "hypertension", "obese", "insured", "urban",
+}
+
+// EpidemiologyRates controls the marginal and conditional probabilities of
+// the synthetic health survey.
+type EpidemiologyRates struct {
+	HIV          float64 // marginal P(HIV+)
+	AIDSGivenHIV float64 // P(AIDS | HIV+); AIDS never occurs without HIV
+	Smoker       float64
+	Diabetic     float64
+	Hypertension float64 // base rate, boosted for diabetics
+	HyperBoost   float64 // additional probability of hypertension for diabetics
+	Obese        float64
+	Insured      float64
+	Urban        float64
+}
+
+// DefaultEpidemiologyRates is a plausible default configuration used by the
+// examples and experiments.  The exact rates do not matter for any result —
+// Lemma 4.1 is distribution free — but the correlations make the
+// conjunctive queries ("HIV+ and not AIDS", decision trees over risk
+// factors) non-trivial.
+func DefaultEpidemiologyRates() EpidemiologyRates {
+	return EpidemiologyRates{
+		HIV:          0.02,
+		AIDSGivenHIV: 0.35,
+		Smoker:       0.22,
+		Diabetic:     0.11,
+		Hypertension: 0.25,
+		HyperBoost:   0.35,
+		Obese:        0.30,
+		Insured:      0.88,
+		Urban:        0.60,
+	}
+}
+
+// Epidemiology generates a synthetic health survey of m users with the
+// given rates.
+func Epidemiology(seed uint64, m int, rates EpidemiologyRates) *Population {
+	rng := stats.NewRNG(seed)
+	pop := &Population{
+		Width:    EpiWidth,
+		Names:    append([]string(nil), EpidemiologyNames...),
+		Profiles: make([]bitvec.Profile, m),
+	}
+	for u := 0; u < m; u++ {
+		d := bitvec.New(EpiWidth)
+		hiv := rng.Bernoulli(rates.HIV)
+		d.Set(EpiHIV, hiv)
+		if hiv && rng.Bernoulli(rates.AIDSGivenHIV) {
+			d.Set(EpiAIDS, true)
+		}
+		d.Set(EpiSmoker, rng.Bernoulli(rates.Smoker))
+		diabetic := rng.Bernoulli(rates.Diabetic)
+		d.Set(EpiDiabetic, diabetic)
+		hyper := rates.Hypertension
+		if diabetic {
+			hyper += rates.HyperBoost
+		}
+		d.Set(EpiHypertension, rng.Bernoulli(hyper))
+		d.Set(EpiObese, rng.Bernoulli(rates.Obese))
+		d.Set(EpiInsured, rng.Bernoulli(rates.Insured))
+		d.Set(EpiUrban, rng.Bernoulli(rates.Urban))
+		pop.Profiles[u] = bitvec.Profile{ID: bitvec.UserID(u + 1), Data: d}
+	}
+	return pop
+}
+
+// HIVNotAIDSQuery returns the paper's running example query "HIV+ and does
+// not have AIDS" in (B, v) form over the epidemiology layout.
+func HIVNotAIDSQuery() (bitvec.Subset, bitvec.Vector) {
+	c := bitvec.MustConjunction(
+		bitvec.Literal{Position: EpiHIV, Value: true},
+		bitvec.Literal{Position: EpiAIDS, Value: false},
+	)
+	return c.Split()
+}

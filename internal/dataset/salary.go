@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/stats"
+)
+
+// SalaryLayout describes where the integer and boolean attributes of the
+// salary-survey workload live inside each profile.  The integer fields are
+// stored MSB-first, matching the Section 4.1 decompositions.
+type SalaryLayout struct {
+	// Age is a 7-bit field (0..127 years).
+	Age bitvec.IntField
+	// Salary is a 17-bit field in units of $1,000 (0..131071).
+	Salary bitvec.IntField
+	// Homeowner and Employed are single boolean attributes.
+	Homeowner int
+	Employed  int
+	// Width is the total profile width.
+	Width int
+}
+
+// NewSalaryLayout returns the canonical layout used by the examples and
+// experiments.
+func NewSalaryLayout() SalaryLayout {
+	age := bitvec.MustIntField(0, 7)
+	salary := bitvec.MustIntField(age.End(), 17)
+	home := salary.End()
+	emp := home + 1
+	return SalaryLayout{
+		Age:       age,
+		Salary:    salary,
+		Homeowner: home,
+		Employed:  emp,
+		Width:     emp + 1,
+	}
+}
+
+// SalaryConfig controls the synthetic salary-survey distribution.
+type SalaryConfig struct {
+	// MeanLogSalary and SigmaLogSalary parameterize a log-normal-like
+	// salary distribution (natural log of salary in $1,000).
+	MeanLogSalary  float64
+	SigmaLogSalary float64
+	// MinAge and MaxAge bound the uniform-ish age distribution.
+	MinAge, MaxAge int
+	// EmployedRate is the marginal employment probability; unemployed users
+	// get salary 0.
+	EmployedRate float64
+	// HomeownerBase is the homeownership probability for low earners;
+	// ownership rises with salary.
+	HomeownerBase float64
+}
+
+// DefaultSalaryConfig returns a plausible default configuration.
+func DefaultSalaryConfig() SalaryConfig {
+	return SalaryConfig{
+		MeanLogSalary:  math.Log(55), // ≈ $55k median
+		SigmaLogSalary: 0.6,
+		MinAge:         18,
+		MaxAge:         90,
+		EmployedRate:   0.93,
+		HomeownerBase:  0.15,
+	}
+}
+
+// SalarySurvey generates a synthetic salary survey of m users and returns
+// the population together with its layout.
+func SalarySurvey(seed uint64, m int, cfg SalaryConfig) (*Population, SalaryLayout) {
+	layout := NewSalaryLayout()
+	rng := stats.NewRNG(seed)
+	pop := &Population{Width: layout.Width, Profiles: make([]bitvec.Profile, m)}
+	for u := 0; u < m; u++ {
+		d := bitvec.New(layout.Width)
+
+		age := cfg.MinAge + rng.Intn(cfg.MaxAge-cfg.MinAge+1)
+		layout.Age.Encode(d, uint64(age))
+
+		employed := rng.Bernoulli(cfg.EmployedRate)
+		d.Set(layout.Employed, employed)
+
+		salary := uint64(0)
+		if employed {
+			s := math.Exp(cfg.MeanLogSalary + cfg.SigmaLogSalary*rng.NormFloat64())
+			if s < 0 {
+				s = 0
+			}
+			if s > float64(layout.Salary.Max()) {
+				s = float64(layout.Salary.Max())
+			}
+			salary = uint64(s)
+		}
+		layout.Salary.Encode(d, salary)
+
+		ownProb := cfg.HomeownerBase + 0.5*math.Min(1, float64(salary)/150)
+		if ownProb > 0.95 {
+			ownProb = 0.95
+		}
+		d.Set(layout.Homeowner, rng.Bernoulli(ownProb))
+
+		pop.Profiles[u] = bitvec.Profile{ID: bitvec.UserID(u + 1), Data: d}
+	}
+	return pop, layout
+}
+
+// TrueMean returns the exact population mean of an integer field.
+func (p *Population) TrueMean(f bitvec.IntField) float64 {
+	if len(p.Profiles) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, pr := range p.Profiles {
+		sum += float64(f.Decode(pr.Data))
+	}
+	return sum / float64(len(p.Profiles))
+}
+
+// TrueFractionAtMost returns the exact fraction of users whose field value
+// is <= c.
+func (p *Population) TrueFractionAtMost(f bitvec.IntField, c uint64) float64 {
+	if len(p.Profiles) == 0 {
+		return 0
+	}
+	n := 0
+	for _, pr := range p.Profiles {
+		if f.Decode(pr.Data) <= c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.Profiles))
+}
+
+// TrueInnerProductMean returns the exact population mean of the product of
+// two integer fields, the quantity the Section 4.1 inner-product
+// decomposition estimates.
+func (p *Population) TrueInnerProductMean(a, b bitvec.IntField) float64 {
+	if len(p.Profiles) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, pr := range p.Profiles {
+		sum += float64(a.Decode(pr.Data)) * float64(b.Decode(pr.Data))
+	}
+	return sum / float64(len(p.Profiles))
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+)
+
+// Common engine errors.
+var (
+	// ErrBudgetExhausted is returned by the SULQ-style paid mode once its
+	// query budget is spent.
+	ErrBudgetExhausted = errors.New("engine: output-perturbation query budget exhausted")
+	// ErrNotConfigured is returned when a query needs a subset the
+	// deployment never sketched.
+	ErrNotConfigured = errors.New("engine: subset not configured for sketching")
+)
+
+// Engine is the analyst-facing aggregation service for the trusted-party-
+// free mode: a public sketch store plus the estimators.
+type Engine struct {
+	params sketch.Params
+	est    *query.Estimator
+	table  *sketch.Table
+}
+
+// New creates an engine around a public p-biased function and parameters.
+func New(h prf.BitSource, params sketch.Params) (*Engine, error) {
+	if _, err := sketch.NewParams(params.P, params.Length); err != nil {
+		return nil, err
+	}
+	if h.Bias() != params.P {
+		return nil, fmt.Errorf("engine: bit source bias %v does not match params %v", h.Bias(), params.P)
+	}
+	est, err := query.NewEstimator(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{params: params, est: est, table: sketch.NewTable()}, nil
+}
+
+// Params returns the mechanism parameters the engine was configured with.
+func (e *Engine) Params() sketch.Params { return e.params }
+
+// Table exposes the underlying public sketch store (read-mostly; ingestion
+// should go through Ingest so duplicate handling stays in one place).
+func (e *Engine) Table() *sketch.Table { return e.table }
+
+// Estimator exposes the underlying query estimator.
+func (e *Engine) Estimator() *query.Estimator { return e.est }
+
+// Ingest stores one published sketch.
+func (e *Engine) Ingest(p sketch.Published) error { return e.table.Add(p) }
+
+// IngestBatch stores a batch of published sketches, stopping at the first
+// error.
+func (e *Engine) IngestBatch(ps []sketch.Published) error { return e.table.AddAll(ps) }
+
+// Sketches returns the total number of stored sketches.
+func (e *Engine) Sketches() int { return e.table.Len() }
+
+// Subsets returns the subsets for which at least one sketch is stored.
+func (e *Engine) Subsets() []bitvec.Subset { return e.table.Subsets() }
+
+// Conjunction answers the basic Algorithm 2 query.
+func (e *Engine) Conjunction(b bitvec.Subset, v bitvec.Vector) (query.Estimate, error) {
+	return e.est.Fraction(e.table, b, v)
+}
+
+// ConjunctionLiterals answers a conjunction given as literals, using exact
+// subsets when available and Appendix F gluing otherwise.
+func (e *Engine) ConjunctionLiterals(c bitvec.Conjunction) (query.Estimate, error) {
+	return e.est.ConjunctionFraction(e.table, c)
+}
+
+// UnionConjunction answers a conjunction over the union of several sketched
+// subsets (Appendix F).
+func (e *Engine) UnionConjunction(subs []query.SubQuery) (query.Estimate, error) {
+	return e.est.UnionConjunction(e.table, subs)
+}
+
+// ExactlyOfK answers "exactly l of these k sub-queries hold".
+func (e *Engine) ExactlyOfK(subs []query.SubQuery, l int) (query.Estimate, error) {
+	return e.est.ExactlyOfK(e.table, subs, l)
+}
+
+// FieldMean answers the Section 4.1 mean query for an integer field.
+func (e *Engine) FieldMean(f bitvec.IntField) (query.NumericEstimate, error) {
+	return e.est.FieldMean(e.table, f)
+}
+
+// FieldAtMost answers the Section 4.1 interval query value ≤ c.
+func (e *Engine) FieldAtMost(f bitvec.IntField, c uint64) (query.NumericEstimate, error) {
+	return e.est.FieldAtMost(e.table, f, c)
+}
+
+// DecisionTree answers the Section 4.1 decision-tree query.
+func (e *Engine) DecisionTree(tree *query.TreeNode) (query.NumericEstimate, error) {
+	return e.est.DecisionTreeFraction(e.table, tree)
+}
+
+// SumLessThanPow2 answers the Appendix E query a + b < 2^r.
+func (e *Engine) SumLessThanPow2(a, b bitvec.IntField, r int) (query.NumericEstimate, error) {
+	return e.est.SumLessThanPow2(e.table, a, b, r)
+}

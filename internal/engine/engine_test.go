@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+func testSource(p float64) *prf.Biased {
+	return prf.NewBiased(bytes.Repeat([]byte{0x33}, prf.MinKeyBytes), prf.MustProb(p))
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := New(testSource(0.3), sketch.Params{P: 0.4, Length: 8}); err == nil {
+		t.Error("bias mismatch accepted")
+	}
+	if _, err := New(testSource(0.7), sketch.Params{P: 0.7, Length: 8}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := New(testSource(0.3), sketch.MustParams(0.3, 8)); err != nil {
+		t.Errorf("valid engine rejected: %v", err)
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	const m = 15000
+	p := 0.25
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	eng, err := New(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Params() != params {
+		t.Error("Params accessor wrong")
+	}
+
+	pop := dataset.Epidemiology(7, m, dataset.EpidemiologyRates{
+		HIV: 0.25, AIDSGivenHIV: 0.4, Smoker: 0.2, Diabetic: 0.15,
+		Hypertension: 0.2, HyperBoost: 0.3, Obese: 0.3, Insured: 0.9, Urban: 0.5,
+	})
+	subsetHIVAIDS := bitvec.MustSubset(dataset.EpiHIV, dataset.EpiAIDS)
+	subsetSmoker := bitvec.MustSubset(dataset.EpiSmoker)
+	subsetDiabetic := bitvec.MustSubset(dataset.EpiDiabetic)
+
+	sk, err := sketch.NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(8)
+	for _, profile := range pop.Profiles {
+		pubs, err := sk.SketchAll(rng, profile, []bitvec.Subset{subsetHIVAIDS, subsetSmoker, subsetDiabetic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.IngestBatch(pubs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Sketches() != 3*m {
+		t.Errorf("Sketches = %d", eng.Sketches())
+	}
+	if len(eng.Subsets()) != 3 {
+		t.Errorf("Subsets = %v", eng.Subsets())
+	}
+
+	// Conjunction over the exact subset.
+	b, v := dataset.HIVNotAIDSQuery()
+	truth := pop.TrueFraction(b, v)
+	est, err := eng.Conjunction(bitvec.MustSubset(dataset.EpiHIV, dataset.EpiAIDS), bitvec.MustFromString("10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Fraction-truth) > 0.05 {
+		t.Errorf("conjunction %v vs truth %v", est.Fraction, truth)
+	}
+
+	// Literal form routes through the same sketch.
+	est2, err := eng.ConjunctionLiterals(bitvec.MustConjunction(
+		bitvec.Literal{Position: dataset.EpiHIV, Value: true},
+		bitvec.Literal{Position: dataset.EpiAIDS, Value: false},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est2.Fraction-truth) > 0.05 {
+		t.Errorf("literal conjunction %v vs truth %v", est2.Fraction, truth)
+	}
+
+	// Combined query across two sketched subsets: smoker ∧ diabetic.
+	one := bitvec.MustFromString("1")
+	subs := []query.SubQuery{
+		{Subset: subsetSmoker, Value: one},
+		{Subset: subsetDiabetic, Value: one},
+	}
+	comb, err := eng.UnionConjunction(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthComb := 0.0
+	for _, pr := range pop.Profiles {
+		if pr.Data.Get(dataset.EpiSmoker) && pr.Data.Get(dataset.EpiDiabetic) {
+			truthComb++
+		}
+	}
+	truthComb /= float64(m)
+	if math.Abs(comb.Fraction-truthComb) > 0.06 {
+		t.Errorf("combined %v vs truth %v", comb.Fraction, truthComb)
+	}
+	if _, err := eng.ExactlyOfK(subs, 1); err != nil {
+		t.Errorf("ExactlyOfK failed: %v", err)
+	}
+	// Ingesting a duplicate is rejected.
+	dup := sketch.Published{ID: pop.Profiles[0].ID, Subset: subsetSmoker, S: sketch.Sketch{Key: 1, Length: 10}}
+	if err := eng.Ingest(dup); err == nil {
+		t.Error("duplicate ingest accepted")
+	}
+}
+
+func TestTrustedPartyUnlimitedQueriesAndNoise(t *testing.T) {
+	const m = 20000
+	p := 0.25
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	pop := dataset.UniformBinary(17, m, 4, 0.5)
+	subset := bitvec.MustSubset(0, 1)
+	rng := stats.NewRNG(18)
+
+	tp, err := NewTrustedParty(h, params, rng, pop.Profiles, []bitvec.Subset{subset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Users() != m || len(tp.Subsets()) != 1 {
+		t.Errorf("Users=%d Subsets=%d", tp.Users(), len(tp.Subsets()))
+	}
+
+	truth := float64(pop.TrueCount(subset, bitvec.MustFromString("11")))
+	// Ask the same query many times: always answered, always the same
+	// deterministic function of the sketches, error within a few noise
+	// scales.
+	noise := tp.ExpectedNoise(p)
+	var first float64
+	for i := 0; i < 50; i++ {
+		got, err := tp.Count(subset, bitvec.MustFromString("11"))
+		if err != nil {
+			t.Fatalf("query %d failed: %v", i, err)
+		}
+		if i == 0 {
+			first = got
+		} else if got != first {
+			t.Fatal("sketch-backed answers should be deterministic")
+		}
+	}
+	if math.Abs(first-truth) > 6*noise {
+		t.Errorf("count %v vs truth %v (noise scale %v)", first, truth, noise)
+	}
+	// Unconfigured subset is refused.
+	if _, err := tp.Count(bitvec.MustSubset(2), bitvec.MustFromString("1")); !errors.Is(err, ErrNotConfigured) {
+		t.Error("unconfigured subset accepted")
+	}
+	if _, err := NewTrustedParty(h, params, rng, pop.Profiles, nil); !errors.Is(err, ErrNotConfigured) {
+		t.Error("empty subset configuration accepted")
+	}
+}
+
+func TestSULQBudget(t *testing.T) {
+	pop := dataset.UniformBinary(27, 10000, 3, 0.5)
+	rng := stats.NewRNG(28)
+	noise := 5.0
+	s, err := NewSULQ(pop.Profiles, noise, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSULQ(pop.Profiles, 0, rng); err == nil {
+		t.Error("zero noise scale accepted")
+	}
+	b := bitvec.MustSubset(0)
+	v := bitvec.MustFromString("1")
+	truth := float64(pop.TrueCount(b, v))
+
+	budget := int(noise * noise)
+	if s.Remaining() != budget {
+		t.Errorf("Remaining = %d, want %d", s.Remaining(), budget)
+	}
+	var errSum stats.Moments
+	for i := 0; i < budget; i++ {
+		got, err := s.Count(b, v)
+		if err != nil {
+			t.Fatalf("query %d refused within budget: %v", i, err)
+		}
+		errSum.Add(got - truth)
+	}
+	if _, err := s.Count(b, v); !errors.Is(err, ErrBudgetExhausted) {
+		t.Error("query beyond the budget accepted")
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining after exhaustion = %d", s.Remaining())
+	}
+	// The added noise has roughly the configured scale.
+	if errSum.StdDev() < 2 || errSum.StdDev() > 9 {
+		t.Errorf("paid-mode noise sd %v, configured %v", errSum.StdDev(), noise)
+	}
+}
+
+func TestDualServerFallsBackToFreeMode(t *testing.T) {
+	const m = 8000
+	p := 0.25
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	pop := dataset.UniformBinary(37, m, 3, 0.5)
+	subset := bitvec.MustSubset(0, 1)
+	rng := stats.NewRNG(38)
+
+	d, err := NewDualServer(h, params, rng, pop.Profiles, []bitvec.Subset{subset}, 2 /* tiny budget: 4 queries */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitvec.MustFromString("10")
+	truth := float64(pop.TrueCount(subset, v))
+	paid, free := 0, 0
+	for i := 0; i < 10; i++ {
+		got, mode, err := d.Count(subset, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch mode {
+		case "paid":
+			paid++
+		case "free":
+			free++
+		}
+		if math.Abs(got-truth) > 0.2*float64(m) {
+			t.Errorf("query %d (%s): %v vs truth %v", i, mode, got, truth)
+		}
+	}
+	if paid != 4 || free != 6 {
+		t.Errorf("paid=%d free=%d, want 4 and 6", paid, free)
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// TrustedParty is the Appendix A deployment: a trusted operator that holds
+// the raw database just long enough to compute sketches of the configured
+// subsets, then discards the raw rows and answers an unlimited number of
+// queries from the sketches alone.  The noise added to each answer is
+// O(√M) with overwhelming probability, and since the answers are a
+// deterministic function of the (privacy-preserving) sketches, even full
+// compromise of the server after setup reveals nothing beyond the sketches
+// themselves.
+type TrustedParty struct {
+	engine  *Engine
+	subsets []bitvec.Subset
+	users   int
+}
+
+// NewTrustedParty sketches every configured subset of every profile and
+// returns a query service backed only by those sketches.  The raw profiles
+// are not retained.
+func NewTrustedParty(h prf.BitSource, params sketch.Params, rng *stats.RNG, profiles []bitvec.Profile, subsets []bitvec.Subset) (*TrustedParty, error) {
+	if len(subsets) == 0 {
+		return nil, fmt.Errorf("%w: no subsets configured", ErrNotConfigured)
+	}
+	eng, err := New(h, params)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := sketch.NewSketcher(h, params)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
+		pubs, err := sk.SketchAll(rng, p, subsets)
+		if err != nil {
+			return nil, fmt.Errorf("sketching %v: %w", p.ID, err)
+		}
+		if err := eng.IngestBatch(pubs); err != nil {
+			return nil, err
+		}
+	}
+	return &TrustedParty{engine: eng, subsets: append([]bitvec.Subset(nil), subsets...), users: len(profiles)}, nil
+}
+
+// Users returns the number of users in the database.
+func (tp *TrustedParty) Users() int { return tp.users }
+
+// Subsets returns the configured subsets.
+func (tp *TrustedParty) Subsets() []bitvec.Subset {
+	return append([]bitvec.Subset(nil), tp.subsets...)
+}
+
+// ExpectedNoise returns the O(√M) noise scale Appendix A quotes for the
+// sketch-backed count answers: the standard deviation of the count estimate
+// is √M/(2(1−2p)) ≤ O(√M) for p bounded away from 1/2.
+func (tp *TrustedParty) ExpectedNoise(p float64) float64 {
+	return math.Sqrt(float64(tp.users)) / (2 * (1 - 2*p))
+}
+
+// Count answers a conjunctive count query over one of the configured
+// subsets.  There is no query limit: unlike output perturbation, answering
+// more queries leaks nothing further.
+func (tp *TrustedParty) Count(b bitvec.Subset, v bitvec.Vector) (float64, error) {
+	for _, s := range tp.subsets {
+		if s.Equal(b) {
+			est, err := tp.engine.Conjunction(b, v)
+			if err != nil {
+				return 0, err
+			}
+			return est.Count(), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %v", ErrNotConfigured, b)
+}
+
+// Engine exposes the full query surface over the trusted party's sketches.
+func (tp *TrustedParty) Engine() *Engine { return tp.engine }
+
+// SULQ is the output-perturbation comparator of Appendix A, in the spirit
+// of the SULQ framework: each count query is answered with the true count
+// plus Gaussian noise of standard deviation NoiseScale, and at most
+// NoiseScale² queries are answered in total.  It requires keeping the raw
+// profiles, which is exactly the trust assumption the paper's main
+// mechanism avoids.
+type SULQ struct {
+	mu         sync.Mutex
+	profiles   []bitvec.Profile
+	noiseScale float64
+	budget     int
+	answered   int
+	rng        *stats.RNG
+}
+
+// NewSULQ builds the comparator.  noiseScale E should be at most √M; the
+// query budget is E² (the regime Appendix A describes where the two modes
+// add about the same noise).
+func NewSULQ(profiles []bitvec.Profile, noiseScale float64, rng *stats.RNG) (*SULQ, error) {
+	if noiseScale <= 0 {
+		return nil, fmt.Errorf("engine: noise scale %v must be positive", noiseScale)
+	}
+	return &SULQ{
+		profiles:   profiles,
+		noiseScale: noiseScale,
+		budget:     int(noiseScale * noiseScale),
+		rng:        rng,
+	}, nil
+}
+
+// Remaining returns how many queries the budget still allows.
+func (s *SULQ) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget - s.answered
+}
+
+// Count answers a conjunctive count query with Gaussian noise, or
+// ErrBudgetExhausted once the budget is spent.
+func (s *SULQ) Count(b bitvec.Subset, v bitvec.Vector) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.answered >= s.budget {
+		return 0, ErrBudgetExhausted
+	}
+	s.answered++
+	truth := float64(bitvec.CountSatisfying(s.profiles, b, v))
+	return truth + s.noiseScale*s.rng.NormFloat64(), nil
+}
+
+// DualServer is the paper's suggested deployment offering both modes: a
+// budget-limited low-noise paid mode (output perturbation) and an
+// unlimited sketch-backed free mode.
+type DualServer struct {
+	Paid *SULQ
+	Free *TrustedParty
+}
+
+// NewDualServer wires both modes over the same database.
+func NewDualServer(h prf.BitSource, params sketch.Params, rng *stats.RNG, profiles []bitvec.Profile, subsets []bitvec.Subset, noiseScale float64) (*DualServer, error) {
+	free, err := NewTrustedParty(h, params, rng.Split(1), profiles, subsets)
+	if err != nil {
+		return nil, err
+	}
+	paid, err := NewSULQ(profiles, noiseScale, rng.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	return &DualServer{Paid: paid, Free: free}, nil
+}
+
+// Count answers through the paid mode while budget remains and falls back
+// to the free sketch-backed mode afterwards, returning which mode answered.
+func (d *DualServer) Count(b bitvec.Subset, v bitvec.Vector) (value float64, mode string, err error) {
+	value, err = d.Paid.Count(b, v)
+	if err == nil {
+		return value, "paid", nil
+	}
+	if err != ErrBudgetExhausted {
+		return 0, "", err
+	}
+	value, err = d.Free.Count(b, v)
+	return value, "free", err
+}

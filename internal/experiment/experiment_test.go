@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Caption: "demo", Columns: []string{"a", "bbbb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	out := tab.String()
+	if !strings.Contains(out, "X: demo") || !strings.Contains(out, "bbbb") || !strings.Contains(out, "2.5") {
+		t.Errorf("rendered table missing content:\n%s", out)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("Rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if _, ok := ByID(r.ID); !ok {
+			t.Errorf("ByID(%s) not found", r.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID returned an unknown experiment")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment at quick scale and
+// checks that each produces a non-empty table.  This is the integration
+// test for the full harness; the detailed quantitative assertions live in
+// the per-package tests.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick harness run still takes a few seconds; skipped with -short")
+	}
+	cfg := QuickConfig()
+	cfg.Users = 3000
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tab.ID == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Errorf("%s produced an empty table", r.ID)
+			}
+			if tab.String() == "" {
+				t.Errorf("%s rendered empty output", r.ID)
+			}
+		})
+	}
+}

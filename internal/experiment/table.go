@@ -1,0 +1,95 @@
+// Package experiment is the harness that regenerates every quantitative
+// claim of the paper (the experiment index E1–E16 in DESIGN.md): it builds
+// the workloads, runs the mechanism and the baselines, and renders the
+// resulting series as plain-text tables that EXPERIMENTS.md records.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a caption, column headers and rows of
+// already-formatted cells.
+type Table struct {
+	ID      string
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells formatted with %v/%.4g as appropriate.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Caption)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Config scales the experiments so the same code serves both the full
+// harness (cmd/sketchbench) and the quick benchmark targets.
+type Config struct {
+	// Seed makes every run reproducible.
+	Seed uint64
+	// Users is the base population size M; individual experiments sweep
+	// multiples and fractions of it.
+	Users int
+	// Quick trims the parameter sweeps to their smallest useful size
+	// (used by the testing.B benchmarks and the harness's -quick flag).
+	Quick bool
+}
+
+// DefaultConfig is the configuration the EXPERIMENTS.md numbers were
+// produced with.
+func DefaultConfig() Config {
+	return Config{Seed: 20060618, Users: 100000, Quick: false}
+}
+
+// QuickConfig is a reduced configuration for smoke runs and benchmarks.
+func QuickConfig() Config {
+	return Config{Seed: 20060618, Users: 8000, Quick: true}
+}

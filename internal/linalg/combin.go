@@ -1,0 +1,56 @@
+package linalg
+
+import "math"
+
+// Binomial returns the binomial coefficient C(n, k) as a float64.  It
+// returns 0 for k < 0 or k > n.  Computation is multiplicative, so values
+// stay exact for the small n used by the Appendix F perturbation matrix and
+// degrade gracefully (to the nearest float64) beyond that.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 1; i <= k; i++ {
+		res = res * float64(n-k+i) / float64(i)
+	}
+	return res
+}
+
+// LogBinomial returns ln C(n, k) via log-gamma, avoiding overflow for large
+// n.  It returns -Inf where Binomial would return 0.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// BinomialPMF returns the probability that a Binomial(n, p) variable equals
+// k.  Used to cross-check the perturbation-matrix construction and by the
+// workload generators.
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logPMF := LogBinomial(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(logPMF)
+}

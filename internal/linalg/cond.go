@@ -1,0 +1,83 @@
+package linalg
+
+import (
+	"math"
+)
+
+// Cond1 returns the 1-norm condition number κ₁(A) = ‖A‖₁ ‖A⁻¹‖₁.
+// It returns +Inf when A is singular.
+func Cond1(a *Matrix) float64 {
+	inv, err := Inverse(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return a.Norm1() * inv.Norm1()
+}
+
+// CondInf returns the ∞-norm condition number κ∞(A) = ‖A‖∞ ‖A⁻¹‖∞.
+// It returns +Inf when A is singular.
+func CondInf(a *Matrix) float64 {
+	inv, err := Inverse(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return a.NormInf() * inv.NormInf()
+}
+
+// Norm2 estimates the spectral norm ‖A‖₂ (the largest singular value) by
+// power iteration on AᵀA.  iters controls the number of iterations; 100 is
+// ample for the small, well-separated matrices Appendix F produces.
+func Norm2(a *Matrix, iters int) float64 {
+	if iters <= 0 {
+		iters = 100
+	}
+	at := a.Transpose()
+	// Start from a deterministic non-degenerate vector.
+	v := make([]float64, a.Cols())
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(i+1))
+	}
+	normalize(v)
+	var sigma float64
+	for it := 0; it < iters; it++ {
+		w := at.MulVec(a.MulVec(v))
+		lambda := norm(w)
+		if lambda == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= lambda
+		}
+		v = w
+		sigma = math.Sqrt(lambda)
+	}
+	return sigma
+}
+
+// Cond2 estimates the 2-norm (spectral) condition number
+// κ₂(A) = σ_max(A)·σ_max(A⁻¹).  It returns +Inf when A is singular.
+func Cond2(a *Matrix, iters int) float64 {
+	inv, err := Inverse(a)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return Norm2(a, iters) * Norm2(inv, iters)
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

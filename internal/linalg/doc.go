@@ -1,0 +1,14 @@
+// Package linalg is the small dense linear-algebra substrate needed by
+// Appendix F of the paper: combining per-subset sketches into a query over
+// their union requires building the (k+1)×(k+1) perturbation matrix V whose
+// entry v[l→l'] is the probability that a profile with l matching bits shows
+// l' matching bits after perturbation, solving x = V⁻¹ E[y], and studying
+// the condition number of V (the paper remarks that it "decreases
+// exponentially in k, with the base of the exponent proportional to
+// 1/(p−1/2)").
+//
+// The package provides dense matrices, LU decomposition with partial
+// pivoting, linear solves and inverses, determinants, 1-norm and 2-norm
+// condition numbers, and exact/logarithmic binomial coefficients — all
+// implemented from scratch on float64 with no external dependencies.
+package linalg

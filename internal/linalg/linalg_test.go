@@ -1,0 +1,243 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMatrix(0, 1) },
+		func() { NewMatrix(1, -1) },
+		func() { NewMatrix(2, 2).At(2, 0) },
+		func() { NewMatrix(2, 2).Set(0, -1, 1) },
+		func() { NewMatrix(2, 2).MulVec([]float64{1}) },
+		func() { NewMatrix(2, 3).Mul(NewMatrix(2, 3)) },
+		func() { FromRows([][]float64{{1, 2}, {3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMulAndMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Mul =\n%v want\n%v", got, want)
+	}
+	v := a.MulVec([]float64{1, -1})
+	if v[0] != -1 || v[1] != -1 {
+		t.Errorf("MulVec = %v", v)
+	}
+}
+
+func TestIdentityAndTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if !a.Mul(Identity(3)).Equal(a, 0) {
+		t.Error("A·I != A")
+	}
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 {
+		t.Errorf("Transpose wrong:\n%v", at)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{1, -7}, {-2, 3}})
+	if a.Norm1() != 10 {
+		t.Errorf("Norm1 = %v, want 10", a.Norm1())
+	}
+	if a.NormInf() != 8 {
+		t.Errorf("NormInf = %v, want 8", a.NormInf())
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular solve err = %v, want ErrSingular", err)
+	}
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Error("Factor accepted a non-square matrix")
+	}
+	if d, err := Det(a); err != nil || d != 0 {
+		t.Errorf("Det(singular) = %v, %v", d, err)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).Equal(Identity(2), 1e-10) {
+		t.Errorf("A·A⁻¹ =\n%v", a.Mul(inv))
+	}
+}
+
+func TestDetKnownValues(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	d, err := Det(a)
+	if err != nil || math.Abs(d-10) > 1e-10 {
+		t.Errorf("Det = %v, %v; want 10", d, err)
+	}
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	d, _ = Det(b)
+	if math.Abs(d+1) > 1e-12 {
+		t.Errorf("Det of a swap = %v, want -1", d)
+	}
+}
+
+func TestSolveRandomSystemsProperty(t *testing.T) {
+	// Property: for random diagonally-dominant matrices (guaranteed
+	// nonsingular), A·Solve(A,b) ≈ b.
+	prop := func(seedEntries [9]int8, bRaw [3]int8) bool {
+		a := NewMatrix(3, 3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a.Set(i, j, float64(seedEntries[3*i+j])/16)
+			}
+			a.Set(i, i, a.At(i, i)+20) // dominance
+		}
+		b := []float64{float64(bRaw[0]), float64(bRaw[1]), float64(bRaw[2])}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm2AndCond(t *testing.T) {
+	// Diagonal matrix: spectral norm is the largest |entry| and the
+	// condition number is max/min.
+	d := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 0.5}})
+	if got := Norm2(d, 200); math.Abs(got-3) > 1e-6 {
+		t.Errorf("Norm2 = %v, want 3", got)
+	}
+	if got := Cond2(d, 200); math.Abs(got-6) > 1e-4 {
+		t.Errorf("Cond2 = %v, want 6", got)
+	}
+	if got := Cond1(Identity(4)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cond1(I) = %v", got)
+	}
+	if got := CondInf(Identity(4)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CondInf(I) = %v", got)
+	}
+	sing := FromRows([][]float64{{1, 1}, {1, 1}})
+	if !math.IsInf(Cond1(sing), 1) || !math.IsInf(Cond2(sing, 50), 1) || !math.IsInf(CondInf(sing), 1) {
+		t.Error("condition number of a singular matrix should be +Inf")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {52, 5, 2598960},
+		{5, 6, 0}, {5, -1, 0}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestLogBinomialMatchesBinomial(t *testing.T) {
+	for n := 0; n <= 30; n++ {
+		for k := 0; k <= n; k++ {
+			want := math.Log(Binomial(n, k))
+			got := LogBinomial(n, k)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("LogBinomial(%d,%d) = %v, want %v", n, k, got, want)
+			}
+		}
+	}
+	if !math.IsInf(LogBinomial(3, 5), -1) {
+		t.Error("LogBinomial out of range should be -Inf")
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, p := range []float64{0, 0.3, 0.5, 1} {
+		var sum float64
+		for k := 0; k <= 20; k++ {
+			v := BinomialPMF(20, k, p)
+			if v < 0 || v > 1 {
+				t.Fatalf("PMF(%d)=%v out of range", k, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("p=%v: PMF sums to %v", p, sum)
+		}
+	}
+	if BinomialPMF(5, -1, 0.5) != 0 || BinomialPMF(5, 6, 0.5) != 0 {
+		t.Error("out-of-range PMF should be 0")
+	}
+}
+
+func TestBinomialPascalProperty(t *testing.T) {
+	prop := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw) % (n + 1)
+		return math.Abs(Binomial(n, k)-(Binomial(n-1, k-1)+Binomial(n-1, k))) < 1e-6*Binomial(n, k)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

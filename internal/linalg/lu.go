@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a matrix is numerically singular and cannot
+// be factored, solved or inverted.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	n      int
+	lu     *Matrix // combined storage: U on and above the diagonal, L below
+	pivots []int   // row permutation
+	sign   float64 // determinant sign from row swaps
+}
+
+// Factor computes the LU decomposition of a square matrix with partial
+// pivoting.  It returns ErrSingular when a pivot is (numerically) zero.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: cannot factor non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	pivots := make([]int, n)
+	for i := range pivots {
+		pivots[i] = i
+	}
+	sign := 1.0
+
+	for col := 0; col < n; col++ {
+		// Find the pivot row.
+		pivotRow := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > maxAbs {
+				maxAbs = v
+				pivotRow = r
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if pivotRow != col {
+			for j := 0; j < n; j++ {
+				v1, v2 := lu.At(col, j), lu.At(pivotRow, j)
+				lu.Set(col, j, v2)
+				lu.Set(pivotRow, j, v1)
+			}
+			pivots[col], pivots[pivotRow] = pivots[pivotRow], pivots[col]
+			sign = -sign
+		}
+		// Eliminate below the pivot.
+		pivot := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := lu.At(r, col) / pivot
+			lu.Set(r, col, factor)
+			for j := col + 1; j < n; j++ {
+				lu.Set(r, j, lu.At(r, j)-factor*lu.At(col, j))
+			}
+		}
+	}
+	return &LU{n: n, lu: lu, pivots: pivots, sign: sign}, nil
+}
+
+// Solve returns x such that A·x = b using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: right-hand side length %d, want %d", len(b), f.n)
+	}
+	// Apply the permutation, then forward- and back-substitute.
+	x := make([]float64, f.n)
+	for i, p := range f.pivots {
+		x[i] = b[p]
+	}
+	for i := 0; i < f.n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	for i := f.n - 1; i >= 0; i-- {
+		for j := i + 1; j < f.n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] /= d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := f.sign
+	for i := 0; i < f.n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Inverse returns A⁻¹ by solving against each unit vector.
+func (f *LU) Inverse() (*Matrix, error) {
+	inv := NewMatrix(f.n, f.n)
+	e := make([]float64, f.n)
+	for j := 0; j < f.n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < f.n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Solve solves A·x = b in one call (factor plus solve).
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹ in one call.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}
+
+// Det returns the determinant of a in one call.
+func Det(a *Matrix) (float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		if errors.Is(err, ErrSingular) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return f.Det(), nil
+}

@@ -1,0 +1,188 @@
+package prf
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProbValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewProb(bad); !errors.Is(err, ErrProbRange) {
+			t.Errorf("NewProb(%v): got err %v, want ErrProbRange", bad, err)
+		}
+	}
+	for _, ok := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if _, err := NewProb(ok); err != nil {
+			t.Errorf("NewProb(%v): unexpected error %v", ok, err)
+		}
+	}
+}
+
+func TestProbThresholdExactForDyadics(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0, 0},
+		{0.5, 1 << 63},
+		{0.25, 1 << 62},
+		{0.75, 3 << 62},
+		{1, math.MaxUint64},
+	}
+	for _, c := range cases {
+		pr := MustProb(c.p)
+		if pr.Threshold() != c.want {
+			t.Errorf("Prob(%v).Threshold() = %d, want %d", c.p, pr.Threshold(), c.want)
+		}
+	}
+}
+
+func TestProbDecideBoundaries(t *testing.T) {
+	half := MustProb(0.5)
+	if half.Decide(1 << 63) {
+		t.Error("0.5: value exactly at threshold should decide false")
+	}
+	if !half.Decide(1<<63 - 1) {
+		t.Error("0.5: value just below threshold should decide true")
+	}
+	if MustProb(0).Decide(0) {
+		t.Error("p=0 should never decide true")
+	}
+	if !MustProb(1).Decide(math.MaxUint64 - 1) {
+		t.Error("p=1 should decide true on MaxUint64-1")
+	}
+}
+
+func TestProbRoundTripProperty(t *testing.T) {
+	prop := func(raw uint32) bool {
+		p := float64(raw) / float64(math.MaxUint32)
+		pr, err := NewProb(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(pr.Float()-p) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiasedEmpiricalBias(t *testing.T) {
+	for _, p := range []float64{0.25, 0.3, 0.45} {
+		b := NewBiased(testKey(), MustProb(p))
+		const n = 40000
+		ones := 0
+		for i := 0; i < n; i++ {
+			if b.Bit([]byte("bias-test"), []byte{byte(i), byte(i >> 8), byte(i >> 16)}) {
+				ones++
+			}
+		}
+		got := float64(ones) / n
+		// 4-sigma band for a Bernoulli(p) mean over n samples.
+		tol := 4 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Errorf("p=%v: empirical bias %v outside ±%v", p, got, tol)
+		}
+	}
+}
+
+func TestBiasedDeterministic(t *testing.T) {
+	b := NewBiased(testKey(), MustProb(0.3))
+	if b.Bias() != 0.3 {
+		t.Fatalf("Bias() = %v, want 0.3", b.Bias())
+	}
+	for i := 0; i < 100; i++ {
+		in := []byte{byte(i)}
+		if b.Bit(in) != b.Bit(in) {
+			t.Fatalf("Bit is not deterministic for input %v", in)
+		}
+	}
+}
+
+func TestBiasedIndependentAcrossTuplePositions(t *testing.T) {
+	// The same value in a different tuple slot must be an independent
+	// evaluation: Pr[agreement] should be near p^2+(1-p)^2, not 1.
+	p := 0.3
+	b := NewBiased(testKey(), MustProb(p))
+	const n = 20000
+	agree := 0
+	for i := 0; i < n; i++ {
+		v := []byte{byte(i), byte(i >> 8)}
+		x := b.Bit([]byte("slotA"), v)
+		y := b.Bit([]byte("slotB"), v)
+		if x == y {
+			agree++
+		}
+	}
+	want := p*p + (1-p)*(1-p)
+	got := float64(agree) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("agreement rate %v, want ~%v (independent evaluations)", got, want)
+	}
+}
+
+func TestOracleDeterministicPerSeed(t *testing.T) {
+	a := NewOracle(7, MustProb(0.4))
+	b := NewOracle(7, MustProb(0.4))
+	for i := 0; i < 200; i++ {
+		in := []byte{byte(i)}
+		if a.Bit(in) != b.Bit(in) {
+			t.Fatalf("oracles with equal seed disagree at %d", i)
+		}
+	}
+	c := NewOracle(8, MustProb(0.4))
+	diff := 0
+	for i := 0; i < 200; i++ {
+		if a.Bit([]byte{byte(i)}) != c.Bit([]byte{byte(i)}) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("oracles with different seeds agree everywhere")
+	}
+}
+
+func TestOracleMemoizesAndCounts(t *testing.T) {
+	o := NewOracle(1, MustProb(0.5))
+	first := o.Bit([]byte("x"))
+	for i := 0; i < 10; i++ {
+		if o.Bit([]byte("x")) != first {
+			t.Fatal("oracle changed its answer for a repeated tuple")
+		}
+	}
+	if o.Entries() != 1 {
+		t.Fatalf("Entries() = %d, want 1", o.Entries())
+	}
+	o.Bit([]byte("y"))
+	if o.Entries() != 2 {
+		t.Fatalf("Entries() = %d, want 2", o.Entries())
+	}
+	o.Reset()
+	if o.Entries() != 0 {
+		t.Fatalf("Entries() after Reset = %d, want 0", o.Entries())
+	}
+}
+
+func TestOracleEmpiricalBias(t *testing.T) {
+	p := 0.3
+	o := NewOracle(99, MustProb(p))
+	const n = 40000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if o.Bit([]byte{byte(i), byte(i >> 8), byte(i >> 16)}) {
+			ones++
+		}
+	}
+	got := float64(ones) / n
+	tol := 4 * math.Sqrt(p*(1-p)/n)
+	if math.Abs(got-p) > tol {
+		t.Errorf("oracle empirical bias %v outside %v ± %v", got, p, tol)
+	}
+}
+
+func TestBitSourceInterfaceCompliance(t *testing.T) {
+	var _ BitSource = (*Biased)(nil)
+	var _ BitSource = (*Oracle)(nil)
+}

@@ -1,0 +1,34 @@
+// Package prf provides the pseudorandom-function substrate used by the
+// sketching mechanism of Mishra & Sandler, "Privacy via Pseudorandom
+// Sketches" (PODS 2006).
+//
+// The paper assumes a public function H that, on any fresh input tuple
+// (user id, attribute subset, candidate value, sketch key), returns 1 with
+// probability p and 0 otherwise, with all values mutually independent.  The
+// paper instantiates H with a collision-free cryptographic hash (it mentions
+// MD5 and WHIRLPOOL) followed by a comparison of the hash output, read as a
+// binary fraction, against the binary expansion of p.
+//
+// This package provides that construction from scratch using only the
+// standard library:
+//
+//   - A FIPS 180-4 SHA-256 implementation (sha256.go) written from the
+//     primitive operations, so the repository carries no external or
+//     crypto-package dependency and the whole pipeline is auditable.
+//   - HMAC over that hash (hmac.go) to key the function with a global
+//     database key, mirroring the paper's "global pseudorandom function for
+//     the entire database" whose generator key is at least 300 bits.
+//   - A counter-mode expander (prf.go) that turns the keyed hash into an
+//     arbitrary-length pseudorandom stream and fixed-width integers.
+//   - The p-biased bit extraction (biased.go): interpret the first 64 bits
+//     of the PRF output as a fixed-point fraction in [0,1) and report 1 when
+//     it falls below the threshold encoding of p.
+//   - A truly random oracle (oracle.go) with the same interface, backed by a
+//     lazily populated table of independent coin flips.  The paper's utility
+//     proofs are carried out against a truly random function and then
+//     transferred to the pseudorandom instantiation; the oracle lets tests
+//     and ablation benchmarks perform exactly that comparison.
+//
+// Both implementations satisfy the BitSource interface consumed by the
+// sketch and query packages.
+package prf

@@ -1,0 +1,78 @@
+package prf
+
+// HMAC-SHA-256 (RFC 2104) over the from-scratch SHA-256 implementation.
+// The keyed hash is the cryptographic heart of the public function H: the
+// database operator publishes a single long generator key (the paper asks
+// for at least 300 bits) and every evaluation of H is an HMAC of the input
+// tuple under that key.
+
+// HMAC computes HMAC-SHA-256 of msg under key.
+func HMAC(key, msg []byte) [DigestSize]byte {
+	var k [BlockSize]byte
+	if len(key) > BlockSize {
+		d := Sum256(key)
+		copy(k[:], d[:])
+	} else {
+		copy(k[:], key)
+	}
+
+	var ipad, opad [BlockSize]byte
+	for i := 0; i < BlockSize; i++ {
+		ipad[i] = k[i] ^ 0x36
+		opad[i] = k[i] ^ 0x5c
+	}
+
+	inner := NewHasher()
+	inner.Write(ipad[:])
+	inner.Write(msg)
+	innerSum := inner.Sum(nil)
+
+	outer := NewHasher()
+	outer.Write(opad[:])
+	outer.Write(innerSum)
+
+	var out [DigestSize]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}
+
+// hmacState is a reusable HMAC context that avoids re-deriving the padded
+// key for every evaluation.  It is not safe for concurrent use; the PRF
+// wraps it behind a per-goroutine-free design (each call builds its message
+// into a scratch buffer guarded by the caller).
+type hmacState struct {
+	ipad [BlockSize]byte
+	opad [BlockSize]byte
+}
+
+func newHMACState(key []byte) *hmacState {
+	var k [BlockSize]byte
+	if len(key) > BlockSize {
+		d := Sum256(key)
+		copy(k[:], d[:])
+	} else {
+		copy(k[:], key)
+	}
+	s := &hmacState{}
+	for i := 0; i < BlockSize; i++ {
+		s.ipad[i] = k[i] ^ 0x36
+		s.opad[i] = k[i] ^ 0x5c
+	}
+	return s
+}
+
+// sum computes HMAC(key, msg) using the precomputed pads.
+func (s *hmacState) sum(msg []byte) [DigestSize]byte {
+	inner := NewHasher()
+	inner.Write(s.ipad[:])
+	inner.Write(msg)
+	innerSum := inner.Sum(nil)
+
+	outer := NewHasher()
+	outer.Write(s.opad[:])
+	outer.Write(innerSum)
+
+	var out [DigestSize]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}

@@ -1,0 +1,97 @@
+package prf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// RFC 4231 HMAC-SHA-256 test vectors.
+func TestHMACVectors(t *testing.T) {
+	mustHex := func(s string) []byte {
+		b, err := hex.DecodeString(s)
+		if err != nil {
+			t.Fatalf("bad hex in test vector: %v", err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		key  []byte
+		msg  []byte
+		want string
+	}{
+		{
+			name: "rfc4231-1",
+			key:  mustHex(strings.Repeat("0b", 20)),
+			msg:  []byte("Hi There"),
+			want: "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+		},
+		{
+			name: "rfc4231-2",
+			key:  []byte("Jefe"),
+			msg:  []byte("what do ya want for nothing?"),
+			want: "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+		},
+		{
+			name: "rfc4231-3",
+			key:  mustHex(strings.Repeat("aa", 20)),
+			msg:  mustHex(strings.Repeat("dd", 50)),
+			want: "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+		},
+		{
+			name: "rfc4231-4",
+			key:  mustHex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+			msg:  mustHex(strings.Repeat("cd", 50)),
+			want: "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+		},
+		{
+			name: "rfc4231-6-long-key",
+			key:  mustHex(strings.Repeat("aa", 131)),
+			msg:  []byte("Test Using Larger Than Block-Size Key - Hash Key First"),
+			want: "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+		},
+		{
+			name: "rfc4231-7-long-key-long-msg",
+			key:  mustHex(strings.Repeat("aa", 131)),
+			msg:  []byte("This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm."),
+			want: "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+		},
+	}
+	for _, c := range cases {
+		got := HMAC(c.key, c.msg)
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("%s: HMAC = %x, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHMACStateMatchesOneShot(t *testing.T) {
+	key := []byte("a-generator-key-that-is-reused-many-times")
+	st := newHMACState(key)
+	msgs := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("the same state must be reusable across messages"),
+		bytes.Repeat([]byte{0xff}, 500),
+	}
+	for _, m := range msgs {
+		got := st.sum(m)
+		want := HMAC(key, m)
+		if got != want {
+			t.Errorf("hmacState.sum(%q) = %x, want %x", m, got, want)
+		}
+	}
+}
+
+func TestHMACKeyAndMessageSensitivity(t *testing.T) {
+	base := HMAC([]byte("key"), []byte("msg"))
+	if HMAC([]byte("kez"), []byte("msg")) == base {
+		t.Error("changing key did not change HMAC output")
+	}
+	if HMAC([]byte("key"), []byte("msh")) == base {
+		t.Error("changing message did not change HMAC output")
+	}
+}

@@ -1,0 +1,115 @@
+package prf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MinKeyBits is the minimum generator key length, in bits, that the paper
+// considers sufficient for the global pseudorandom function ("with the
+// current state of the art 300 bit is more than sufficient").
+const MinKeyBits = 300
+
+// MinKeyBytes is MinKeyBits rounded up to whole bytes.
+const MinKeyBytes = (MinKeyBits + 7) / 8
+
+// ErrShortKey is returned by NewFunc when the supplied generator key is
+// shorter than MinKeyBytes and strict key checking was requested.
+var ErrShortKey = errors.New("prf: generator key shorter than 300 bits")
+
+// Func is the keyed pseudorandom function H used throughout the paper.  It
+// maps an arbitrary tuple of byte strings to uniform pseudorandom output via
+// HMAC-SHA-256 in counter mode.  A Func is safe for concurrent use.
+type Func struct {
+	mac *hmacState
+	mu  sync.Mutex
+	// scratch is the reusable message buffer protected by mu.
+	scratch []byte
+}
+
+// NewFunc creates a keyed pseudorandom function from a generator key.  The
+// key should be at least MinKeyBytes long; shorter keys are accepted (they
+// are useful in tests) but NewFuncStrict rejects them.
+func NewFunc(key []byte) *Func {
+	return &Func{mac: newHMACState(key)}
+}
+
+// NewFuncStrict is like NewFunc but returns ErrShortKey when the key is
+// shorter than the paper's recommended 300 bits.
+func NewFuncStrict(key []byte) (*Func, error) {
+	if len(key) < MinKeyBytes {
+		return nil, fmt.Errorf("%w: got %d bits, want >= %d", ErrShortKey, len(key)*8, MinKeyBits)
+	}
+	return NewFunc(key), nil
+}
+
+// encodeTuple appends an unambiguous encoding of parts to dst: the number of
+// parts, then each part length-prefixed.  Length prefixing guarantees that
+// distinct tuples never collide as byte strings (("ab","c") != ("a","bc")),
+// which the independence argument of the paper relies on.
+func encodeTuple(dst []byte, parts ...[]byte) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(len(parts)))
+	dst = append(dst, tmp[:]...)
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(tmp[:], uint64(len(p)))
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// Digest returns the 32-byte PRF output for the given input tuple.
+func (f *Func) Digest(parts ...[]byte) [DigestSize]byte {
+	f.mu.Lock()
+	f.scratch = encodeTuple(f.scratch[:0], parts...)
+	d := f.mac.sum(f.scratch)
+	f.mu.Unlock()
+	return d
+}
+
+// Uint64 returns a uniform pseudorandom 64-bit integer derived from the
+// input tuple.
+func (f *Func) Uint64(parts ...[]byte) uint64 {
+	d := f.Digest(parts...)
+	return binary.BigEndian.Uint64(d[:8])
+}
+
+// Float64 returns a uniform pseudorandom value in [0,1) derived from the
+// input tuple.
+func (f *Func) Float64(parts ...[]byte) float64 {
+	// 53 bits of mantissa.
+	return float64(f.Uint64(parts...)>>11) / (1 << 53)
+}
+
+// Expand fills out with a pseudorandom stream derived from the input tuple,
+// using counter mode over the keyed hash.  Distinct counters give
+// independent blocks, so arbitrarily long streams can be derived from a
+// single tuple.
+func (f *Func) Expand(out []byte, parts ...[]byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	base := encodeTuple(f.scratch[:0], parts...)
+	n := 0
+	var ctr [8]byte
+	for counter := uint64(0); n < len(out); counter++ {
+		binary.BigEndian.PutUint64(ctr[:], counter)
+		msg := append(base, ctr[:]...)
+		d := f.mac.sum(msg)
+		n += copy(out[n:], d[:])
+		base = msg[:len(base)]
+	}
+	f.scratch = base
+}
+
+// DeriveKey derives a sub-key of the requested length from the generator
+// key and a label.  It is used to give each database (or each simulation
+// run) an independent function, as the paper suggests via the standard
+// constructions of Goldreich's book.
+func (f *Func) DeriveKey(label string, nBytes int) []byte {
+	out := make([]byte, nBytes)
+	f.Expand(out, []byte("derive"), []byte(label))
+	return out
+}

@@ -1,0 +1,128 @@
+package prf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180-4 / NIST example vectors plus a few extras generated with the
+// reference implementation.
+var sha256Vectors = []struct {
+	in   string
+	want string
+}{
+	{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+	{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	{"The quick brown fox jumps over the lazy dog",
+		"d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"},
+	{"The quick brown fox jumps over the lazy dog.",
+		"ef537f25c895bfa782526529a9b63d97aa631564d5d789c2b765448c8635fb6c"},
+	{strings.Repeat("a", 1000000),
+		"cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"},
+}
+
+func TestSum256Vectors(t *testing.T) {
+	for _, v := range sha256Vectors {
+		got := Sum256([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			name := v.in
+			if len(name) > 32 {
+				name = name[:32] + "..."
+			}
+			t.Errorf("Sum256(%q) = %x, want %s", name, got, v.want)
+		}
+	}
+}
+
+func TestHasherIncrementalMatchesOneShot(t *testing.T) {
+	data := []byte(strings.Repeat("sketchprivacy", 1000))
+	want := Sum256(data)
+	for _, chunk := range []int{1, 3, 7, 13, 64, 63, 65, 127, 1000} {
+		h := NewHasher()
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			h.Write(data[i:end])
+		}
+		got := h.Sum(nil)
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("chunk %d: incremental digest %x != one-shot %x", chunk, got, want)
+		}
+	}
+}
+
+func TestHasherSumDoesNotDisturbState(t *testing.T) {
+	h := NewHasher()
+	h.Write([]byte("hello "))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("consecutive Sum calls differ: %x vs %x", first, second)
+	}
+	h.Write([]byte("world"))
+	got := h.Sum(nil)
+	want := Sum256([]byte("hello world"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("write after Sum: got %x want %x", got, want)
+	}
+}
+
+func TestHasherReset(t *testing.T) {
+	h := NewHasher()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("after Reset: got %x want %x", got, want)
+	}
+}
+
+func TestSum256PropertyDeterministicAndSensitive(t *testing.T) {
+	// Property: hashing is deterministic, and flipping any single bit of a
+	// non-empty input changes the digest.
+	f := func(data []byte, flipByte uint16, flipBit uint8) bool {
+		d1 := Sum256(data)
+		d2 := Sum256(data)
+		if d1 != d2 {
+			return false
+		}
+		if len(data) == 0 {
+			return true
+		}
+		mut := append([]byte(nil), data...)
+		mut[int(flipByte)%len(mut)] ^= 1 << (flipBit % 8)
+		d3 := Sum256(mut)
+		return d3 != d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasherPropertySplitInvariance(t *testing.T) {
+	// Property: splitting the input at any point yields the same digest.
+	f := func(data []byte, split uint16) bool {
+		h := NewHasher()
+		if len(data) == 0 {
+			h.Write(data)
+		} else {
+			s := int(split) % (len(data) + 1)
+			h.Write(data[:s])
+			h.Write(data[s:])
+		}
+		want := Sum256(data)
+		return bytes.Equal(h.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// AuditReport summarizes a worst-case likelihood-ratio audit of a
+// mechanism: the largest observed ratio between the probabilities of the
+// same output under two different private inputs, the analytic bound it is
+// compared against, and whether the bound held.
+type AuditReport struct {
+	// WorstRatio is the largest Pr[output|input']/Pr[output|input'']
+	// observed across all outputs and input pairs.
+	WorstRatio float64
+	// Bound is the analytic bound the mechanism claims (for sketches,
+	// ((1−p)/p)⁴ from Lemma 3.3).
+	Bound float64
+	// Outputs is the number of distinct outputs examined.
+	Outputs int
+	// Pairs is the number of ordered input pairs examined.
+	Pairs int
+}
+
+// Satisfied reports whether the observed worst-case ratio respects the
+// analytic bound (with a small numerical cushion).
+func (r AuditReport) Satisfied() bool { return r.WorstRatio <= r.Bound*(1+1e-9) }
+
+// Epsilon returns the observed ε (worst ratio − 1).
+func (r AuditReport) Epsilon() float64 { return r.WorstRatio - 1 }
+
+// String implements fmt.Stringer.
+func (r AuditReport) String() string {
+	return fmt.Sprintf("worst ratio %.4g (bound %.4g) over %d outputs × %d input pairs", r.WorstRatio, r.Bound, r.Outputs, r.Pairs)
+}
+
+// AuditSketch computes the exact worst-case likelihood ratio of the
+// sketching mechanism for a concrete public function H, user id, subset and
+// parameters: it enumerates every candidate private value of the
+// projection d_B, derives the exact publish distribution over keys via
+// sketch.PublishProbabilities, and reports the largest ratio of publish
+// probabilities across keys and candidate pairs.  Lemma 3.3 says the result
+// never exceeds ((1−p)/p)⁴ — for any H, even an adversarially chosen one.
+//
+// The enumeration costs 2^|B| values × 2^ℓ keys; audits are meant for the
+// small parameters experiments use (|B| ≤ 10 or so).
+func AuditSketch(h prf.BitSource, params sketch.Params, id bitvec.UserID, b bitvec.Subset) (AuditReport, error) {
+	if b.Len() == 0 {
+		return AuditReport{}, fmt.Errorf("%w: empty subset", ErrInvalid)
+	}
+	if b.Len() > 16 {
+		return AuditReport{}, fmt.Errorf("%w: auditing a %d-attribute subset requires enumerating 2^%d values", ErrInvalid, b.Len(), b.Len())
+	}
+	bound, err := SketchRatio(params.P)
+	if err != nil {
+		return AuditReport{}, err
+	}
+	nValues := 1 << uint(b.Len())
+	space := params.KeySpace()
+
+	// Publish distribution for every candidate value.
+	dists := make([][]float64, nValues)
+	for val := 0; val < nValues; val++ {
+		v := bitvec.FromUint(uint64(val), b.Len())
+		evals := make([]bool, space)
+		for k := 0; k < space; k++ {
+			evals[k] = sketch.Evaluate(h, id, b, v, sketch.Sketch{Key: uint64(k), Length: params.Length})
+		}
+		dists[val] = sketch.PublishProbabilities(params, evals)
+	}
+
+	worst := 1.0
+	pairs := 0
+	for a := 0; a < nValues; a++ {
+		for c := 0; c < nValues; c++ {
+			if a == c {
+				continue
+			}
+			pairs++
+			for k := 0; k < space; k++ {
+				pa, pc := dists[a][k], dists[c][k]
+				if pa == 0 && pc == 0 {
+					continue
+				}
+				if pc == 0 {
+					return AuditReport{}, fmt.Errorf("privacy: sketch %d has zero probability under one value but not the other; ratio unbounded", k)
+				}
+				if ratio := pa / pc; ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+	}
+	return AuditReport{WorstRatio: worst, Bound: bound, Outputs: space, Pairs: pairs}, nil
+}
+
+// AuditBySimulation estimates the worst-case likelihood ratio of an
+// arbitrary randomized mechanism by repeatedly perturbing each candidate
+// input and comparing the empirical output distributions.  It is the tool
+// used for mechanisms without a convenient closed form (retention
+// replacement in experiment E15); the result is an estimate, not an exact
+// bound, so callers should use generous trial counts.
+//
+// perturb must map a candidate input index to an output label; outputs with
+// identical labels are treated as the same output.
+func AuditBySimulation(rng *stats.RNG, candidates int, trials int, bound float64, perturb func(rng *stats.RNG, candidate int) string) (AuditReport, error) {
+	if candidates < 2 {
+		return AuditReport{}, fmt.Errorf("%w: need at least two candidate inputs", ErrInvalid)
+	}
+	if trials < 1 {
+		return AuditReport{}, fmt.Errorf("%w: need at least one trial", ErrInvalid)
+	}
+	dists := make([]map[string]float64, candidates)
+	labels := make(map[string]struct{})
+	for c := 0; c < candidates; c++ {
+		dists[c] = make(map[string]float64)
+		for i := 0; i < trials; i++ {
+			label := perturb(rng, c)
+			dists[c][label]++
+			labels[label] = struct{}{}
+		}
+		for k := range dists[c] {
+			dists[c][k] /= float64(trials)
+		}
+	}
+	worst := 1.0
+	pairs := 0
+	for a := 0; a < candidates; a++ {
+		for c := 0; c < candidates; c++ {
+			if a == c {
+				continue
+			}
+			pairs++
+			for label := range labels {
+				pa, pc := dists[a][label], dists[c][label]
+				if pa == 0 {
+					continue
+				}
+				if pc == 0 {
+					// Observed under one input and never under another: the
+					// empirical ratio is unbounded; report it as +Inf so the
+					// caller sees the (estimated) breach.
+					worst = math.Inf(1)
+					continue
+				}
+				if ratio := pa / pc; ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+	}
+	return AuditReport{WorstRatio: worst, Bound: bound, Outputs: len(labels), Pairs: pairs}, nil
+}

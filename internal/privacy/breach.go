@@ -1,0 +1,76 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// PosteriorBound returns the largest posterior probability an attacker can
+// assign to a predicate with prior probability prior after seeing the
+// output of a mechanism whose likelihood ratio is bounded by ratio: by
+// Bayes' rule the posterior odds are at most ratio times the prior odds, so
+//
+//	posterior ≤ ratio·prior / (ratio·prior + (1 − prior)).
+//
+// This is the quantitative form of Appendix C's comparison between
+// ε-privacy and ρ₁-to-ρ₂ breaches.
+func PosteriorBound(prior, ratio float64) (float64, error) {
+	if math.IsNaN(prior) || prior < 0 || prior > 1 {
+		return 0, fmt.Errorf("%w: prior %v outside [0,1]", ErrInvalid, prior)
+	}
+	if math.IsNaN(ratio) || ratio < 1 {
+		return 0, fmt.Errorf("%w: likelihood ratio %v must be at least 1", ErrInvalid, ratio)
+	}
+	if prior == 1 {
+		return 1, nil
+	}
+	return ratio * prior / (ratio*prior + (1 - prior)), nil
+}
+
+// Breach describes a ρ₁-to-ρ₂ privacy breach (Evfimievski et al.): a
+// predicate whose prior was at most Rho1 acquires posterior at least Rho2.
+type Breach struct {
+	Rho1, Rho2 float64
+}
+
+// Validate checks 0 ≤ ρ₁ < ρ₂ ≤ 1.
+func (b Breach) Validate() error {
+	if math.IsNaN(b.Rho1) || math.IsNaN(b.Rho2) || b.Rho1 < 0 || b.Rho2 > 1 || b.Rho1 >= b.Rho2 {
+		return fmt.Errorf("%w: breach thresholds rho1=%v rho2=%v", ErrInvalid, b.Rho1, b.Rho2)
+	}
+	return nil
+}
+
+// Possible reports whether a mechanism with the given likelihood-ratio
+// bound can ever cause this breach: it can iff the posterior bound at prior
+// ρ₁ reaches ρ₂.
+func (b Breach) Possible(ratio float64) (bool, error) {
+	if err := b.Validate(); err != nil {
+		return false, err
+	}
+	post, err := PosteriorBound(b.Rho1, ratio)
+	if err != nil {
+		return false, err
+	}
+	return post >= b.Rho2, nil
+}
+
+// RatioPreventing returns the largest likelihood-ratio bound that still
+// prevents the breach: the ratio at which the posterior bound equals ρ₂,
+//
+//	ratio = ρ₂(1 − ρ₁) / (ρ₁(1 − ρ₂)).
+//
+// A mechanism whose ratio is strictly below this value cannot cause the
+// breach; this is the direction of the implication "ε-privacy implies
+// ρ₁-to-ρ₂ privacy" from Appendix C (the converse fails, as the appendix's
+// HIV example shows: an absolute posterior threshold says nothing about
+// relative changes from tiny priors).
+func (b Breach) RatioPreventing() (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if b.Rho1 == 0 {
+		return math.Inf(1), nil
+	}
+	return b.Rho2 * (1 - b.Rho1) / (b.Rho1 * (1 - b.Rho2)), nil
+}

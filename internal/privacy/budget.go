@@ -1,0 +1,79 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Budget plans how much a single user may publish at a target ε.  It is the
+// user-facing face of Corollary 3.4: each published sketch multiplies the
+// worst-case likelihood ratio by ((1−p)/p)⁴, so the number of sketches a
+// user can afford and the bias those sketches should use are linked.
+type Budget struct {
+	// Epsilon is the target ε of Definition 1 for the user's lifetime
+	// disclosure.
+	Epsilon float64
+}
+
+// NewBudget validates the target.
+func NewBudget(eps float64) (Budget, error) {
+	if math.IsNaN(eps) || eps <= 0 {
+		return Budget{}, fmt.Errorf("%w: epsilon %v must be positive", ErrInvalid, eps)
+	}
+	return Budget{Epsilon: eps}, nil
+}
+
+// MaxSketches returns the number of sketches a user may publish at bias p
+// without exceeding the budget: the largest l with ((1−p)/p)^(4l) ≤ 1 + ε.
+func (b Budget) MaxSketches(p float64) (int, error) {
+	ratio, err := SketchRatio(p)
+	if err != nil {
+		return 0, err
+	}
+	if ratio <= 1 {
+		return math.MaxInt32, nil
+	}
+	// The small additive tolerance keeps MaxSketches(BiasFor(l)) == l in the
+	// face of floating-point rounding of the exact solution.
+	l := math.Floor(math.Log(1+b.Epsilon)/math.Log(ratio) + 1e-9)
+	if l < 0 {
+		l = 0
+	}
+	return int(l), nil
+}
+
+// BiasFor returns the bias p a user should adopt to publish l sketches
+// within the budget, solving ((1−p)/p)^(4l) = 1 + ε exactly (the paper's
+// Corollary 3.4 gives the first-order version p = 1/2 − ε/(16l)).
+func (b Budget) BiasFor(l int) (float64, error) {
+	if l < 1 {
+		return 0, fmt.Errorf("%w: sketch count %d must be positive", ErrInvalid, l)
+	}
+	// (1−p)/p = (1+ε)^(1/(4l))  ⇒  p = 1 / (1 + (1+ε)^(1/(4l))).
+	root := math.Pow(1+b.Epsilon, 1/(4*float64(l)))
+	p := 1 / (1 + root)
+	if p <= 0 || p >= 0.5 {
+		return 0, fmt.Errorf("%w: budget %v over %d sketches yields bias %v", ErrInvalid, b.Epsilon, l, p)
+	}
+	return p, nil
+}
+
+// Spent returns the ε consumed by publishing l sketches at bias p.
+func (b Budget) Spent(p float64, l int) (float64, error) {
+	return SketchEpsilon(p, l)
+}
+
+// Remaining returns the ratio headroom left after publishing l sketches at
+// bias p: (1+ε)/(ratio^l) expressed as a remaining ε; zero (and an
+// overspend flag) when the budget is exhausted.
+func (b Budget) Remaining(p float64, l int) (remaining float64, overspent bool, err error) {
+	spent, err := SketchEpsilon(p, l)
+	if err != nil {
+		return 0, false, err
+	}
+	if spent >= b.Epsilon {
+		return 0, spent > b.Epsilon, nil
+	}
+	// Remaining multiplicative headroom converted back to an ε.
+	return (1+b.Epsilon)/(1+spent) - 1, false, nil
+}

@@ -1,0 +1,24 @@
+// Package privacy carries the paper's privacy definitions and the tooling
+// to check mechanisms against them:
+//
+//   - Definition 1 (ε-privacy, identical to γ-amplification of Evfimievski
+//     et al.): the likelihood ratio of any published output under any two
+//     candidate private inputs is bounded by 1 + ε.  Conversions between ε
+//     and ratio form, composition across independently published outputs,
+//     and per-mechanism analytic bounds live in epsilon.go.
+//   - The sketch auditor (auditor.go): for a concrete public function H,
+//     user and subset, it computes the exact publish distribution of
+//     Algorithm 1 for every candidate value of the private projection and
+//     reports the worst-case likelihood ratio over sketches and candidate
+//     pairs — the quantity Lemma 3.3 bounds by ((1−p)/p)⁴.  A simulation
+//     auditor with the same interface handles mechanisms without closed
+//     forms (such as retention replacement) by estimating output
+//     distributions from repeated perturbation.
+//   - ρ₁-to-ρ₂ breach accounting (breach.go), Appendix C's comparison:
+//     ε-privacy bounds the posterior/prior ratio, so the posterior implied
+//     by a prior and a ratio bound can be computed and checked against a
+//     breach threshold.
+//   - The sketch budget planner (budget.go): how many subsets a user may
+//     sketch at a target ε (Corollary 3.4), and the bias needed for a
+//     desired sketch count.
+package privacy

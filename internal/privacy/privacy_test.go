@@ -1,0 +1,301 @@
+package privacy
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+func TestEpsilonRatioConversions(t *testing.T) {
+	if eps, err := RatioToEpsilon(1.5); err != nil || math.Abs(eps-0.5) > 1e-12 {
+		t.Errorf("RatioToEpsilon = %v, %v", eps, err)
+	}
+	if r, err := EpsilonToRatio(0.25); err != nil || r != 1.25 {
+		t.Errorf("EpsilonToRatio = %v, %v", r, err)
+	}
+	if _, err := RatioToEpsilon(0.5); !errors.Is(err, ErrInvalid) {
+		t.Error("ratio below 1 accepted")
+	}
+	if _, err := EpsilonToRatio(-1); !errors.Is(err, ErrInvalid) {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	eps, err := Compose(1.1, 1.2, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-(1.1*1.2*1.3-1)) > 1e-12 {
+		t.Errorf("Compose = %v", eps)
+	}
+	if _, err := Compose(1.1, 0.9); !errors.Is(err, ErrInvalid) {
+		t.Error("sub-unit ratio accepted")
+	}
+	if eps, err := Compose(); err != nil || eps != 0 {
+		t.Error("empty composition should be 0")
+	}
+}
+
+func TestMechanismBounds(t *testing.T) {
+	r, err := SketchRatio(0.3)
+	if err != nil || math.Abs(r-math.Pow(0.7/0.3, 4)) > 1e-9 {
+		t.Errorf("SketchRatio = %v, %v", r, err)
+	}
+	if _, err := SketchRatio(0.6); !errors.Is(err, ErrInvalid) {
+		t.Error("invalid bias accepted")
+	}
+	eps, err := SketchEpsilon(0.45, 3)
+	if err != nil || eps <= 0 {
+		t.Errorf("SketchEpsilon = %v, %v", eps, err)
+	}
+	if _, err := SketchEpsilon(0.45, -1); !errors.Is(err, ErrInvalid) {
+		t.Error("negative sketch count accepted")
+	}
+	br, err := BitFlipRatio(0.25)
+	if err != nil || br != 3 {
+		t.Errorf("BitFlipRatio = %v, %v", br, err)
+	}
+	be, err := BitFlipEpsilon(0.25, 2)
+	if err != nil || math.Abs(be-8) > 1e-12 {
+		t.Errorf("BitFlipEpsilon = %v, %v", be, err)
+	}
+	rr, err := RetentionRatio(0.5, 10)
+	if err != nil || math.Abs(rr-11) > 1e-12 {
+		t.Errorf("RetentionRatio = %v, %v", rr, err)
+	}
+	// Retention's ratio grows with the domain — the attack surface.
+	big, _ := RetentionRatio(0.5, 1000)
+	if big <= rr {
+		t.Error("retention ratio should grow with domain size")
+	}
+	if _, err := RetentionRatio(0.5, 1); !errors.Is(err, ErrInvalid) {
+		t.Error("degenerate domain accepted")
+	}
+}
+
+func TestAuditSketchRespectsLemma33(t *testing.T) {
+	// The exact worst-case ratio over all candidate values and keys must
+	// stay below ((1−p)/p)⁴ for the PRF-backed H and for truly random
+	// oracles with several seeds.
+	params := sketch.MustParams(0.3, 5)
+	b := bitvec.MustSubset(0, 3, 4)
+	sources := []prf.BitSource{
+		prf.NewBiased(bytes.Repeat([]byte{9}, prf.MinKeyBytes), prf.MustProb(0.3)),
+		prf.NewOracle(1, prf.MustProb(0.3)),
+		prf.NewOracle(2, prf.MustProb(0.3)),
+	}
+	for i, h := range sources {
+		rep, err := AuditSketch(h, params, bitvec.UserID(100+i), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Satisfied() {
+			t.Errorf("source %d: worst ratio %v exceeds bound %v", i, rep.WorstRatio, rep.Bound)
+		}
+		if rep.Outputs != params.KeySpace() || rep.Pairs != 8*7 {
+			t.Errorf("source %d: outputs=%d pairs=%d", i, rep.Outputs, rep.Pairs)
+		}
+		if rep.Epsilon() != rep.WorstRatio-1 {
+			t.Error("Epsilon accessor inconsistent")
+		}
+		if rep.String() == "" {
+			t.Error("empty report string")
+		}
+	}
+}
+
+func TestAuditSketchTighterAsPApproachesHalf(t *testing.T) {
+	h := prf.NewOracle(7, prf.MustProb(0.45))
+	rep45, err := AuditSketch(h, sketch.MustParams(0.45, 5), 1, bitvec.MustSubset(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := prf.NewOracle(7, prf.MustProb(0.3))
+	rep30, err := AuditSketch(h2, sketch.MustParams(0.3, 5), 1, bitvec.MustSubset(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep45.WorstRatio >= rep30.WorstRatio {
+		t.Errorf("p=0.45 worst ratio %v should be below p=0.3 worst ratio %v", rep45.WorstRatio, rep30.WorstRatio)
+	}
+}
+
+func TestAuditSketchValidation(t *testing.T) {
+	h := prf.NewOracle(1, prf.MustProb(0.3))
+	if _, err := AuditSketch(h, sketch.MustParams(0.3, 4), 1, bitvec.MustSubset()); !errors.Is(err, ErrInvalid) {
+		t.Error("empty subset accepted")
+	}
+	if _, err := AuditSketch(h, sketch.MustParams(0.3, 4), 1, bitvec.Range(0, 20)); !errors.Is(err, ErrInvalid) {
+		t.Error("oversized subset accepted")
+	}
+}
+
+func TestAuditBySimulationFlagsRetentionLeak(t *testing.T) {
+	// Retention replacement with the introduction's two candidate rows: the
+	// empirical worst-case ratio should blow far past the sketch bound.
+	rng := stats.NewRNG(3)
+	rows := dataset.TwoCandidateRows()
+	rho := 0.5
+	domain := 10
+	perturb := func(rng *stats.RNG, candidate int) string {
+		out := make([]byte, len(rows[candidate]))
+		for j, v := range rows[candidate] {
+			if rng.Bernoulli(rho) {
+				out[j] = byte(v)
+			} else {
+				out[j] = byte(rng.Intn(domain))
+			}
+		}
+		return string(out)
+	}
+	sketchBound, _ := SketchRatio(0.3)
+	rep, err := AuditBySimulation(rng, 2, 4000, sketchBound, perturb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfied() {
+		t.Errorf("retention replacement should violate the sketch bound; worst ratio %v", rep.WorstRatio)
+	}
+	if rep.Outputs == 0 || rep.Pairs != 2 {
+		t.Errorf("outputs=%d pairs=%d", rep.Outputs, rep.Pairs)
+	}
+}
+
+func TestAuditBySimulationPassesForFairCoin(t *testing.T) {
+	// A mechanism that ignores its input is perfectly private: the
+	// empirical ratio should hover near 1.
+	rng := stats.NewRNG(4)
+	perturb := func(rng *stats.RNG, candidate int) string {
+		if rng.Bernoulli(0.5) {
+			return "heads"
+		}
+		return "tails"
+	}
+	rep, err := AuditBySimulation(rng, 2, 20000, 1.2, perturb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied() {
+		t.Errorf("input-oblivious mechanism failed the audit: %v", rep)
+	}
+}
+
+func TestAuditBySimulationValidation(t *testing.T) {
+	rng := stats.NewRNG(5)
+	f := func(rng *stats.RNG, c int) string { return "x" }
+	if _, err := AuditBySimulation(rng, 1, 10, 2, f); !errors.Is(err, ErrInvalid) {
+		t.Error("single candidate accepted")
+	}
+	if _, err := AuditBySimulation(rng, 2, 0, 2, f); !errors.Is(err, ErrInvalid) {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestPosteriorBoundAndBreach(t *testing.T) {
+	post, err := PosteriorBound(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 0.1 / (3*0.1 + 0.9)
+	if math.Abs(post-want) > 1e-12 {
+		t.Errorf("PosteriorBound = %v, want %v", post, want)
+	}
+	if p, _ := PosteriorBound(1, 5); p != 1 {
+		t.Error("prior 1 should stay 1")
+	}
+	if _, err := PosteriorBound(-0.1, 2); !errors.Is(err, ErrInvalid) {
+		t.Error("bad prior accepted")
+	}
+	if _, err := PosteriorBound(0.2, 0.5); !errors.Is(err, ErrInvalid) {
+		t.Error("bad ratio accepted")
+	}
+
+	br := Breach{Rho1: 0.1, Rho2: 0.5}
+	if err := br.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	limit, err := br.RatioPreventing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the limit the breach becomes possible.
+	if ok, _ := br.Possible(limit * 0.99); ok {
+		t.Error("breach possible below the preventing ratio")
+	}
+	if ok, _ := br.Possible(limit * 1.01); !ok {
+		t.Error("breach impossible above the preventing ratio")
+	}
+	if err := (Breach{Rho1: 0.5, Rho2: 0.4}).Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("inverted thresholds accepted")
+	}
+	if limit, _ := (Breach{Rho1: 0, Rho2: 0.5}).RatioPreventing(); !math.IsInf(limit, 1) {
+		t.Error("zero prior should be unbreachable by any finite ratio")
+	}
+
+	// Appendix C's point: a tiny prior can legitimately grow a lot under
+	// ε-privacy without constituting a ρ₁-to-ρ₂ breach for typical
+	// thresholds, yet the relative change is bounded by the ratio.
+	tinyPost, _ := PosteriorBound(0.00001, 1.5)
+	if tinyPost/0.00001 > 1.5+1e-9 {
+		t.Error("posterior/prior exceeded the likelihood-ratio bound")
+	}
+}
+
+func TestBudgetPlanning(t *testing.T) {
+	b, err := NewBudget(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBudget(0); !errors.Is(err, ErrInvalid) {
+		t.Error("zero budget accepted")
+	}
+
+	// BiasFor and MaxSketches must be consistent: publishing l sketches at
+	// BiasFor(l) spends exactly the budget, and MaxSketches at that bias is
+	// at least l.
+	for _, l := range []int{1, 2, 5, 20} {
+		p, err := b.BiasFor(l)
+		if err != nil {
+			t.Fatalf("BiasFor(%d): %v", l, err)
+		}
+		spent, err := b.Spent(p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(spent-1.0) > 1e-9 {
+			t.Errorf("l=%d: spent %v, want exactly the budget", l, spent)
+		}
+		max, err := b.MaxSketches(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max < l {
+			t.Errorf("l=%d: MaxSketches(%v) = %d", l, p, max)
+		}
+	}
+	if _, err := b.BiasFor(0); !errors.Is(err, ErrInvalid) {
+		t.Error("zero sketch count accepted")
+	}
+
+	// Remaining bookkeeping.
+	p, _ := b.BiasFor(4)
+	rem, over, err := b.Remaining(p, 2)
+	if err != nil || over || rem <= 0 {
+		t.Errorf("Remaining after half the sketches = %v, %v, %v", rem, over, err)
+	}
+	rem, over, err = b.Remaining(p, 8)
+	if err != nil || !over || rem != 0 {
+		t.Errorf("Remaining after overspending = %v, %v, %v", rem, over, err)
+	}
+	if _, err := b.MaxSketches(0.7); !errors.Is(err, ErrInvalid) {
+		t.Error("invalid bias accepted by MaxSketches")
+	}
+}

@@ -1,0 +1,71 @@
+package query
+
+import (
+	"fmt"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+// Fraction runs Algorithm 2: it estimates the fraction of users whose
+// projection onto the sketched subset b equals v, using the sketches
+// published for exactly that subset.
+//
+// The estimate's additive error exceeds ε with probability at most
+// exp(−ε²(1−2p)²M/4) (Lemma 4.1), independent of |b| — the paper's
+// headline utility property.
+func (e *Estimator) Fraction(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector) (Estimate, error) {
+	if b.Len() != v.Len() {
+		return Estimate{}, fmt.Errorf("%w: subset of size %d queried with value of length %d", ErrMismatch, b.Len(), v.Len())
+	}
+	if b.Len() == 0 {
+		return Estimate{}, fmt.Errorf("%w: empty subset", ErrMismatch)
+	}
+	records := tab.ForSubset(b)
+	if len(records) == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSketches, b)
+	}
+	hits := 0
+	for _, rec := range records {
+		if sketch.EvaluatePublished(e.h, rec, v) {
+			hits++
+		}
+	}
+	observed := float64(hits) / float64(len(records))
+	return e.newEstimate(observed, len(records)), nil
+}
+
+// Count is Fraction scaled to a user count estimate.
+func (e *Estimator) Count(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector) (float64, error) {
+	est, err := e.Fraction(tab, b, v)
+	if err != nil {
+		return 0, err
+	}
+	return est.Count(), nil
+}
+
+// ConjunctionFraction estimates the fraction of users satisfying an
+// arbitrary conjunction of negated and unnegated literals.  It first looks
+// for sketches of the conjunction's exact subset (the cheap, low-variance
+// path Algorithm 2 covers); if none exist it falls back to gluing
+// single-bit sketches of each literal's attribute through the Appendix F
+// combination, which only requires per-attribute sketches but pays the
+// combination's conditioning penalty.
+func (e *Estimator) ConjunctionFraction(tab *sketch.Table, c bitvec.Conjunction) (Estimate, error) {
+	if c.Len() == 0 {
+		return Estimate{}, fmt.Errorf("%w: empty conjunction", ErrMismatch)
+	}
+	b, v := c.Split()
+	if tab.HasSubset(b) {
+		return e.Fraction(tab, b, v)
+	}
+	subs := make([]SubQuery, c.Len())
+	for i, lit := range c {
+		val := bitvec.New(1)
+		if lit.Value {
+			val.Set(0, true)
+		}
+		subs[i] = SubQuery{Subset: bitvec.MustSubset(lit.Position), Value: val}
+	}
+	return e.UnionConjunction(tab, subs)
+}

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/stats"
+)
+
+// Common estimator errors.
+var (
+	// ErrNoSketches is returned when the table holds no sketches for a
+	// subset the query needs.
+	ErrNoSketches = errors.New("query: no sketches available for the requested subset")
+	// ErrBadBias is returned when the bit source's bias is outside (0, 1/2);
+	// the estimators divide by 1−2p.
+	ErrBadBias = errors.New("query: estimator requires bias p strictly in (0, 1/2)")
+	// ErrMismatch is returned when a query value does not match its subset's
+	// size, or field widths are inconsistent.
+	ErrMismatch = errors.New("query: query shape mismatch")
+)
+
+// Estimator answers queries from published sketches.  It holds only public
+// state: the public p-biased function H (whose bias is the mechanism's p).
+type Estimator struct {
+	h prf.BitSource
+	p float64
+}
+
+// NewEstimator validates the bias and returns an estimator.
+func NewEstimator(h prf.BitSource) (*Estimator, error) {
+	p := h.Bias()
+	if math.IsNaN(p) || p <= 0 || p >= 0.5 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadBias, p)
+	}
+	return &Estimator{h: h, p: p}, nil
+}
+
+// P returns the bias parameter p.
+func (e *Estimator) P() float64 { return e.p }
+
+// Source returns the public bit source, for callers (such as the engine)
+// that need to share it.
+func (e *Estimator) Source() prf.BitSource { return e.h }
+
+// Estimate is the result of a frequency query: the estimated fraction of
+// users satisfying the query, together with the ingredients needed to judge
+// its accuracy.
+type Estimate struct {
+	// Fraction is the debiased estimate clamped to [0, 1].
+	Fraction float64
+	// Raw is the unclamped debiased estimate (r̃ − p)/(1 − 2p); it can fall
+	// outside [0, 1] by sampling noise and is what downstream linear
+	// combinations should use to stay unbiased.
+	Raw float64
+	// Observed is r̃, the raw fraction of users whose sketch evaluated to 1
+	// at the query value.
+	Observed float64
+	// Users is the number of sketches the estimate was computed from (M).
+	Users int
+	// P is the bias parameter used for debiasing.
+	P float64
+}
+
+// Count returns the estimated number of users satisfying the query.
+func (est Estimate) Count() float64 { return est.Fraction * float64(est.Users) }
+
+// ConfidenceRadius returns the additive error radius that holds with
+// probability at least 1−delta by Lemma 4.1.
+func (est Estimate) ConfidenceRadius(delta float64) float64 {
+	return stats.ErrorRadius(delta, est.P, est.Users)
+}
+
+// Interval returns the (1−delta) confidence interval around the estimate,
+// clamped to [0, 1].
+func (est Estimate) Interval(delta float64) stats.Interval {
+	return stats.NewInterval(est.Fraction, est.ConfidenceRadius(delta)).Clamp(0, 1)
+}
+
+// FailureProb returns the Lemma 4.1 bound on the probability that this
+// estimate errs by more than eps.
+func (est Estimate) FailureProb(eps float64) float64 {
+	return stats.ChernoffFailureProb(eps, est.P, est.Users)
+}
+
+// String implements fmt.Stringer.
+func (est Estimate) String() string {
+	return fmt.Sprintf("%.4f (raw %.4f, observed %.4f over %d users)", est.Fraction, est.Raw, est.Observed, est.Users)
+}
+
+// newEstimate debiases an observed fraction r̃ into an Estimate via the
+// Algorithm 2 correction r = (r̃ − p)/(1 − 2p).
+func (e *Estimator) newEstimate(observed float64, users int) Estimate {
+	raw := (observed - e.p) / (1 - 2*e.p)
+	return Estimate{
+		Fraction: stats.Clamp01(raw),
+		Raw:      raw,
+		Observed: observed,
+		Users:    users,
+		P:        e.p,
+	}
+}
+
+// estimateFromRaw wraps an already-debiased value (produced by the
+// combination estimators) in an Estimate.
+func (e *Estimator) estimateFromRaw(raw float64, users int) Estimate {
+	return Estimate{
+		Fraction: stats.Clamp01(raw),
+		Raw:      raw,
+		Observed: math.NaN(),
+		Users:    users,
+		P:        e.p,
+	}
+}

@@ -1,0 +1,179 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// prefixValue returns the first i bits of c's width-k binary representation
+// with the last of those bits forced to zero — the query value
+// c₁...c_{i−1}0 the interval decomposition asks about.
+func prefixValue(c uint64, width, i int) bitvec.Vector {
+	v := bitvec.FromUint(c, width)
+	out := bitvec.New(i)
+	for j := 0; j < i-1; j++ {
+		out.Set(j, v.Get(j))
+	}
+	// Bit i (1-based) forced to 0; New starts all-zero.
+	return out
+}
+
+// FieldLessThan estimates the fraction of users whose field value is
+// strictly below c, using the paper's Section 4.1 decomposition: one prefix
+// query per set bit of c,
+//
+//	|{u : a_u < c}| = Σ_{i : c_i = 1} I(A_i, c₁...c_{i−1}0).
+//
+// It requires sketches of the prefix subsets A_i for every i with c_i = 1.
+func (e *Estimator) FieldLessThan(tab *sketch.Table, f bitvec.IntField, c uint64) (NumericEstimate, error) {
+	if c > f.Max() {
+		// Every representable value is below c.
+		return NumericEstimate{Value: 1, Users: tab.CountForSubset(f.BitSubset(1)), Queries: 0}, nil
+	}
+	cBits := bitvec.FromUint(c, f.Width)
+	var raw float64
+	users := math.MaxInt64
+	queries := 0
+	for i := 1; i <= f.Width; i++ {
+		if !cBits.Get(i - 1) {
+			continue
+		}
+		est, err := e.Fraction(tab, f.PrefixSubset(i), prefixValue(c, f.Width, i))
+		if err != nil {
+			return NumericEstimate{}, fmt.Errorf("prefix %d: %w", i, err)
+		}
+		raw += est.Raw
+		queries++
+		if est.Users < users {
+			users = est.Users
+		}
+	}
+	if users == math.MaxInt64 {
+		users = 0
+	}
+	return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+}
+
+// FieldAtMost estimates the fraction of users with field value ≤ c.  It is
+// FieldLessThan plus one equality query I(A, c) on the full field subset
+// (the paper's formula targets the strict inequality; the equality term
+// completes it).
+func (e *Estimator) FieldAtMost(tab *sketch.Table, f bitvec.IntField, c uint64) (NumericEstimate, error) {
+	if c >= f.Max() {
+		return NumericEstimate{Value: 1, Users: tab.CountForSubset(f.FullSubset()), Queries: 0}, nil
+	}
+	less, err := e.FieldLessThan(tab, f, c)
+	if err != nil {
+		return NumericEstimate{}, err
+	}
+	eq, err := e.Fraction(tab, f.FullSubset(), bitvec.FromUint(c, f.Width))
+	if err != nil {
+		return NumericEstimate{}, fmt.Errorf("equality term: %w", err)
+	}
+	users := less.Users
+	if less.Queries == 0 || eq.Users < users {
+		users = eq.Users
+	}
+	return NumericEstimate{
+		Value:   stats.Clamp01(less.Value + eq.Raw),
+		Users:   users,
+		Queries: less.Queries + 1,
+	}, nil
+}
+
+// EqualAndLessThan estimates the fraction of users satisfying a = c and
+// b < d simultaneously ("Combining queries together", Section 4.1).  Each
+// term I(A ∪ B_i, c‖d₁...d_{i−1}0) is glued from the sketch of the full
+// subset A and the sketch of the prefix subset B_i via the Appendix F
+// combination, so no union subset needs to have been sketched.
+func (e *Estimator) EqualAndLessThan(tab *sketch.Table, a bitvec.IntField, c uint64, b bitvec.IntField, d uint64) (NumericEstimate, error) {
+	if c > a.Max() {
+		return NumericEstimate{}, fmt.Errorf("%w: constant %d does not fit in field of width %d", ErrMismatch, c, a.Width)
+	}
+	dBits := bitvec.FromUint(d, b.Width)
+	aQuery := SubQuery{Subset: a.FullSubset(), Value: bitvec.FromUint(c, a.Width)}
+	var raw float64
+	users := math.MaxInt64
+	queries := 0
+	for i := 1; i <= b.Width; i++ {
+		if !dBits.Get(i - 1) {
+			continue
+		}
+		subs := []SubQuery{aQuery, {Subset: b.PrefixSubset(i), Value: prefixValue(d, b.Width, i)}}
+		est, err := e.UnionConjunction(tab, subs)
+		if err != nil {
+			return NumericEstimate{}, fmt.Errorf("prefix %d: %w", i, err)
+		}
+		raw += est.Raw
+		queries++
+		if est.Users < users {
+			users = est.Users
+		}
+	}
+	if users == math.MaxInt64 {
+		users = 0
+	}
+	return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+}
+
+// ConditionalSumGivenLessThan estimates (1/M)·Σ_u b_u·1[a_u < c] — the
+// per-user average contribution of attribute b restricted to users whose
+// attribute a is below c.  Section 4.1 writes it as the double sum
+// Σ_{j : c_j=1} Σ_i 2^(k−i) I(A_j ∪ B_i, c₁...c_{j−1}0 1); each term is
+// glued from the prefix sketch of a and the single-bit sketch of b.
+func (e *Estimator) ConditionalSumGivenLessThan(tab *sketch.Table, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
+	cBits := bitvec.FromUint(c, a.Width)
+	var total float64
+	users := math.MaxInt64
+	queries := 0
+	for j := 1; j <= a.Width; j++ {
+		if !cBits.Get(j - 1) {
+			continue
+		}
+		prefixQuery := SubQuery{Subset: a.PrefixSubset(j), Value: prefixValue(c, a.Width, j)}
+		for i := 1; i <= b.Width; i++ {
+			subs := []SubQuery{prefixQuery, {Subset: b.BitSubset(i), Value: oneBit()}}
+			est, err := e.UnionConjunction(tab, subs)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("prefix %d, bit %d: %w", j, i, err)
+			}
+			total += math.Pow(2, float64(b.Width-i)) * est.Raw
+			queries++
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+	}
+	if users == math.MaxInt64 {
+		users = 0
+	}
+	if total < 0 {
+		total = 0
+	}
+	return NumericEstimate{Value: total, Users: users, Queries: queries}, nil
+}
+
+// ConditionalMeanGivenLessThan estimates E[b | a < c]: the conditional sum
+// divided by the estimated fraction of users with a < c.
+func (e *Estimator) ConditionalMeanGivenLessThan(tab *sketch.Table, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
+	num, err := e.ConditionalSumGivenLessThan(tab, b, a, c)
+	if err != nil {
+		return NumericEstimate{}, err
+	}
+	den, err := e.FieldLessThan(tab, a, c)
+	if err != nil {
+		return NumericEstimate{}, err
+	}
+	if den.Value <= 0 {
+		return NumericEstimate{}, fmt.Errorf("query: estimated condition frequency is zero; conditional mean undefined")
+	}
+	val := num.Value / den.Value
+	if max := float64(b.Max()); val > max {
+		val = max
+	}
+	return NumericEstimate{Value: val, Users: num.Users, Queries: num.Queries + den.Queries}, nil
+}

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+// oneBit is the length-1 value vector "1"; zeroBit is "0".
+func oneBit() bitvec.Vector  { return bitvec.MustFromString("1") }
+func zeroBit() bitvec.Vector { return bitvec.MustFromString("0") }
+
+// NumericEstimate reports a numeric (non-frequency) estimate together with
+// the number of users it was computed from and the number of conjunctive
+// queries it consumed — the measure of query cost the paper reports for
+// each decomposition.
+type NumericEstimate struct {
+	Value   float64
+	Users   int
+	Queries int
+}
+
+// FieldMean estimates the population mean of a k-bit integer attribute from
+// single-bit sketches of each of its bits, using the Section 4.1
+// decomposition Σᵢ 2^(k−i) · I(Aᵢ, 1).  It requires a sketch of every
+// single-bit subset {Aᵢ} of the field.
+func (e *Estimator) FieldMean(tab *sketch.Table, f bitvec.IntField) (NumericEstimate, error) {
+	var mean float64
+	users := math.MaxInt64
+	for i := 1; i <= f.Width; i++ {
+		est, err := e.Fraction(tab, f.BitSubset(i), oneBit())
+		if err != nil {
+			return NumericEstimate{}, fmt.Errorf("bit %d of field: %w", i, err)
+		}
+		weight := math.Pow(2, float64(f.Width-i))
+		// Use the unclamped estimate so the linear combination stays
+		// unbiased; the final mean is clamped to the representable range.
+		mean += weight * est.Raw
+		if est.Users < users {
+			users = est.Users
+		}
+	}
+	if mean < 0 {
+		mean = 0
+	}
+	if max := float64(f.Max()); mean > max {
+		mean = max
+	}
+	return NumericEstimate{Value: mean, Users: users, Queries: f.Width}, nil
+}
+
+// FieldSum estimates the population sum of a field: mean × users.
+func (e *Estimator) FieldSum(tab *sketch.Table, f bitvec.IntField) (NumericEstimate, error) {
+	est, err := e.FieldMean(tab, f)
+	if err != nil {
+		return NumericEstimate{}, err
+	}
+	est.Value *= float64(est.Users)
+	return est, nil
+}
+
+// InnerProductMean estimates the population mean of the product a·b of two
+// integer attributes, using the Section 4.1 decomposition into k² two-bit
+// queries Σᵢ Σⱼ 2^((ka−i)+(kb−j)) · I(Aᵢ ∪ Bⱼ, 11).  Each two-bit frequency
+// is glued from the fields' single-bit sketches via the Appendix F
+// combination, so only per-bit sketches are required ("we do not have to
+// sketch each pair AᵢBⱼ").
+func (e *Estimator) InnerProductMean(tab *sketch.Table, a, b bitvec.IntField) (NumericEstimate, error) {
+	var total float64
+	users := math.MaxInt64
+	queries := 0
+	for i := 1; i <= a.Width; i++ {
+		for j := 1; j <= b.Width; j++ {
+			subs := []SubQuery{
+				{Subset: a.BitSubset(i), Value: oneBit()},
+				{Subset: b.BitSubset(j), Value: oneBit()},
+			}
+			est, err := e.UnionConjunction(tab, subs)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("bits (%d,%d): %w", i, j, err)
+			}
+			weight := math.Pow(2, float64(a.Width-i)+float64(b.Width-j))
+			total += weight * est.Raw
+			queries++
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	return NumericEstimate{Value: total, Users: users, Queries: queries}, nil
+}
+
+// FieldBitSubsets returns the single-bit subsets every numeric estimator in
+// this file needs sketched: {A₁}, ..., {A_k}.  Deployments decide up front
+// which subsets users sketch; this helper makes that contract explicit.
+func FieldBitSubsets(f bitvec.IntField) []bitvec.Subset {
+	out := make([]bitvec.Subset, f.Width)
+	for i := 1; i <= f.Width; i++ {
+		out[i-1] = f.BitSubset(i)
+	}
+	return out
+}
+
+// FieldPrefixSubsets returns the prefix subsets A₁, A₁A₂, ..., used by the
+// interval queries.
+func FieldPrefixSubsets(f bitvec.IntField) []bitvec.Subset {
+	out := make([]bitvec.Subset, f.Width)
+	for i := 1; i <= f.Width; i++ {
+		out[i-1] = f.PrefixSubset(i)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"net"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// Client is a connection to a collection server.  It is not safe for
+// concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a collection server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Publish sends one published sketch and waits for the acknowledgement.
+func (c *Client) Publish(p sketch.Published) error {
+	if err := wire.WriteFrame(c.conn, wire.TypePublish, wire.EncodePublished(p)); err != nil {
+		return err
+	}
+	msgType, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	switch msgType {
+	case wire.TypeAck:
+		return nil
+	case wire.TypeError:
+		return fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return fmt.Errorf("%w: unexpected reply type %d", ErrRemote, msgType)
+	}
+}
+
+// PublishAll publishes a batch, stopping at the first error.
+func (c *Client) PublishAll(ps []sketch.Published) error {
+	for _, p := range ps {
+		if err := c.Publish(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryConjunction runs a conjunctive query remotely and returns the
+// estimated fraction, the unclamped raw estimate and the number of users
+// it was computed over.
+func (c *Client) QueryConjunction(b bitvec.Subset, v bitvec.Vector) (wire.Result, error) {
+	if err := wire.WriteFrame(c.conn, wire.TypeQuery, wire.EncodeQuery(wire.Query{Subset: b, Value: v})); err != nil {
+		return wire.Result{}, err
+	}
+	msgType, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	switch msgType {
+	case wire.TypeResult:
+		return wire.DecodeResult(payload)
+	case wire.TypeError:
+		return wire.Result{}, fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return wire.Result{}, fmt.Errorf("%w: unexpected reply type %d", ErrRemote, msgType)
+	}
+}

@@ -1,0 +1,123 @@
+// Package server provides the TCP collection daemon and its client: users
+// publish sketches over the wire protocol, analysts run conjunctive queries
+// remotely.  The server holds only public objects (the sketch table), so it
+// needs no more trust than a bulletin board — exactly the deployment the
+// paper's no-trusted-party mode calls for.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/wire"
+)
+
+// Server accepts publish and query frames over TCP and applies them to an
+// engine.
+type Server struct {
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// New creates a server around an engine.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.  Serving happens on background goroutines
+// until Close is called.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle serves one connection until it closes or a protocol error occurs.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msgType, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch msgType {
+		case wire.TypePublish:
+			pub, err := wire.DecodePublished(payload)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			if err := s.eng.Ingest(pub); err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+		case wire.TypeQuery:
+			q, err := wire.DecodeQuery(payload)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			est, err := s.eng.Conjunction(q.Subset, q.Value)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			res := wire.Result{Fraction: est.Fraction, Raw: est.Raw, Users: uint64(est.Users)}
+			_ = wire.WriteFrame(conn, wire.TypeResult, wire.EncodeResult(res))
+		default:
+			s.writeError(conn, fmt.Errorf("server: unknown message type %d", msgType))
+		}
+	}
+}
+
+func (s *Server) writeError(conn net.Conn, err error) {
+	_ = wire.WriteFrame(conn, wire.TypeError, []byte(err.Error()))
+}
+
+// ErrRemote wraps an error message reported by the server.
+var ErrRemote = errors.New("server: remote error")

@@ -1,0 +1,26 @@
+// Package sketch implements the paper's primary contribution: the
+// pseudorandom sketching mechanism of Mishra & Sandler, "Privacy via
+// Pseudorandom Sketches" (PODS 2006).
+//
+// A user with public identifier id and private profile d sketches a subset
+// of attributes B by running Algorithm 1: repeatedly draw a candidate key s
+// uniformly at random without replacement from the 2^ℓ possible ℓ-bit keys;
+// if the public p-biased function H(id, B, d_B, s) evaluates to 1 the key is
+// published immediately, otherwise it is published anyway with probability
+// p²/(1−p)² and rejected otherwise.  The published key — the sketch — is
+// therefore skewed so that H is biased towards 1 at the user's true value
+// (probability 1−p) and towards 0 at every other value (probability p,
+// Lemma 3.2), while revealing almost nothing about which value is the true
+// one: the likelihood ratio of any sketch under any two candidate profiles
+// is at most ((1−p)/p)⁴ (Lemma 3.3).
+//
+// The package provides:
+//
+//   - Params: the (p, ℓ) configuration with the Lemma 3.1 length bound, the
+//     Corollary 3.4 privacy budget arithmetic and the running-time bounds;
+//   - Sketcher: Algorithm 1, generic over any prf.BitSource;
+//   - Published and Table: the published (id, B, s) records and a
+//     concurrency-safe store of them, which is all an analyst ever sees;
+//   - Evaluate: the H(id, B, v, s) evaluation shared with the query
+//     estimators.
+package sketch

@@ -1,0 +1,358 @@
+package sketch
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/stats"
+)
+
+func testSource(p float64) *prf.Biased {
+	return prf.NewBiased(bytes.Repeat([]byte{7}, prf.MinKeyBytes), prf.MustProb(p))
+}
+
+func mustSketcher(t *testing.T, p float64, length int) *Sketcher {
+	t.Helper()
+	sk, err := NewSketcher(testSource(p), MustParams(p, length))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestSketchBytesRoundTrip(t *testing.T) {
+	cases := []Sketch{
+		{Key: 0, Length: 1},
+		{Key: 1, Length: 1},
+		{Key: 255, Length: 8},
+		{Key: 1023, Length: 10},
+		{Key: 123456, Length: 20},
+	}
+	for _, s := range cases {
+		back, err := ParseSketch(s.Bytes())
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if back != s {
+			t.Errorf("round trip of %v gave %v", s, back)
+		}
+	}
+}
+
+func TestSketchBytesRoundTripProperty(t *testing.T) {
+	prop := func(key uint32, lenRaw uint8) bool {
+		length := int(lenRaw%MaxLength) + 1
+		s := Sketch{Key: uint64(key) & (1<<uint(length) - 1), Length: length}
+		back, err := ParseSketch(s.Bytes())
+		return err == nil && back == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSketchRejectsCorrupt(t *testing.T) {
+	if _, err := ParseSketch(nil); err == nil {
+		t.Error("empty encoding accepted")
+	}
+	if _, err := ParseSketch([]byte{0, 1}); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := ParseSketch([]byte{40, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("over-long length accepted")
+	}
+	good := Sketch{Key: 3, Length: 10}.Bytes()
+	if _, err := ParseSketch(good[:1]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	// Key that does not fit in the declared length.
+	if _, err := ParseSketch([]byte{2, 0xff}); err == nil {
+		t.Error("key overflowing its length accepted")
+	}
+}
+
+func TestSketchValid(t *testing.T) {
+	if !(Sketch{Key: 3, Length: 2}).Valid() {
+		t.Error("valid sketch reported invalid")
+	}
+	if (Sketch{Key: 4, Length: 2}).Valid() {
+		t.Error("overflowing key reported valid")
+	}
+	if (Sketch{Key: 0, Length: 0}).Valid() {
+		t.Error("zero length reported valid")
+	}
+}
+
+func TestNewSketcherValidation(t *testing.T) {
+	if _, err := NewSketcher(testSource(0.3), Params{P: 0.4, Length: 8}); err == nil {
+		t.Error("bias mismatch accepted")
+	}
+	if _, err := NewSketcher(testSource(0.6), Params{P: 0.6, Length: 8}); !errors.Is(err, ErrBadBias) {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewSketcher(testSource(0.3), MustParams(0.3, 8)); err != nil {
+		t.Errorf("valid sketcher rejected: %v", err)
+	}
+}
+
+func TestSketchValidatesInput(t *testing.T) {
+	sk := mustSketcher(t, 0.3, 8)
+	rng := stats.NewRNG(1)
+	profile := bitvec.Profile{ID: 1, Data: bitvec.MustFromString("1010")}
+	if _, err := sk.Sketch(rng, profile, bitvec.MustSubset()); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := sk.Sketch(rng, profile, bitvec.MustSubset(0, 7)); err == nil {
+		t.Error("out-of-range subset accepted")
+	}
+}
+
+func TestSketchLemma32Correctness(t *testing.T) {
+	// Lemma 3.2: conditioned on success, the published sketch satisfies
+	// Pr[H(id,B,d_B,s) = 1] = 1−p at the true value and Pr[H=1] = p at any
+	// other value.  We estimate both probabilities over many users.
+	p := 0.3
+	sk := mustSketcher(t, p, 10)
+	rng := stats.NewRNG(42)
+	b := bitvec.MustSubset(1, 3, 5)
+	trueVal := bitvec.MustFromString("101")
+	otherVal := bitvec.MustFromString("011")
+
+	const users = 20000
+	hitsTrue, hitsOther := 0, 0
+	for u := 0; u < users; u++ {
+		d := bitvec.New(8)
+		d.Set(1, true)
+		d.Set(5, true)
+		profile := bitvec.Profile{ID: bitvec.UserID(u + 1), Data: d}
+		s, err := sk.Sketch(rng, profile, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Evaluate(sk.H, profile.ID, b, trueVal, s) {
+			hitsTrue++
+		}
+		if Evaluate(sk.H, profile.ID, b, otherVal, s) {
+			hitsOther++
+		}
+	}
+	gotTrue := float64(hitsTrue) / users
+	gotOther := float64(hitsOther) / users
+	tol := 4 * math.Sqrt(0.25/users)
+	if math.Abs(gotTrue-(1-p)) > tol {
+		t.Errorf("Pr[H=1 at true value] = %v, want %v ± %v", gotTrue, 1-p, tol)
+	}
+	if math.Abs(gotOther-p) > tol {
+		t.Errorf("Pr[H=1 at other value] = %v, want %v ± %v", gotOther, p, tol)
+	}
+}
+
+func TestSketchIterationsWithinBounds(t *testing.T) {
+	p := 0.3
+	sk := mustSketcher(t, p, 10)
+	rng := stats.NewRNG(7)
+	b := bitvec.MustSubset(0, 1)
+	var m stats.Moments
+	for u := 0; u < 5000; u++ {
+		profile := bitvec.Profile{ID: bitvec.UserID(u + 1), Data: bitvec.MustFromString("10")}
+		res, err := sk.SketchDetailed(rng, profile, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations < 1 || res.Iterations > sk.Params.WorstCaseIterations() {
+			t.Fatalf("iterations %d out of bounds", res.Iterations)
+		}
+		m.Add(float64(res.Iterations))
+	}
+	// The mean must respect the geometric upper bound (1-p)/p (without
+	// replacement only terminates sooner), and the paper's weaker bound.
+	if m.Mean() > sk.Params.ExpectedIterations()*1.1 {
+		t.Errorf("mean iterations %v exceeds bound %v", m.Mean(), sk.Params.ExpectedIterations())
+	}
+	weaker := (1 - p) * (1 - p) / (p * p)
+	if m.Mean() > weaker {
+		t.Errorf("mean iterations %v exceeds the paper's bound %v", m.Mean(), weaker)
+	}
+}
+
+func TestSketchFailureRateRespectsLemma31(t *testing.T) {
+	// With a deliberately tiny key space the failure event becomes
+	// observable; its frequency must not exceed the analytical bound.
+	p := 0.3
+	sk := mustSketcher(t, p, 2)
+	rng := stats.NewRNG(11)
+	b := bitvec.MustSubset(0)
+	const trials = 30000
+	failures := 0
+	for u := 0; u < trials; u++ {
+		profile := bitvec.Profile{ID: bitvec.UserID(u + 1), Data: bitvec.MustFromString("1")}
+		_, err := sk.Sketch(rng, profile, b)
+		switch {
+		case errors.Is(err, ErrExhausted):
+			failures++
+		case err != nil:
+			t.Fatal(err)
+		}
+	}
+	bound := sk.Params.FailureProb()
+	got := float64(failures) / trials
+	// Allow 4-sigma sampling slack above the bound.
+	slack := 4 * math.Sqrt(bound/trials)
+	if got > bound+slack {
+		t.Errorf("failure rate %v exceeds Lemma 3.1 bound %v", got, bound)
+	}
+	if failures == 0 {
+		t.Log("no failures observed; bound is", bound)
+	}
+}
+
+func TestSketchAllAndBudget(t *testing.T) {
+	sk := mustSketcher(t, 0.4, 8)
+	rng := stats.NewRNG(3)
+	profile := bitvec.Profile{ID: 9, Data: bitvec.MustFromString("10110100")}
+	subsets := []bitvec.Subset{
+		bitvec.MustSubset(0, 1),
+		bitvec.MustSubset(2, 3, 4),
+		bitvec.MustSubset(5),
+	}
+	pubs, err := sk.SketchAll(rng, profile, subsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pubs) != 3 {
+		t.Fatalf("published %d sketches", len(pubs))
+	}
+	for i, p := range pubs {
+		if p.ID != 9 || !p.Subset.Equal(subsets[i]) || !p.S.Valid() {
+			t.Errorf("published record %d malformed: %+v", i, p)
+		}
+	}
+	// Bad subset aborts the whole batch.
+	if _, err := sk.SketchAll(rng, profile, []bitvec.Subset{bitvec.MustSubset(99)}); err == nil {
+		t.Error("out-of-range subset accepted by SketchAll")
+	}
+}
+
+func TestPublishProbabilitiesMatchesPaperEdgeCases(t *testing.T) {
+	params := MustParams(0.3, 3) // L = 8 keys
+	L := params.KeySpace()
+	r := params.AcceptProb()
+
+	// All keys evaluate to 1: every key published with probability 1/L.
+	all1 := make([]bool, L)
+	for i := range all1 {
+		all1[i] = true
+	}
+	for _, pr := range PublishProbabilities(params, all1) {
+		if math.Abs(pr-1.0/float64(L)) > 1e-12 {
+			t.Fatalf("all-ones publish prob %v, want %v", pr, 1.0/float64(L))
+		}
+	}
+
+	// Exactly one key evaluates to 1: the paper's Z^(1) = Σ (1-r)^i / L.
+	one := make([]bool, L)
+	one[3] = true
+	var z1 float64
+	for i := 0; i < L; i++ {
+		z1 += math.Pow(1-r, float64(i)) / float64(L)
+	}
+	probs := PublishProbabilities(params, one)
+	if math.Abs(probs[3]-z1) > 1e-12 {
+		t.Errorf("Z(1) = %v, want %v", probs[3], z1)
+	}
+	// Z(1) <= 1/(rL), the bound used in Lemma 3.3.
+	if probs[3] > 1/(r*float64(L))+1e-12 {
+		t.Errorf("Z(1)=%v exceeds 1/(rL)=%v", probs[3], 1/(r*float64(L)))
+	}
+}
+
+func TestPublishProbabilitiesTotalAndRatio(t *testing.T) {
+	// For any evaluation pattern: probabilities are valid, the total
+	// publish probability is at most 1, and the ratio between any two keys'
+	// publish probabilities never exceeds the Lemma 3.3 envelope
+	// 1/r² = ((1-p)/p)⁴, where r = (p/(1-p))² is the acceptance constant
+	// (a 1-key is at most 1/r more likely to be considered than a 0-key and
+	// at most 1/r more likely to be published once considered).
+	params := MustParams(0.35, 4)
+	prop := func(pattern uint16) bool {
+		L := params.KeySpace()
+		evals := make([]bool, L)
+		for i := 0; i < L; i++ {
+			evals[i] = pattern&(1<<uint(i)) != 0
+		}
+		probs := PublishProbabilities(params, evals)
+		total, min, max := 0.0, math.Inf(1), 0.0
+		for _, pr := range probs {
+			if pr < 0 || pr > 1 {
+				return false
+			}
+			total += pr
+			if pr > 0 && pr < min {
+				min = pr
+			}
+			if pr > max {
+				max = pr
+			}
+		}
+		if total > 1+1e-9 {
+			return false
+		}
+		if max == 0 {
+			return true
+		}
+		return max/min <= params.PrivacyRatio()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalPublishDistributionMatchesAnalytic(t *testing.T) {
+	// Fix a user/subset/value, enumerate H's evaluations over the small key
+	// space, and compare the empirical distribution of Algorithm 1's output
+	// against PublishProbabilities.
+	p := 0.3
+	params := MustParams(p, 3)
+	h := testSource(p)
+	sk, err := NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := bitvec.Profile{ID: 77, Data: bitvec.MustFromString("110")}
+	b := bitvec.MustSubset(0, 1, 2)
+	value := b.Project(profile.Data)
+
+	L := params.KeySpace()
+	evals := make([]bool, L)
+	for k := 0; k < L; k++ {
+		evals[k] = Evaluate(h, profile.ID, b, value, Sketch{Key: uint64(k), Length: 3})
+	}
+	want := PublishProbabilities(params, evals)
+
+	const trials = 60000
+	counts := make([]int, L)
+	failures := 0
+	rng := stats.NewRNG(5)
+	for i := 0; i < trials; i++ {
+		s, err := sk.Sketch(rng, profile, b)
+		if errors.Is(err, ErrExhausted) {
+			failures++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s.Key]++
+	}
+	for k := 0; k < L; k++ {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-want[k]) > 0.012 {
+			t.Errorf("key %d: empirical publish prob %v, analytic %v", k, got, want[k])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sketchprivacy/internal/bitvec"
+)
+
+// Table is a concurrency-safe store of published sketches, organised by the
+// attribute subset they describe.  It is the analyst-side view of the world:
+// everything in a Table is public.
+type Table struct {
+	mu       sync.RWMutex
+	subsets  map[string]bitvec.Subset
+	bySubset map[string]map[bitvec.UserID]Sketch
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		subsets:  make(map[string]bitvec.Subset),
+		bySubset: make(map[string]map[bitvec.UserID]Sketch),
+	}
+}
+
+// Add inserts a published sketch.  Re-publishing for the same (user, subset)
+// pair is rejected: each additional sketch would spend more of the user's
+// privacy budget (Corollary 3.4), so the store treats it as a protocol
+// error rather than silently overwriting.
+func (t *Table) Add(p Published) error {
+	if !p.S.Valid() {
+		return fmt.Errorf("sketch: invalid sketch %v", p.S)
+	}
+	key := p.Subset.Key()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.bySubset[key]; !ok {
+		t.bySubset[key] = make(map[bitvec.UserID]Sketch)
+		t.subsets[key] = p.Subset
+	}
+	if _, dup := t.bySubset[key][p.ID]; dup {
+		return fmt.Errorf("sketch: user %v already published a sketch for subset %v", p.ID, p.Subset)
+	}
+	t.bySubset[key][p.ID] = p.S
+	return nil
+}
+
+// AddAll inserts a batch of published sketches, stopping at the first error.
+func (t *Table) AddAll(ps []Published) error {
+	for _, p := range ps {
+		if err := t.Add(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the sketch user id published for subset b, if any.
+func (t *Table) Get(id bitvec.UserID, b bitvec.Subset) (Sketch, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	m, ok := t.bySubset[b.Key()]
+	if !ok {
+		return Sketch{}, false
+	}
+	s, ok := m[id]
+	return s, ok
+}
+
+// ForSubset returns all published records for subset b, sorted by user id
+// so iteration order is deterministic.
+func (t *Table) ForSubset(b bitvec.Subset) []Published {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	m, ok := t.bySubset[b.Key()]
+	if !ok {
+		return nil
+	}
+	out := make([]Published, 0, len(m))
+	for id, s := range m {
+		out = append(out, Published{ID: id, Subset: b, S: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountForSubset returns the number of users that published a sketch for
+// subset b.
+func (t *Table) CountForSubset(b bitvec.Subset) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.bySubset[b.Key()])
+}
+
+// HasSubset reports whether any sketches exist for subset b.
+func (t *Table) HasSubset(b bitvec.Subset) bool { return t.CountForSubset(b) > 0 }
+
+// Subsets returns the distinct subsets present, sorted by their canonical
+// tag so the order is deterministic.
+func (t *Table) Subsets() []bitvec.Subset {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.subsets))
+	for k := range t.subsets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]bitvec.Subset, len(keys))
+	for i, k := range keys {
+		out[i] = t.subsets[k]
+	}
+	return out
+}
+
+// UsersWithAll returns the ids of users that published a sketch for every
+// one of the given subsets, sorted.  The Appendix F combination can only use
+// those users.
+func (t *Table) UsersWithAll(subsets []bitvec.Subset) []bitvec.UserID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(subsets) == 0 {
+		return nil
+	}
+	first, ok := t.bySubset[subsets[0].Key()]
+	if !ok {
+		return nil
+	}
+	var ids []bitvec.UserID
+	for id := range first {
+		all := true
+		for _, b := range subsets[1:] {
+			if m, ok := t.bySubset[b.Key()]; !ok {
+				return nil
+			} else if _, ok := m[id]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len returns the total number of stored sketches across all subsets.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, m := range t.bySubset {
+		n += len(m)
+	}
+	return n
+}
+
+// SketchesPerUser returns how many sketches each user has published; the
+// privacy auditor uses it to report per-user ε budgets.
+func (t *Table) SketchesPerUser() map[bitvec.UserID]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[bitvec.UserID]int)
+	for _, m := range t.bySubset {
+		for id := range m {
+			out[id]++
+		}
+	}
+	return out
+}

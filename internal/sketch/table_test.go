@@ -1,0 +1,139 @@
+package sketch
+
+import (
+	"sync"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+)
+
+func TestTableAddGetAndDuplicates(t *testing.T) {
+	tab := NewTable()
+	b := bitvec.MustSubset(0, 2)
+	p := Published{ID: 1, Subset: b, S: Sketch{Key: 3, Length: 4}}
+	if err := tab.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Add(p); err == nil {
+		t.Error("duplicate (user, subset) accepted")
+	}
+	if err := tab.Add(Published{ID: 2, Subset: b, S: Sketch{Key: 99, Length: 4}}); err == nil {
+		t.Error("invalid sketch accepted")
+	}
+	got, ok := tab.Get(1, b)
+	if !ok || got != p.S {
+		t.Errorf("Get = %v, %v", got, ok)
+	}
+	if _, ok := tab.Get(1, bitvec.MustSubset(5)); ok {
+		t.Error("Get found a sketch for an unknown subset")
+	}
+	if _, ok := tab.Get(9, b); ok {
+		t.Error("Get found a sketch for an unknown user")
+	}
+}
+
+func TestTableForSubsetSortedAndCounts(t *testing.T) {
+	tab := NewTable()
+	b := bitvec.MustSubset(1)
+	for _, id := range []bitvec.UserID{5, 2, 9, 1} {
+		if err := tab.Add(Published{ID: id, Subset: b, S: Sketch{Key: uint64(id), Length: 6}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tab.ForSubset(b)
+	if len(got) != 4 {
+		t.Fatalf("ForSubset returned %d records", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Error("ForSubset not sorted by user id")
+		}
+	}
+	if tab.CountForSubset(b) != 4 || !tab.HasSubset(b) {
+		t.Error("CountForSubset/HasSubset wrong")
+	}
+	if tab.HasSubset(bitvec.MustSubset(9)) {
+		t.Error("HasSubset true for unknown subset")
+	}
+	if tab.Len() != 4 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	if tab.ForSubset(bitvec.MustSubset(9)) != nil {
+		t.Error("ForSubset of unknown subset should be nil")
+	}
+}
+
+func TestTableSubsetsAndUsersWithAll(t *testing.T) {
+	tab := NewTable()
+	b1 := bitvec.MustSubset(0)
+	b2 := bitvec.MustSubset(1, 2)
+	add := func(id bitvec.UserID, b bitvec.Subset) {
+		t.Helper()
+		if err := tab.Add(Published{ID: id, Subset: b, S: Sketch{Key: 1, Length: 4}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, b1)
+	add(2, b1)
+	add(3, b1)
+	add(1, b2)
+	add(3, b2)
+
+	subs := tab.Subsets()
+	if len(subs) != 2 {
+		t.Fatalf("Subsets returned %d", len(subs))
+	}
+	ids := tab.UsersWithAll([]bitvec.Subset{b1, b2})
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Errorf("UsersWithAll = %v", ids)
+	}
+	if tab.UsersWithAll(nil) != nil {
+		t.Error("UsersWithAll(nil) should be nil")
+	}
+	if tab.UsersWithAll([]bitvec.Subset{b1, bitvec.MustSubset(9)}) != nil {
+		t.Error("UsersWithAll with an unknown subset should be nil")
+	}
+
+	per := tab.SketchesPerUser()
+	if per[1] != 2 || per[2] != 1 || per[3] != 2 {
+		t.Errorf("SketchesPerUser = %v", per)
+	}
+}
+
+func TestTableAddAllStopsOnError(t *testing.T) {
+	tab := NewTable()
+	b := bitvec.MustSubset(0)
+	batch := []Published{
+		{ID: 1, Subset: b, S: Sketch{Key: 0, Length: 2}},
+		{ID: 1, Subset: b, S: Sketch{Key: 1, Length: 2}}, // duplicate
+		{ID: 2, Subset: b, S: Sketch{Key: 1, Length: 2}},
+	}
+	if err := tab.AddAll(batch); err == nil {
+		t.Fatal("AddAll should fail on the duplicate")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len after failed AddAll = %d, want 1", tab.Len())
+	}
+}
+
+func TestTableConcurrentAccess(t *testing.T) {
+	tab := NewTable()
+	b := bitvec.MustSubset(0, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := bitvec.UserID(g*1000 + i)
+				_ = tab.Add(Published{ID: id, Subset: b, S: Sketch{Key: 2, Length: 4}})
+				tab.Get(id, b)
+				tab.CountForSubset(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != 8*200 {
+		t.Errorf("Len = %d, want %d", tab.Len(), 8*200)
+	}
+}

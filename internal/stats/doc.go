@@ -1,0 +1,19 @@
+// Package stats provides the statistics substrate shared by the estimators,
+// the privacy auditor, the workload generators and the experiment harness:
+//
+//   - a small, fast, deterministic pseudorandom number generator
+//     (xoshiro256** seeded through splitmix64) used for simulation
+//     randomness — user coin flips, synthetic datasets, planted query
+//     frequencies — so that every experiment is reproducible from a seed;
+//   - running moments (Welford) and summary statistics;
+//   - the Chernoff/Hoeffding tail bounds the paper's Lemma 4.1 and
+//     Lemma 3.1 are stated in terms of, and the sample sizes / confidence
+//     radii they imply;
+//   - error metrics (MAE, RMSE, maximum absolute error) used to compare
+//     estimated query answers against ground truth.
+//
+// Simulation randomness (this package) is deliberately separate from the
+// public pseudorandom function H (package prf): the former models the
+// users' private coin flips and the experimenter's workload choices, the
+// latter is a public keyed object every party can evaluate.
+package stats

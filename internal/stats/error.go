@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorSummary aggregates the deviation between estimated and true values
+// across a batch of queries.  The experiment harness prints one summary per
+// parameter setting.
+type ErrorSummary struct {
+	n      int
+	sumAbs float64
+	sumSq  float64
+	maxAbs float64
+}
+
+// Observe records one (estimate, truth) pair.
+func (e *ErrorSummary) Observe(estimate, truth float64) {
+	d := math.Abs(estimate - truth)
+	e.n++
+	e.sumAbs += d
+	e.sumSq += d * d
+	if d > e.maxAbs {
+		e.maxAbs = d
+	}
+}
+
+// N returns the number of recorded pairs.
+func (e *ErrorSummary) N() int { return e.n }
+
+// MAE returns the mean absolute error.
+func (e *ErrorSummary) MAE() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.sumAbs / float64(e.n)
+}
+
+// RMSE returns the root-mean-square error.
+func (e *ErrorSummary) RMSE() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return math.Sqrt(e.sumSq / float64(e.n))
+}
+
+// MaxAbs returns the largest absolute error observed.
+func (e *ErrorSummary) MaxAbs() float64 { return e.maxAbs }
+
+// Merge combines another summary into e.
+func (e *ErrorSummary) Merge(o *ErrorSummary) {
+	e.n += o.n
+	e.sumAbs += o.sumAbs
+	e.sumSq += o.sumSq
+	if o.maxAbs > e.maxAbs {
+		e.maxAbs = o.maxAbs
+	}
+}
+
+// String implements fmt.Stringer.
+func (e *ErrorSummary) String() string {
+	return fmt.Sprintf("n=%d mae=%.5f rmse=%.5f max=%.5f", e.n, e.MAE(), e.RMSE(), e.MaxAbs())
+}
+
+// RelativeError returns |estimate-truth|/|truth|, or the absolute error when
+// the truth is zero (so the metric stays finite for empty queries).
+func RelativeError(estimate, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(estimate)
+	}
+	return math.Abs(estimate-truth) / math.Abs(truth)
+}

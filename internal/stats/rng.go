@@ -1,0 +1,146 @@
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudorandom number generator (xoshiro256**)
+// seeded through splitmix64.  It models the private coin flips of simulated
+// users and the workload-generation randomness of the experiment harness.
+// An RNG is not safe for concurrent use; create one per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed into the four state words, as
+	// recommended by the xoshiro authors.
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// All-zero state is invalid for xoshiro; the splitmix expansion of any
+	// seed cannot produce it, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next uniform 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n).  It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := (math.MaxUint64 / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Binomial returns the number of successes in n Bernoulli(p) trials.
+// It is O(n); the simulators only use it for modest n.
+func (r *RNG) Binomial(n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}
+
+// NormFloat64 returns a standard normal variate via the Box–Muller
+// transform.  Used by the SULQ-style output-perturbation comparator of
+// Appendix A.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Zipf returns a value in [0,n) with probability proportional to
+// 1/(rank+1)^s.  Used by the market-basket workload where item popularity
+// is heavy-tailed.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	// Inverse-CDF over the precomputable normalizer would need caching; the
+	// simple linear scan is adequate for the workload sizes used here.
+	var norm float64
+	for i := 1; i <= n; i++ {
+		norm += 1 / math.Pow(float64(i), s)
+	}
+	target := r.Float64() * norm
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), s)
+		if cum >= target {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// Perm returns a uniform random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from r, labelled by id.  The
+// derived stream is a deterministic function of (r's current state, id), so
+// parallel workers get reproducible, non-overlapping randomness.
+func (r *RNG) Split(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d))
+}

@@ -1,0 +1,331 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicPerSeed(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(7).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds agreed on %d/100 draws", same)
+	}
+}
+
+func TestRNGFloat64RangeAndMean(t *testing.T) {
+	r := NewRNG(1)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/7) > 0.01 {
+			t.Errorf("Intn(7) value %d has frequency %v", v, frac)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBernoulliAndBinomial(t *testing.T) {
+	r := NewRNG(3)
+	const n = 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", frac)
+	}
+	var m Moments
+	for i := 0; i < 2000; i++ {
+		m.Add(float64(r.Binomial(50, 0.2)))
+	}
+	if math.Abs(m.Mean()-10) > 0.5 {
+		t.Errorf("Binomial(50,0.2) mean = %v, want ~10", m.Mean())
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(4)
+	var m Moments
+	for i := 0; i < 50000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if math.Abs(m.Mean()) > 0.03 {
+		t.Errorf("normal mean = %v", m.Mean())
+	}
+	if math.Abs(m.StdDev()-1) > 0.03 {
+		t.Errorf("normal sd = %v", m.StdDev())
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 20)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Zipf(20, 1.1)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Errorf("Zipf not skewed: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+	if counts[0] < 3*counts[19] {
+		t.Errorf("Zipf tail too heavy: rank0=%d rank19=%d", counts[0], counts[19])
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(6)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	r := NewRNG(7)
+	a := r.Split(1)
+	b := r.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams agreed on %d/100 draws", same)
+	}
+}
+
+func TestMomentsKnownValues(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 || m.Mean() != 5 {
+		t.Errorf("mean = %v n = %d", m.Mean(), m.N())
+	}
+	if math.Abs(m.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", m.Variance(), 32.0/7)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %v/%v", m.Min(), m.Max())
+	}
+	if m.StdErr() <= 0 {
+		t.Error("StdErr should be positive")
+	}
+}
+
+func TestMomentsMergeMatchesSequential(t *testing.T) {
+	prop := func(xs []float64, split uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = float64(i)
+			}
+			// Keep magnitudes sane to avoid float blow-ups unrelated to the merge.
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		var whole Moments
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		s := 0
+		if len(xs) > 0 {
+			s = int(split) % (len(xs) + 1)
+		}
+		var a, b Moments
+		for _, x := range xs[:s] {
+			a.Add(x)
+		}
+		for _, x := range xs[s:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-6 && math.Abs(a.Variance()-whole.Variance()) < 1e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileAndMean(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	if q := Quantile(data, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := Quantile(data, 1); q != 5 {
+		t.Errorf("max quantile = %v, want 5", q)
+	}
+	if q := Quantile(data, 0); q != 1 {
+		t.Errorf("min quantile = %v, want 1", q)
+	}
+	if m := Mean(data); m != 3 {
+		t.Errorf("mean = %v, want 3", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestChernoffBoundsMonotone(t *testing.T) {
+	// More users, larger epsilon or smaller p all shrink the failure bound.
+	base := ChernoffFailureProb(0.01, 0.4, 100000)
+	if ChernoffFailureProb(0.01, 0.4, 200000) >= base {
+		t.Error("failure bound should shrink with more users")
+	}
+	if ChernoffFailureProb(0.02, 0.4, 100000) >= base {
+		t.Error("failure bound should shrink with larger epsilon")
+	}
+	if ChernoffFailureProb(0.01, 0.3, 100000) >= base {
+		t.Error("failure bound should shrink when p moves away from 1/2")
+	}
+	if ChernoffFailureProb(0, 0.4, 100000) != 1 {
+		t.Error("degenerate epsilon should return the trivial bound 1")
+	}
+}
+
+func TestErrorRadiusInvertsFailureProb(t *testing.T) {
+	for _, m := range []int{1000, 10000, 100000} {
+		for _, p := range []float64{0.3, 0.45} {
+			delta := 0.05
+			eps := ErrorRadius(delta, p, m)
+			got := ChernoffFailureProb(eps, p, m)
+			if math.Abs(got-delta) > 1e-9 {
+				t.Errorf("m=%d p=%v: ChernoffFailureProb(ErrorRadius)=%v, want %v", m, p, got, delta)
+			}
+		}
+	}
+	if !math.IsInf(ErrorRadius(0.05, 0.5, 1000), 1) {
+		t.Error("p=1/2 should give infinite radius (no utility)")
+	}
+}
+
+func TestErrorRadiusScalesAsOneOverSqrtM(t *testing.T) {
+	r1 := ErrorRadius(0.05, 0.4, 10000)
+	r2 := ErrorRadius(0.05, 0.4, 40000)
+	if math.Abs(r1/r2-2) > 1e-9 {
+		t.Errorf("quadrupling M should halve the radius: %v vs %v", r1, r2)
+	}
+}
+
+func TestRequiredUsersSatisfiesTarget(t *testing.T) {
+	eps, delta, p := 0.01, 0.01, 0.4
+	m := RequiredUsers(eps, delta, p)
+	if ChernoffFailureProb(eps, p, m) > delta+1e-12 {
+		t.Errorf("RequiredUsers=%d does not achieve failure prob <= %v", m, delta)
+	}
+	if m > 1 && ChernoffFailureProb(eps, p, m-1000) <= delta {
+		t.Errorf("RequiredUsers=%d is far from tight", m)
+	}
+}
+
+func TestHoeffdingTail(t *testing.T) {
+	if HoeffdingTail(0, 0.1) != 1 || HoeffdingTail(100, 0) != 1 {
+		t.Error("degenerate inputs should return 1")
+	}
+	if HoeffdingTail(1000, 0.1) >= HoeffdingTail(100, 0.1) {
+		t.Error("tail should shrink with n")
+	}
+}
+
+func TestIntervalOperations(t *testing.T) {
+	iv := NewInterval(0.5, 0.1)
+	if !iv.Contains(0.45) || iv.Contains(0.7) {
+		t.Error("Contains wrong")
+	}
+	if math.Abs(iv.Width()-0.2) > 1e-12 || math.Abs(iv.Mid()-0.5) > 1e-12 {
+		t.Error("Width/Mid wrong")
+	}
+	c := NewInterval(0.05, 0.2).Clamp(0, 1)
+	if c.Lo != 0 || math.Abs(c.Hi-0.25) > 1e-12 {
+		t.Errorf("Clamp = %v", c)
+	}
+	if Clamp01(-0.2) != 0 || Clamp01(1.5) != 1 || Clamp01(0.3) != 0.3 {
+		t.Error("Clamp01 wrong")
+	}
+}
+
+func TestErrorSummary(t *testing.T) {
+	var e ErrorSummary
+	e.Observe(0.5, 0.4)
+	e.Observe(0.2, 0.4)
+	if e.N() != 2 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if math.Abs(e.MAE()-0.15) > 1e-12 {
+		t.Errorf("MAE = %v", e.MAE())
+	}
+	if math.Abs(e.MaxAbs()-0.2) > 1e-12 {
+		t.Errorf("MaxAbs = %v", e.MaxAbs())
+	}
+	want := math.Sqrt((0.01 + 0.04) / 2)
+	if math.Abs(e.RMSE()-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", e.RMSE(), want)
+	}
+	var other ErrorSummary
+	other.Observe(1, 0)
+	e.Merge(&other)
+	if e.N() != 3 || e.MaxAbs() != 1 {
+		t.Errorf("after Merge: n=%d max=%v", e.N(), e.MaxAbs())
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if math.Abs(RelativeError(1.1, 1.0)-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", RelativeError(1.1, 1.0))
+	}
+	if RelativeError(0.25, 0) != 0.25 {
+		t.Error("zero truth should fall back to absolute error")
+	}
+}

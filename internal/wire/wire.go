@@ -1,0 +1,207 @@
+// Package wire defines the compact binary protocol the collection server
+// and client speak: length-prefixed frames carrying published sketches,
+// conjunctive queries and their results.  The encoding reuses the canonical
+// byte forms of the underlying types (subset tags, value vectors, sketch
+// keys), so the bytes on the wire are exactly the public objects of the
+// paper — experiment E16 measures their size directly.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+// Message types.
+const (
+	// TypePublish carries one published sketch from a user to the collector.
+	TypePublish byte = 1
+	// TypeQuery carries a conjunctive query from an analyst.
+	TypeQuery byte = 2
+	// TypeResult carries a query result back to the analyst.
+	TypeResult byte = 3
+	// TypeAck acknowledges a publish.
+	TypeAck byte = 4
+	// TypeError carries a protocol- or query-level error message.
+	TypeError byte = 5
+)
+
+// MaxFrameSize bounds a single frame; sketches and conjunctive queries are
+// tiny, so anything larger indicates a corrupt or hostile peer.
+const MaxFrameSize = 1 << 20
+
+// Frame errors.
+var (
+	// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrCorrupt is returned when a payload cannot be decoded.
+	ErrCorrupt = errors.New("wire: corrupt payload")
+)
+
+// WriteFrame writes a type byte, a 4-byte big-endian length and the payload.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	header := make([]byte, 5)
+	header[0] = msgType
+	binary.BigEndian.PutUint32(header[1:], uint32(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(header[1:])
+	if size > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return header[0], payload, nil
+}
+
+// appendBytes appends a 4-byte length prefix and the bytes.
+func appendBytes(dst, b []byte) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	dst = append(dst, l[:]...)
+	return append(dst, b...)
+}
+
+// readBytes consumes a length-prefixed byte string.
+func readBytes(src []byte) (value, rest []byte, err error) {
+	if len(src) < 4 {
+		return nil, nil, ErrCorrupt
+	}
+	n := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	if uint32(len(src)) < n {
+		return nil, nil, ErrCorrupt
+	}
+	return src[:n], src[n:], nil
+}
+
+// EncodePublished serializes a published sketch.
+func EncodePublished(p sketch.Published) []byte {
+	out := make([]byte, 0, 64)
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], uint64(p.ID))
+	out = append(out, id[:]...)
+	out = appendBytes(out, p.Subset.Tag())
+	out = appendBytes(out, p.S.Bytes())
+	return out
+}
+
+// DecodePublished reverses EncodePublished.
+func DecodePublished(b []byte) (sketch.Published, error) {
+	if len(b) < 8 {
+		return sketch.Published{}, ErrCorrupt
+	}
+	id := bitvec.UserID(binary.BigEndian.Uint64(b))
+	rest := b[8:]
+	tag, rest, err := readBytes(rest)
+	if err != nil {
+		return sketch.Published{}, err
+	}
+	subset, err := bitvec.ParseTag(tag)
+	if err != nil {
+		return sketch.Published{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	sb, rest, err := readBytes(rest)
+	if err != nil {
+		return sketch.Published{}, err
+	}
+	if len(rest) != 0 {
+		return sketch.Published{}, ErrCorrupt
+	}
+	s, err := sketch.ParseSketch(sb)
+	if err != nil {
+		return sketch.Published{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return sketch.Published{ID: id, Subset: subset, S: s}, nil
+}
+
+// Query is a conjunctive query over one sketched subset.
+type Query struct {
+	Subset bitvec.Subset
+	Value  bitvec.Vector
+}
+
+// EncodeQuery serializes a query.
+func EncodeQuery(q Query) []byte {
+	out := make([]byte, 0, 64)
+	out = appendBytes(out, q.Subset.Tag())
+	out = appendBytes(out, q.Value.Bytes())
+	return out
+}
+
+// DecodeQuery reverses EncodeQuery.
+func DecodeQuery(b []byte) (Query, error) {
+	tag, rest, err := readBytes(b)
+	if err != nil {
+		return Query{}, err
+	}
+	subset, err := bitvec.ParseTag(tag)
+	if err != nil {
+		return Query{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	vb, rest, err := readBytes(rest)
+	if err != nil {
+		return Query{}, err
+	}
+	if len(rest) != 0 {
+		return Query{}, ErrCorrupt
+	}
+	value, err := bitvec.ParseBytes(vb)
+	if err != nil {
+		return Query{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return Query{Subset: subset, Value: value}, nil
+}
+
+// Result carries a frequency estimate back to the analyst.
+type Result struct {
+	Fraction float64
+	Raw      float64
+	Users    uint64
+}
+
+// EncodeResult serializes a result.
+func EncodeResult(r Result) []byte {
+	out := make([]byte, 24)
+	binary.BigEndian.PutUint64(out[0:], math.Float64bits(r.Fraction))
+	binary.BigEndian.PutUint64(out[8:], math.Float64bits(r.Raw))
+	binary.BigEndian.PutUint64(out[16:], r.Users)
+	return out
+}
+
+// DecodeResult reverses EncodeResult.
+func DecodeResult(b []byte) (Result, error) {
+	if len(b) != 24 {
+		return Result{}, ErrCorrupt
+	}
+	return Result{
+		Fraction: math.Float64frombits(binary.BigEndian.Uint64(b[0:])),
+		Raw:      math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+		Users:    binary.BigEndian.Uint64(b[16:]),
+	}, nil
+}
+
+// PublishedWireSize returns the number of bytes a published sketch occupies
+// on the wire (used by experiment E16).
+func PublishedWireSize(p sketch.Published) int { return len(EncodePublished(p)) + 5 /* frame header */ }
