@@ -5,7 +5,8 @@ package sketchprivacy
 // benchmarks for the primitives the experiments spend their time in and the
 // ablations DESIGN.md calls out.  Each ExN benchmark runs the corresponding
 // experiment at quick scale; `go run ./cmd/sketchbench` runs the full-scale
-// version and prints the tables recorded in EXPERIMENTS.md.
+// version (and with -benchjson writes the kernel numbers to BENCH.json so
+// successive PRs have a perf trajectory to compare against).
 
 import (
 	"bytes"
@@ -104,15 +105,28 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
-// BenchmarkConjunctiveQuery measures Algorithm 2 over a 10,000-user table
-// (per-query analyst cost, which scales linearly in M).
-func BenchmarkConjunctiveQuery(b *testing.B) {
+// BenchmarkEvaluateKernel measures one H(id, B, v, s) evaluation on a held
+// batch Kernel: the per-record cost of Algorithm 2's inner loop once the
+// shared (B, v) tuple components have been encoded.
+func BenchmarkEvaluateKernel(b *testing.B) {
+	h := benchSource(0.3)
+	subset := bitvec.Range(0, 8)
+	v := bitvec.FromUint(0x5A, 8)
+	s := sketch.Sketch{Key: 123, Length: 10}
+	k := sketch.NewKernel(h, subset, v)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Evaluate(bitvec.UserID(i), s)
+	}
+}
+
+// benchQueryTable builds the 10,000-user single-subset table shared by the
+// conjunctive-query benchmarks.
+func benchQueryTable(b *testing.B, h *prf.Biased, p float64) (*sketch.Table, bitvec.Subset) {
+	b.Helper()
 	const m = 10000
-	p := 0.25
 	pop := dataset.UniformBinary(1, m, 8, 0.5)
-	h := benchSource(p)
 	sk, _ := sketch.NewSketcher(h, sketch.MustParams(p, 10))
-	est, _ := query.NewEstimator(h)
 	tab := sketch.NewTable()
 	rng := stats.NewRNG(2)
 	subset := bitvec.Range(0, 4)
@@ -125,6 +139,18 @@ func BenchmarkConjunctiveQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	return tab, subset
+}
+
+// BenchmarkConjunctiveQuery measures Algorithm 2 over a 10,000-user table
+// (per-query analyst cost, which scales linearly in M).  The record loop
+// shards across GOMAXPROCS workers, so this number improves with cores; run
+// with -cpu 1,4 to see the scaling.
+func BenchmarkConjunctiveQuery(b *testing.B) {
+	p := 0.25
+	h := benchSource(p)
+	est, _ := query.NewEstimator(h)
+	tab, subset := benchQueryTable(b, h, p)
 	v := bitvec.MustFromString("1010")
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -132,6 +158,22 @@ func BenchmarkConjunctiveQuery(b *testing.B) {
 		if _, err := est.Fraction(tab, subset, v); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCountMatchesBatch measures the single-goroutine batch kernel
+// over the same 10,000-record table — the per-shard work of the parallel
+// query path, with no goroutine or estimator overhead.
+func BenchmarkCountMatchesBatch(b *testing.B) {
+	p := 0.25
+	h := benchSource(p)
+	tab, subset := benchQueryTable(b, h, p)
+	records := tab.Snapshot(subset)
+	v := bitvec.MustFromString("1010")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sketch.CountMatches(h, records, subset, v)
 	}
 }
 

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// KernelResult is one machine-readable benchmark row of BENCH.json.
+type KernelResult struct {
+	// Name identifies the kernel; names are stable across PRs so files can
+	// be diffed.
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Iterations is how many operations the measurement averaged over.
+	Iterations int `json:"iterations"`
+}
+
+// BenchFile is the top-level BENCH.json document.
+type BenchFile struct {
+	// GeneratedAt is the RFC 3339 timestamp of the run.
+	GeneratedAt string `json:"generated_at"`
+	// GoVersion and NumCPU qualify the numbers (the parallel query kernel
+	// scales with cores).
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	Kernels   []KernelResult `json:"kernels"`
+}
+
+// benchKey returns the fixed generator key used by every kernel benchmark.
+func benchKey() []byte { return bytes.Repeat([]byte{0x42}, prf.MinKeyBytes) }
+
+// kernelBenchmarks enumerates the measured kernels.  Each entry is a plain
+// testing.B body, run through testing.Benchmark so ns/op and allocs/op come
+// from the standard machinery.
+func kernelBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	p := 0.3
+	h := prf.NewBiased(benchKey(), prf.MustProb(p))
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"sha256-block", func(b *testing.B) {
+			data := bytes.Repeat([]byte{0x7e}, 64)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prf.Sum256(data)
+			}
+		}},
+		{"hmac-midstate", func(b *testing.B) {
+			f := prf.NewFunc(benchKey())
+			e := f.NewEvaluator()
+			msg := bytes.Repeat([]byte{0x11}, 150)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.DigestMsg(msg)
+			}
+		}},
+		{"evaluate-facade", func(b *testing.B) {
+			subset := bitvec.Range(0, 8)
+			v := bitvec.FromUint(0x5A, 8)
+			s := sketch.Sketch{Key: 123, Length: 10}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sketch.Evaluate(h, bitvec.UserID(i), subset, v, s)
+			}
+		}},
+		{"evaluate-kernel", func(b *testing.B) {
+			subset := bitvec.Range(0, 8)
+			v := bitvec.FromUint(0x5A, 8)
+			s := sketch.Sketch{Key: 123, Length: 10}
+			k := sketch.NewKernel(h, subset, v)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k.Evaluate(bitvec.UserID(i), s)
+			}
+		}},
+		{"sketch-one", func(b *testing.B) {
+			sk, err := sketch.NewSketcher(h, sketch.MustParams(p, 10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			subset := bitvec.Range(0, 8)
+			profile := bitvec.Profile{ID: 1, Data: bitvec.FromUint(0xA5, 8)}
+			rng := stats.NewRNG(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				profile.ID = bitvec.UserID(i + 1)
+				if _, err := sk.Sketch(rng, profile, subset); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"conjunctive-query-10k", func(b *testing.B) {
+			pq := 0.25
+			hq := prf.NewBiased(benchKey(), prf.MustProb(pq))
+			pop := dataset.UniformBinary(1, 10000, 8, 0.5)
+			sk, _ := sketch.NewSketcher(hq, sketch.MustParams(pq, 10))
+			est, _ := query.NewEstimator(hq)
+			tab := sketch.NewTable()
+			rng := stats.NewRNG(2)
+			subset := bitvec.Range(0, 4)
+			for _, profile := range pop.Profiles {
+				s, err := sk.Sketch(rng, profile, subset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tab.Add(sketch.Published{ID: profile.ID, Subset: subset, S: s}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			v := bitvec.MustFromString("1010")
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Fraction(tab, subset, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// writeBenchJSON measures every kernel and writes the results to path.
+func writeBenchJSON(path string) error {
+	file := BenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, kb := range kernelBenchmarks() {
+		r := testing.Benchmark(kb.fn)
+		file.Kernels = append(file.Kernels, KernelResult{
+			Name:        kb.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Printf("%-22s %12.1f ns/op %6d allocs/op\n",
+			kb.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

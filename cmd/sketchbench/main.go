@@ -1,6 +1,6 @@
 // Command sketchbench runs the experiment harness that regenerates every
 // quantitative claim of the paper (experiments E1–E16 in DESIGN.md) and
-// prints the tables recorded in EXPERIMENTS.md.
+// prints the result tables.
 //
 // Usage:
 //
@@ -9,6 +9,9 @@
 //	sketchbench -quick          # reduced sweeps and population sizes
 //	sketchbench -users 50000    # override the base population size
 //	sketchbench -list           # list available experiments
+//	sketchbench -benchjson BENCH.json   # measure the PRF/sketch/query
+//	                                    # kernels and write machine-readable
+//	                                    # ns/op and allocs/op, then exit
 package main
 
 import (
@@ -23,17 +26,26 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quick    = flag.Bool("quick", false, "run reduced sweeps")
-		users    = flag.Int("users", 0, "override base population size M")
-		seed     = flag.Uint64("seed", 0, "override the random seed")
-		listOnly = flag.Bool("list", false, "list experiments and exit")
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick     = flag.Bool("quick", false, "run reduced sweeps")
+		users     = flag.Int("users", 0, "override base population size M")
+		seed      = flag.Uint64("seed", 0, "override the random seed")
+		listOnly  = flag.Bool("list", false, "list experiments and exit")
+		benchJSON = flag.String("benchjson", "", "measure the kernel benchmarks and write JSON results to this path, then exit")
 	)
 	flag.Parse()
 
 	if *listOnly {
 		for _, r := range experiment.All() {
 			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

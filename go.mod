@@ -1,0 +1,3 @@
+module sketchprivacy
+
+go 1.22

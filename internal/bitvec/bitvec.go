@@ -180,12 +180,20 @@ func (v Vector) Uint() uint64 {
 // words little-endian).  Two vectors are Equal iff their Bytes are equal, so
 // the encoding is suitable as PRF input and as a map key.
 func (v Vector) Bytes() []byte {
-	out := make([]byte, 8+8*len(v.words))
-	binary.BigEndian.PutUint64(out, uint64(v.n))
-	for i, w := range v.words {
-		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	return v.AppendBytes(make([]byte, 0, v.EncodedLen()))
+}
+
+// EncodedLen returns the length of the Bytes encoding.
+func (v Vector) EncodedLen() int { return 8 + 8*len(v.words) }
+
+// AppendBytes appends the Bytes encoding to dst, for callers that assemble
+// PRF messages into reusable scratch without allocating.
+func (v Vector) AppendBytes(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(v.n))
+	for _, w := range v.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
 	}
-	return out
+	return dst
 }
 
 // ParseBytes reconstructs a vector from its Bytes encoding.

@@ -154,12 +154,20 @@ func (s Subset) SameSet(t Subset) bool {
 // Tag returns a canonical byte encoding of the subset, used as the B
 // component of the PRF input tuple and as a map key.
 func (s Subset) Tag() []byte {
-	out := make([]byte, 8+8*len(s.positions))
-	binary.BigEndian.PutUint64(out, uint64(len(s.positions)))
-	for i, p := range s.positions {
-		binary.BigEndian.PutUint64(out[8+8*i:], uint64(p))
+	return s.AppendTag(make([]byte, 0, s.TagLen()))
+}
+
+// TagLen returns the length of the Tag encoding.
+func (s Subset) TagLen() int { return 8 + 8*len(s.positions) }
+
+// AppendTag appends the Tag encoding to dst, for callers that assemble PRF
+// messages into reusable scratch without allocating.
+func (s Subset) AppendTag(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(s.positions)))
+	for _, p := range s.positions {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p))
 	}
-	return out
+	return dst
 }
 
 // Key returns the Tag as a string, convenient for use as a map key.

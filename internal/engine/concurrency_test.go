@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// TestEngineConcurrentIngestAndQuery hammers one Engine with parallel
+// ingestion and Algorithm 2 queries (run it under -race).  It exercises the
+// whole concurrent stack: the snapshot-cached Table, the lock-free
+// per-goroutine PRF evaluators, and the sharded record loop inside
+// Fraction.  Raising GOMAXPROCS makes the parallel shard path fire even on
+// single-core CI runners.
+func TestEngineConcurrentIngestAndQuery(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	eng, err := New(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := sketch.NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 4)
+	v := bitvec.MustFromString("1010")
+
+	// Seed enough records that queries cross the parallel-shard threshold.
+	const seeded = 3000
+	rng := stats.NewRNG(99)
+	seedOne := func(id int) sketch.Published {
+		profile := bitvec.Profile{ID: bitvec.UserID(id), Data: bitvec.FromUint(uint64(id)%16, 4)}
+		s, err := sk.Sketch(rng, profile, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sketch.Published{ID: profile.ID, Subset: subset, S: s}
+	}
+	for i := 1; i <= seeded; i++ {
+		if err := eng.Ingest(seedOne(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers       = 4
+		readers       = 4
+		perWriter     = 200
+		perReader     = 50
+		combineEvery  = 10
+		firstWriterID = seeded + 1
+	)
+	// Pre-sketch the writers' records single-threaded: the user-side RNG is
+	// not safe for concurrent use, and this test targets the analyst stack.
+	pending := make([][]sketch.Published, writers)
+	for w := 0; w < writers; w++ {
+		pending[w] = make([]sketch.Published, perWriter)
+		for i := 0; i < perWriter; i++ {
+			pending[w][i] = seedOne(firstWriterID + w*perWriter + i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(batch []sketch.Published) {
+			defer wg.Done()
+			for _, pub := range batch {
+				if err := eng.Ingest(pub); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(pending[w])
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				est, err := eng.Conjunction(subset, v)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if est.Users < seeded {
+					errCh <- errors.New("query observed fewer users than were already ingested")
+					return
+				}
+				if i%combineEvery == 0 {
+					// Appendix F path: exercises the parallel match
+					// histogram too.
+					if _, err := eng.UnionConjunction([]query.SubQuery{
+						{Subset: subset, Value: v},
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the table must hold every record and answer
+	// deterministically.
+	want := seeded + writers*perWriter
+	if got := eng.Sketches(); got != want {
+		t.Fatalf("Sketches() = %d, want %d", got, want)
+	}
+	a, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("repeated query unstable: %v vs %v", a, b)
+	}
+}
+
+// TestFractionParallelMatchesSerial pins that sharding the record loop
+// across workers cannot change the estimate: the parallel path must count
+// exactly what the serial path counts.
+func TestFractionParallelMatchesSerial(t *testing.T) {
+	p := 0.25
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	eng, err := New(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := sketch.NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 4)
+	v := bitvec.MustFromString("0110")
+	rng := stats.NewRNG(5)
+	for i := 1; i <= 4000; i++ {
+		profile := bitvec.Profile{ID: bitvec.UserID(i), Data: bitvec.FromUint(uint64(i)%16, 4)}
+		s, err := sk.Sketch(rng, profile, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest(sketch.Published{ID: profile.ID, Subset: subset, S: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := eng.Conjunction(subset, v)
+	runtime.GOMAXPROCS(8)
+	parallel, err2 := eng.Conjunction(subset, v)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if serial != parallel {
+		t.Fatalf("serial estimate %v != parallel estimate %v", serial, parallel)
+	}
+}

@@ -18,4 +18,11 @@
 //     stops after E² queries (the paid, budget-limited mode).
 //   - DualServer: both modes side by side, the paper's "paid and free
 //     access" suggestion.
+//
+// An Engine is safe for concurrent use: the sketch table serves queries
+// from cached immutable snapshots behind an RWMutex, every query holds its
+// own lock-free PRF evaluators, and large record loops shard across
+// GOMAXPROCS workers inside the query package — so ingestion and analysis
+// can proceed simultaneously from any number of goroutines (the collection
+// server relies on this, serving each connection on its own goroutine).
 package engine

@@ -1,7 +1,7 @@
 // Package experiment is the harness that regenerates every quantitative
 // claim of the paper (the experiment index E1–E16 in DESIGN.md): it builds
 // the workloads, runs the mechanism and the baselines, and renders the
-// resulting series as plain-text tables that EXPERIMENTS.md records.
+// resulting series as plain-text tables (printed by cmd/sketchbench).
 package experiment
 
 import (
@@ -83,8 +83,8 @@ type Config struct {
 	Quick bool
 }
 
-// DefaultConfig is the configuration the EXPERIMENTS.md numbers were
-// produced with.
+// DefaultConfig is the full-scale configuration cmd/sketchbench runs the
+// experiments with.
 func DefaultConfig() Config {
 	return Config{Seed: 20060618, Users: 100000, Quick: false}
 }

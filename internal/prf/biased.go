@@ -32,7 +32,18 @@ func NewProb(p float64) (Prob, error) {
 	if p >= 1 {
 		return Prob{threshold: math.MaxUint64, value: 1}, nil
 	}
-	return Prob{threshold: uint64(p * (1 << 63) * 2), value: p}, nil
+	// Ldexp scales by a power of two, which is exact for any finite float,
+	// so t = p·2^64 here and t < 2^64 whenever p < 1: the uint64 conversion
+	// below cannot overflow (a uint64 conversion of a value ≥ 2^64 would be
+	// implementation-defined in Go).  Probabilities within 2^-54 of 1 don't
+	// reach this line at all — they already round to exactly 1.0 when
+	// parsed and take the p >= 1 branch above.  The clamp is a defensive
+	// guard on that reasoning, not a reachable path.
+	t := math.Ldexp(p, 64)
+	if t >= math.Ldexp(1, 64) {
+		return Prob{threshold: math.MaxUint64, value: p}, nil
+	}
+	return Prob{threshold: uint64(t), value: p}, nil
 }
 
 // MustProb is NewProb that panics on invalid input; intended for constants
@@ -106,3 +117,53 @@ func (b *Biased) Prob() Prob { return b.p }
 // Func returns the underlying keyed PRF, for callers that also need uniform
 // output (for example the dataset generators share one generator key).
 func (b *Biased) Func() *Func { return b.f }
+
+// BitEvaluator is the per-goroutine counterpart of Biased: a lock-free,
+// allocation-free handle that evaluates the p-biased function using its own
+// hasher and scratch state.  Output is bit-identical to Biased.Bit.  Not
+// safe for concurrent use; create (or bind) one per goroutine.
+type BitEvaluator struct {
+	ev Evaluator
+	p  Prob
+}
+
+// NewBitEvaluator returns a fresh evaluation handle for this biased source.
+func (b *Biased) NewBitEvaluator() *BitEvaluator {
+	be := &BitEvaluator{}
+	b.BindEvaluator(be)
+	return be
+}
+
+// BindEvaluator points be at this source's key schedule and bias, reusing
+// be's internal buffers.  It lets pools and batch kernels recycle evaluator
+// state across queries and keys without reallocating.
+func (b *Biased) BindEvaluator(be *BitEvaluator) {
+	be.ev.Rebind(b.f)
+	be.p = b.p
+}
+
+// Bit evaluates the p-biased function on the input tuple.
+func (be *BitEvaluator) Bit(parts ...[]byte) bool {
+	return be.p.Decide(be.ev.Uint64(parts...))
+}
+
+// BitMsg evaluates the p-biased function on a message the caller has
+// already tuple-encoded (see AppendTupleHeader/AppendPart).  This is the
+// zero-allocation fast path batch kernels use.
+func (be *BitEvaluator) BitMsg(msg []byte) bool {
+	return be.p.Decide(be.ev.Uint64Msg(msg))
+}
+
+// Bias returns p, the probability that Bit is true on a fresh tuple.
+func (be *BitEvaluator) Bias() float64 { return be.p.Float() }
+
+// EvaluatorSource is the optional fast-path interface implemented by bit
+// sources that can hand out cheap per-goroutine evaluation handles.  Batch
+// kernels type-assert for it and fall back to the plain BitSource interface
+// (e.g. for the truly random Oracle) when it is absent.
+type EvaluatorSource interface {
+	BitSource
+	// BindEvaluator retargets an existing handle at this source, reusing
+	// its buffers.
+	BindEvaluator(be *BitEvaluator)
+}

@@ -55,6 +55,46 @@ func TestProbDecideBoundaries(t *testing.T) {
 	}
 }
 
+func TestProbNoOverflowNearOne(t *testing.T) {
+	// Regression guard for the p→1 boundary, where p·2^64 brushes against
+	// the top of the uint64 range.  A uint64 conversion that overflows is
+	// implementation-defined in Go, so NewProb must provably never convert
+	// a value ≥ 2^64: probabilities whose float64 representation rounds to
+	// 1 (e.g. 1−2^-60) take the exact p≥1 branch, and everything below
+	// must produce a threshold that is large, exact and monotone.
+	roundsToOne := 1 - math.Pow(2, -60) // closest float64 is exactly 1.0
+	pr, err := NewProb(roundsToOne)
+	if err != nil {
+		t.Fatalf("NewProb(1-2^-60): unexpected error %v", err)
+	}
+	if pr.Threshold() != math.MaxUint64 {
+		t.Errorf("NewProb(1-2^-60).Threshold() = %d, want MaxUint64", pr.Threshold())
+	}
+	if !pr.Decide(math.MaxUint64 - 1) {
+		t.Error("NewProb(1-2^-60) should decide true on MaxUint64-1")
+	}
+
+	largest := math.Nextafter(1, 0) // largest float64 strictly below 1
+	pr = MustProb(largest)
+	// (1−2^-53)·2^64 = 2^64−2^11 is exactly representable; no clamping.
+	if want := uint64(math.MaxUint64) - (1 << 11) + 1; pr.Threshold() != want {
+		t.Errorf("NewProb(1-2^-53).Threshold() = %d, want %d", pr.Threshold(), want)
+	}
+	if pr.Float() != largest {
+		t.Errorf("NewProb(1-2^-53).Float() = %v, want the input back", pr.Float())
+	}
+
+	// Monotonicity across a sweep up to and including the boundary.
+	prev := uint64(0)
+	for _, p := range []float64{0.5, 0.9, 0.99, 1 - 1e-9, 1 - 1e-15, largest, 1} {
+		pr := MustProb(p)
+		if pr.Threshold() < prev {
+			t.Errorf("threshold not monotone at p=%v: %d < %d", p, pr.Threshold(), prev)
+		}
+		prev = pr.Threshold()
+	}
+}
+
 func TestProbRoundTripProperty(t *testing.T) {
 	prop := func(raw uint32) bool {
 		p := float64(raw) / float64(math.MaxUint32)

@@ -36,13 +36,19 @@ func HMAC(key, msg []byte) [DigestSize]byte {
 	return out
 }
 
-// hmacState is a reusable HMAC context that avoids re-deriving the padded
-// key for every evaluation.  It is not safe for concurrent use; the PRF
-// wraps it behind a per-goroutine-free design (each call builds its message
-// into a scratch buffer guarded by the caller).
+// hmacState holds the per-key HMAC precomputation: the padded key blocks
+// and, crucially, the SHA-256 midstates reached after compressing them.
+// The midstates are what make evaluation cheap — each HMAC resumes from
+// them instead of re-compressing the 64-byte ipad/opad blocks, saving two
+// of the four compressions a short-message HMAC otherwise costs.  The
+// struct is immutable after construction, so any number of goroutines can
+// evaluate against it concurrently without synchronisation.
 type hmacState struct {
 	ipad [BlockSize]byte
 	opad [BlockSize]byte
+	// istate/ostate are the compression states after absorbing ipad/opad.
+	istate [8]uint32
+	ostate [8]uint32
 }
 
 func newHMACState(key []byte) *hmacState {
@@ -58,21 +64,28 @@ func newHMACState(key []byte) *hmacState {
 		s.ipad[i] = k[i] ^ 0x36
 		s.opad[i] = k[i] ^ 0x5c
 	}
+	s.istate = sha256InitState
+	compress(&s.istate, s.ipad[:])
+	s.ostate = sha256InitState
+	compress(&s.ostate, s.opad[:])
 	return s
 }
 
-// sum computes HMAC(key, msg) using the precomputed pads.
+// sum computes HMAC(key, msg) using the precomputed midstates.
 func (s *hmacState) sum(msg []byte) [DigestSize]byte {
-	inner := NewHasher()
-	inner.Write(s.ipad[:])
-	inner.Write(msg)
-	innerSum := inner.Sum(nil)
+	var h Hasher
+	return s.sumMid(&h, msg)
+}
 
-	outer := NewHasher()
-	outer.Write(s.opad[:])
-	outer.Write(innerSum)
-
-	var out [DigestSize]byte
-	copy(out[:], outer.Sum(nil))
-	return out
+// sumMid computes HMAC(key, msg) resuming from the cached midstates, using
+// h as scratch hasher state.  It performs no allocations: the only
+// compressions executed are for the message itself and the two final
+// padding blocks.
+func (s *hmacState) sumMid(h *Hasher, msg []byte) [DigestSize]byte {
+	h.resetToMidstate(s.istate, 1)
+	h.Write(msg)
+	inner := h.SumDigest()
+	h.resetToMidstate(s.ostate, 1)
+	h.Write(inner[:])
+	return h.SumDigest()
 }

@@ -1,7 +1,6 @@
 package prf
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,20 +20,28 @@ var ErrShortKey = errors.New("prf: generator key shorter than 300 bits")
 
 // Func is the keyed pseudorandom function H used throughout the paper.  It
 // maps an arbitrary tuple of byte strings to uniform pseudorandom output via
-// HMAC-SHA-256 in counter mode.  A Func is safe for concurrent use.
+// HMAC-SHA-256 in counter mode.  A Func is safe for concurrent use and
+// lock-free: the key schedule (with its cached ipad/opad midstates) is
+// immutable and shared, while per-call hasher and scratch state lives in
+// pooled per-goroutine Evaluators.  Hot loops should hold an Evaluator
+// directly (see NewEvaluator) and skip the pool round-trip entirely.
 type Func struct {
-	mac *hmacState
-	mu  sync.Mutex
-	// scratch is the reusable message buffer protected by mu.
-	scratch []byte
+	mac  *hmacState
+	pool sync.Pool // of *Evaluator
 }
 
 // NewFunc creates a keyed pseudorandom function from a generator key.  The
 // key should be at least MinKeyBytes long; shorter keys are accepted (they
 // are useful in tests) but NewFuncStrict rejects them.
 func NewFunc(key []byte) *Func {
-	return &Func{mac: newHMACState(key)}
+	f := &Func{mac: newHMACState(key)}
+	f.pool.New = func() any { return &Evaluator{mac: f.mac} }
+	return f
 }
+
+// acquire returns a pooled evaluator; release returns it.
+func (f *Func) acquire() *Evaluator  { return f.pool.Get().(*Evaluator) }
+func (f *Func) release(e *Evaluator) { f.pool.Put(e) }
 
 // NewFuncStrict is like NewFunc but returns ErrShortKey when the key is
 // shorter than the paper's recommended 300 bits.
@@ -50,31 +57,28 @@ func NewFuncStrict(key []byte) (*Func, error) {
 // distinct tuples never collide as byte strings (("ab","c") != ("a","bc")),
 // which the independence argument of the paper relies on.
 func encodeTuple(dst []byte, parts ...[]byte) []byte {
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], uint64(len(parts)))
-	dst = append(dst, tmp[:]...)
+	dst = AppendTupleHeader(dst, len(parts))
 	for _, p := range parts {
-		binary.BigEndian.PutUint64(tmp[:], uint64(len(p)))
-		dst = append(dst, tmp[:]...)
-		dst = append(dst, p...)
+		dst = AppendPart(dst, p)
 	}
 	return dst
 }
 
 // Digest returns the 32-byte PRF output for the given input tuple.
 func (f *Func) Digest(parts ...[]byte) [DigestSize]byte {
-	f.mu.Lock()
-	f.scratch = encodeTuple(f.scratch[:0], parts...)
-	d := f.mac.sum(f.scratch)
-	f.mu.Unlock()
+	e := f.acquire()
+	d := e.Digest(parts...)
+	f.release(e)
 	return d
 }
 
 // Uint64 returns a uniform pseudorandom 64-bit integer derived from the
 // input tuple.
 func (f *Func) Uint64(parts ...[]byte) uint64 {
-	d := f.Digest(parts...)
-	return binary.BigEndian.Uint64(d[:8])
+	e := f.acquire()
+	u := e.Uint64(parts...)
+	f.release(e)
+	return u
 }
 
 // Float64 returns a uniform pseudorandom value in [0,1) derived from the
@@ -89,19 +93,9 @@ func (f *Func) Float64(parts ...[]byte) float64 {
 // independent blocks, so arbitrarily long streams can be derived from a
 // single tuple.
 func (f *Func) Expand(out []byte, parts ...[]byte) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	base := encodeTuple(f.scratch[:0], parts...)
-	n := 0
-	var ctr [8]byte
-	for counter := uint64(0); n < len(out); counter++ {
-		binary.BigEndian.PutUint64(ctr[:], counter)
-		msg := append(base, ctr[:]...)
-		d := f.mac.sum(msg)
-		n += copy(out[n:], d[:])
-		base = msg[:len(base)]
-	}
-	f.scratch = base
+	e := f.acquire()
+	e.Expand(out, parts...)
+	f.release(e)
 }
 
 // DeriveKey derives a sub-key of the requested length from the generator

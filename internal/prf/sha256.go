@@ -92,6 +92,13 @@ func (h *Hasher) Write(p []byte) (int, error) {
 // result.  The Hasher state is not modified, so further writes continue the
 // same message.
 func (h *Hasher) Sum(in []byte) []byte {
+	d := h.SumDigest()
+	return append(in, d[:]...)
+}
+
+// SumDigest returns the digest of everything written so far as a value,
+// without allocating.  Like Sum, it leaves the Hasher state untouched.
+func (h *Hasher) SumDigest() [DigestSize]byte {
 	// Work on a copy so the caller can keep writing.
 	cp := *h
 	var pad [BlockSize + 8]byte
@@ -107,16 +114,25 @@ func (h *Hasher) Sum(in []byte) []byte {
 	for i, s := range cp.state {
 		binary.BigEndian.PutUint32(out[4*i:], s)
 	}
-	return append(in, out[:]...)
+	return out
+}
+
+// resetToMidstate restores the hasher to a captured compression state as if
+// prefixBlocks whole 64-byte blocks had already been written.  HMAC uses it
+// to resume from the cached ipad/opad midstates instead of re-compressing
+// the padded key on every evaluation.
+func (h *Hasher) resetToMidstate(state [8]uint32, prefixBlocks uint64) {
+	h.state = state
+	h.bufLen = 0
+	h.length = prefixBlocks * BlockSize
 }
 
 // Sum256 returns the SHA-256 digest of data.
 func Sum256(data []byte) [DigestSize]byte {
-	h := NewHasher()
+	var h Hasher
+	h.Reset()
 	h.Write(data)
-	var out [DigestSize]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	return h.SumDigest()
 }
 
 func rotr(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }

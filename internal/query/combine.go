@@ -65,10 +65,19 @@ func Conditioning(k int, p float64) float64 {
 	return linalg.Cond1(PerturbationMatrix(k, p))
 }
 
+// errMissingSubset reports a user that lost a subset between UsersWithAll
+// and evaluation (impossible while sketches are never removed, but kept as
+// a defensive invariant).
+func errMissingSubset(id bitvec.UserID, b bitvec.Subset) error {
+	return fmt.Errorf("%w: user %v missing subset %v", ErrNoSketches, id, b)
+}
+
 // matchCountDistribution computes, over the users that sketched every
 // sub-query's subset, the observed distribution y where y[l'] is the
 // fraction of those users for whom exactly l' of the k sub-query
 // evaluations H(id, B_i, v_i, s_i) are 1.  It also reports the users used.
+// The per-user evaluation loop is sharded across workers (see
+// matchHistogram), mirroring the parallel Algorithm 2 record loop.
 func (e *Estimator) matchCountDistribution(tab *sketch.Table, subs []SubQuery) ([]float64, int, error) {
 	if err := validateSubQueries(subs); err != nil {
 		return nil, 0, err
@@ -81,23 +90,13 @@ func (e *Estimator) matchCountDistribution(tab *sketch.Table, subs []SubQuery) (
 	if len(users) == 0 {
 		return nil, 0, fmt.Errorf("%w: no user sketched all %d subsets", ErrNoSketches, len(subs))
 	}
-	k := len(subs)
-	y := make([]float64, k+1)
-	for _, id := range users {
-		matches := 0
-		for _, s := range subs {
-			sk1, ok := tab.Get(id, s.Subset)
-			if !ok {
-				return nil, 0, fmt.Errorf("%w: user %v missing subset %v", ErrNoSketches, id, s.Subset)
-			}
-			if sketch.Evaluate(e.h, id, s.Subset, s.Value, sk1) {
-				matches++
-			}
-		}
-		y[matches]++
+	hist, err := matchHistogram(e.h, tab, subs, users)
+	if err != nil {
+		return nil, 0, err
 	}
-	for i := range y {
-		y[i] /= float64(len(users))
+	y := make([]float64, len(hist))
+	for i, c := range hist {
+		y[i] = float64(c) / float64(len(users))
 	}
 	return y, len(users), nil
 }

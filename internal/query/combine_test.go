@@ -169,6 +169,7 @@ func TestUnionConjunctionRecoversTruth(t *testing.T) {
 }
 
 func TestMatchDistributionAndExactlyOfK(t *testing.T) {
+	skipIfShort(t)
 	const m = 30000
 	p := 0.25
 	// Three independent bits with known marginals.

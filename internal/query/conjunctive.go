@@ -14,6 +14,11 @@ import (
 // The estimate's additive error exceeds ε with probability at most
 // exp(−ε²(1−2p)²M/4) (Lemma 4.1), independent of |b| — the paper's
 // headline utility property.
+//
+// The M-record evaluation loop runs on the zero-allocation batch kernel,
+// sharded across GOMAXPROCS worker goroutines for large tables; the derived
+// estimators (numeric, interval, tree, combine) inherit the parallel path
+// through their Fraction and match-distribution fan-outs.
 func (e *Estimator) Fraction(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector) (Estimate, error) {
 	if b.Len() != v.Len() {
 		return Estimate{}, fmt.Errorf("%w: subset of size %d queried with value of length %d", ErrMismatch, b.Len(), v.Len())
@@ -21,16 +26,11 @@ func (e *Estimator) Fraction(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector
 	if b.Len() == 0 {
 		return Estimate{}, fmt.Errorf("%w: empty subset", ErrMismatch)
 	}
-	records := tab.ForSubset(b)
+	records := tab.Snapshot(b)
 	if len(records) == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSketches, b)
 	}
-	hits := 0
-	for _, rec := range records {
-		if sketch.EvaluatePublished(e.h, rec, v) {
-			hits++
-		}
-	}
+	hits := countMatches(e.h, records, b, v)
 	observed := float64(hits) / float64(len(records))
 	return e.newEstimate(observed, len(records)), nil
 }

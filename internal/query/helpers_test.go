@@ -11,6 +11,15 @@ import (
 	"sketchprivacy/internal/stats"
 )
 
+// skipIfShort skips large-population statistical tests under -short so CI
+// smoke runs stay fast; the full suite still exercises them.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping large-population statistical test in short mode")
+	}
+}
+
 // testSource returns the public p-biased function shared by the sketchers
 // and estimators in these tests.
 func testSource(p float64) *prf.Biased {

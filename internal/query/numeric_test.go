@@ -40,6 +40,7 @@ func TestFieldSubsetHelpers(t *testing.T) {
 }
 
 func TestFieldMeanAndSum(t *testing.T) {
+	skipIfShort(t)
 	const m = 30000
 	p := 0.25
 	pop, age, salary := smallSalaryPopulation(5, m)
@@ -77,6 +78,7 @@ func TestFieldMeanAndSum(t *testing.T) {
 }
 
 func TestInnerProductMean(t *testing.T) {
+	skipIfShort(t)
 	const m = 20000
 	p := 0.25
 	// Two tiny correlated fields: b = a + noise keeps the inner product
@@ -113,6 +115,7 @@ func TestInnerProductMean(t *testing.T) {
 }
 
 func TestFieldLessThanAndAtMost(t *testing.T) {
+	skipIfShort(t)
 	const m = 25000
 	p := 0.25
 	pop, _, salary := smallSalaryPopulation(6, m)
@@ -161,6 +164,7 @@ func TestFieldLessThanAndAtMost(t *testing.T) {
 }
 
 func TestEqualAndLessThan(t *testing.T) {
+	skipIfShort(t)
 	const m = 30000
 	p := 0.25
 	// Small fields so the joint event is frequent enough to measure.
@@ -198,6 +202,7 @@ func TestEqualAndLessThan(t *testing.T) {
 }
 
 func TestConditionalMeanGivenLessThan(t *testing.T) {
+	skipIfShort(t)
 	const m = 30000
 	p := 0.25
 	// b is larger when a is small, so conditioning on a < c shifts the mean

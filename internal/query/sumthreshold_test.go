@@ -37,6 +37,7 @@ func sumTruth(pop *dataset.Population, a, b bitvec.IntField, r int) float64 {
 }
 
 func TestSumLessThanPow2RecoversTruth(t *testing.T) {
+	skipIfShort(t)
 	const m = 40000
 	const k = 4
 	p := 0.25
@@ -63,6 +64,7 @@ func TestSumLessThanPow2RecoversTruth(t *testing.T) {
 }
 
 func TestSumLessThanPow2EdgeCases(t *testing.T) {
+	skipIfShort(t)
 	const m = 20000
 	const k = 3
 	p := 0.25

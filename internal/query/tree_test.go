@@ -109,6 +109,7 @@ func TestDecisionTreeFractionExactSubsets(t *testing.T) {
 }
 
 func TestDecisionTreeFractionGluedFromSingleBits(t *testing.T) {
+	skipIfShort(t)
 	const m = 25000
 	p := 0.25
 	pop := dataset.Epidemiology(93, m, dataset.DefaultEpidemiologyRates())

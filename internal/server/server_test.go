@@ -99,6 +99,103 @@ func TestPublishAndQueryOverTCP(t *testing.T) {
 	}
 }
 
+// TestConcurrentPublishAndQueryOverTCP mixes publishing clients with
+// querying clients on one live server (run under -race): the wire layer,
+// the engine and the snapshot-cached table must tolerate analysts reading
+// while users are still streaming sketches in.
+func TestConcurrentPublishAndQueryOverTCP(t *testing.T) {
+	const m = 2000
+	p := 0.25
+	_, addr, h, params := startTestServer(t, p, 10)
+
+	pop := dataset.UniformBinary(9, m, 4, 0.5)
+	subset := bitvec.MustSubset(0, 1)
+	v := bitvec.MustFromString("11")
+	sk, err := sketch.NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed a first batch so queries racing the writers always have data.
+	seedCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	const seeded = m / 2
+	for _, profile := range pop.Profiles[:seeded] {
+		pubs, err := sk.SketchAll(rng, profile, []bitvec.Subset{subset})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seedCli.PublishAll(pubs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seedCli.Close()
+
+	// Pre-sketch the remaining records (the RNG is single-goroutine).
+	rest := make([][]sketch.Published, 0, m-seeded)
+	for _, profile := range pop.Profiles[seeded:] {
+		pubs, err := sk.SketchAll(rng, profile, []bitvec.Subset{subset})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, pubs)
+	}
+
+	const writers, readers = 2, 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	per := len(rest) / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(batches [][]sketch.Published) {
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			for _, pubs := range batches {
+				if err := cli.PublishAll(pubs); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(rest[w*per : (w+1)*per])
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 25; i++ {
+				res, err := cli.QueryConjunction(subset, v)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Users < seeded || res.Users > m {
+					errCh <- errors.New("mid-ingest query saw an impossible user count")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestServerReportsErrors(t *testing.T) {
 	_, addr, _, _ := startTestServer(t, 0.3, 8)
 	cli, err := Dial(addr)

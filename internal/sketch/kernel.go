@@ -1,0 +1,136 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+)
+
+// Kernel is a single-goroutine batch evaluator for the public function H,
+// specialised to one query pair (B, v).  The tuple components every record
+// of an Algorithm 2 query shares — the subset tag and the candidate value —
+// are encoded once at Reset; per-record evaluation then only splices the
+// 8-byte user id and the sketch key into reusable scratch and runs the
+// midstate-cached HMAC, performing no allocations and taking no locks.
+//
+// A Kernel is not safe for concurrent use.  Parallel record loops create
+// one per worker goroutine (directly or via AcquireKernel).
+type Kernel struct {
+	h  prf.BitSource
+	es prf.EvaluatorSource // nil → fall back to h.Bit
+	be prf.BitEvaluator
+
+	b bitvec.Subset
+	v bitvec.Vector
+	// mid holds the length-prefixed (B, v) tuple parts shared by every
+	// record of the query.
+	mid     []byte
+	scratch []byte
+}
+
+// NewKernel returns a kernel specialised to (h, b, v).
+func NewKernel(h prf.BitSource, b bitvec.Subset, v bitvec.Vector) *Kernel {
+	k := &Kernel{}
+	k.Reset(h, b, v)
+	return k
+}
+
+// Reset respecialises the kernel to a new source and query pair, reusing
+// its internal buffers.
+func (k *Kernel) Reset(h prf.BitSource, b bitvec.Subset, v bitvec.Vector) {
+	k.h, k.b, k.v = h, b, v
+	k.es = nil
+	if es, ok := h.(prf.EvaluatorSource); ok {
+		k.es = es
+		es.BindEvaluator(&k.be)
+		mid := prf.AppendPartHeader(k.mid[:0], b.TagLen())
+		mid = b.AppendTag(mid)
+		mid = prf.AppendPartHeader(mid, v.EncodedLen())
+		k.mid = v.AppendBytes(mid)
+	}
+}
+
+// Evaluate computes H(id, B, v, s) for one record, bit-identical to the
+// package-level Evaluate.
+func (k *Kernel) Evaluate(id bitvec.UserID, s Sketch) bool {
+	if k.es == nil {
+		return k.h.Bit(id.Bytes(), k.b.Tag(), k.v.Bytes(), s.Bytes())
+	}
+	msg := prf.AppendTupleHeader(k.scratch[:0], 4)
+	msg = prf.AppendPartHeader(msg, 8)
+	msg = binary.BigEndian.AppendUint64(msg, uint64(id))
+	msg = append(msg, k.mid...)
+	msg = prf.AppendPartHeader(msg, s.EncodedLen())
+	msg = s.AppendBytes(msg)
+	k.scratch = msg
+	return k.be.BitMsg(msg)
+}
+
+// CountMatches evaluates every record against the kernel's (B, v) and
+// returns how many evaluate to 1 — the inner sum of Algorithm 2.
+func (k *Kernel) CountMatches(records []Published) int {
+	hits := 0
+	for i := range records {
+		if k.Evaluate(records[i].ID, records[i].S) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// EvaluateAll evaluates every record against the kernel's (B, v), appending
+// one bool per record to out (useful for golden tests and derived queries
+// that need per-record bits rather than the count).
+func (k *Kernel) EvaluateAll(records []Published, out []bool) []bool {
+	for i := range records {
+		out = append(out, k.Evaluate(records[i].ID, records[i].S))
+	}
+	return out
+}
+
+// kernelPool recycles kernels (and their scratch buffers) across queries so
+// facade-level calls stay allocation-free after warm-up.
+var kernelPool = sync.Pool{New: func() any { return new(Kernel) }}
+
+// AcquireKernel returns a pooled kernel reset to (h, b, v).  Callers must
+// Release it when done and must not retain it afterwards.
+func AcquireKernel(h prf.BitSource, b bitvec.Subset, v bitvec.Vector) *Kernel {
+	k := kernelPool.Get().(*Kernel)
+	k.Reset(h, b, v)
+	return k
+}
+
+// Drop clears the kernel's references to the query objects while keeping
+// its buffers, so embedding structs can pool the kernel themselves.
+func (k *Kernel) Drop() {
+	k.h, k.es = nil, nil
+	k.b, k.v = bitvec.Subset{}, bitvec.Vector{}
+}
+
+// Release drops the kernel's query references and returns it to the shared
+// pool.  Only kernels obtained from AcquireKernel may be Released.
+func (k *Kernel) Release() {
+	k.Drop()
+	kernelPool.Put(k)
+}
+
+// EvaluateAll is the batch form of Evaluate for one query (B, v) over many
+// records: shared tuple components are encoded once, then each record costs
+// two SHA-256 compressions and no allocations.
+func EvaluateAll(h prf.BitSource, records []Published, b bitvec.Subset, v bitvec.Vector, out []bool) []bool {
+	k := AcquireKernel(h, b, v)
+	out = k.EvaluateAll(records, out)
+	k.Release()
+	return out
+}
+
+// CountMatches is the batch counting form of Evaluate — the inner loop of
+// Algorithm 2 for a single goroutine.
+func CountMatches(h prf.BitSource, records []Published, b bitvec.Subset, v bitvec.Vector) int {
+	k := AcquireKernel(h, b, v)
+	hits := k.CountMatches(records)
+	k.Release()
+	return hits
+}

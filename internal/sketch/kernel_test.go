@@ -1,0 +1,136 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+)
+
+func kernelTestSource(p float64) *prf.Biased {
+	return prf.NewBiased(bytes.Repeat([]byte{0x42}, prf.MinKeyBytes), prf.MustProb(p))
+}
+
+// kernelTestRecords builds a deterministic spread of records across ids,
+// sketch keys and lengths.
+func kernelTestRecords(b bitvec.Subset, n int) []Published {
+	out := make([]Published, n)
+	for i := range out {
+		length := 4 + i%7
+		out[i] = Published{
+			ID:     bitvec.UserID(i * 37),
+			Subset: b,
+			S:      Sketch{Key: uint64(i*13) % (1 << uint(length)), Length: length},
+		}
+	}
+	return out
+}
+
+// TestKernelMatchesFacade pins that the zero-allocation kernel path is
+// bit-identical to the varargs BitSource path for the same records — the
+// compatibility contract that keeps old sketches queryable.
+func TestKernelMatchesFacade(t *testing.T) {
+	h := kernelTestSource(0.3)
+	b := bitvec.MustSubset(3, 1, 4, 15)
+	v := bitvec.MustFromString("1010")
+	records := kernelTestRecords(b, 200)
+
+	k := NewKernel(h, b, v)
+	for _, rec := range records {
+		slow := h.Bit(rec.ID.Bytes(), b.Tag(), v.Bytes(), rec.S.Bytes())
+		if got := k.Evaluate(rec.ID, rec.S); got != slow {
+			t.Fatalf("kernel disagrees with BitSource path for %v/%v", rec.ID, rec.S)
+		}
+		if got := Evaluate(h, rec.ID, b, v, rec.S); got != slow {
+			t.Fatalf("Evaluate facade disagrees with BitSource path for %v/%v", rec.ID, rec.S)
+		}
+	}
+}
+
+func TestKernelCountAndEvaluateAllAgree(t *testing.T) {
+	h := kernelTestSource(0.25)
+	b := bitvec.Range(0, 6)
+	v := bitvec.MustFromString("110010")
+	records := kernelTestRecords(b, 333)
+
+	bits := EvaluateAll(h, records, b, v, nil)
+	if len(bits) != len(records) {
+		t.Fatalf("EvaluateAll returned %d bits for %d records", len(bits), len(records))
+	}
+	want := 0
+	for i, rec := range records {
+		one := Evaluate(h, rec.ID, b, v, rec.S)
+		if bits[i] != one {
+			t.Fatalf("EvaluateAll bit %d = %v, Evaluate = %v", i, bits[i], one)
+		}
+		if one {
+			want++
+		}
+	}
+	if got := CountMatches(h, records, b, v); got != want {
+		t.Fatalf("CountMatches = %d, want %d", got, want)
+	}
+}
+
+// TestKernelOracleFallback checks the non-PRF BitSource path (the truly
+// random Oracle does not implement EvaluatorSource) still goes through the
+// kernel API unchanged.
+func TestKernelOracleFallback(t *testing.T) {
+	o := prf.NewOracle(11, prf.MustProb(0.3))
+	b := bitvec.MustSubset(0, 2)
+	v := bitvec.MustFromString("01")
+	records := kernelTestRecords(b, 50)
+
+	k := NewKernel(o, b, v)
+	for _, rec := range records {
+		want := o.Bit(rec.ID.Bytes(), b.Tag(), v.Bytes(), rec.S.Bytes())
+		if got := k.Evaluate(rec.ID, rec.S); got != want {
+			t.Fatalf("oracle fallback disagrees for %v", rec.ID)
+		}
+	}
+}
+
+// TestKernelReuseAcrossQueries checks Reset fully respecialises a kernel —
+// no state from the previous (B, v, key) may leak into the next query.
+func TestKernelReuseAcrossQueries(t *testing.T) {
+	h1 := kernelTestSource(0.3)
+	h2 := prf.NewBiased(bytes.Repeat([]byte{0x77}, prf.MinKeyBytes), prf.MustProb(0.3))
+	queries := []struct {
+		h prf.BitSource
+		b bitvec.Subset
+		v bitvec.Vector
+	}{
+		{h1, bitvec.Range(0, 4), bitvec.MustFromString("1010")},
+		{h2, bitvec.Range(0, 4), bitvec.MustFromString("1010")},
+		{h1, bitvec.MustSubset(9), bitvec.MustFromString("1")},
+		{h1, bitvec.Range(2, 10), bitvec.MustFromString("00110011")},
+	}
+	k := NewKernel(queries[0].h, queries[0].b, queries[0].v)
+	for qi, q := range queries {
+		k.Reset(q.h, q.b, q.v)
+		records := kernelTestRecords(q.b, 64)
+		for _, rec := range records {
+			want := q.h.Bit(rec.ID.Bytes(), q.b.Tag(), q.v.Bytes(), rec.S.Bytes())
+			if got := k.Evaluate(rec.ID, rec.S); got != want {
+				t.Fatalf("query %d: reused kernel disagrees for %v", qi, rec.ID)
+			}
+		}
+	}
+}
+
+func TestSketchAppendBytesMatchesBytes(t *testing.T) {
+	for _, s := range []Sketch{
+		{Key: 0, Length: 1},
+		{Key: 123, Length: 10},
+		{Key: 1<<30 - 1, Length: 30},
+		{Key: 0xA5, Length: 8},
+	} {
+		if got := s.AppendBytes(nil); !bytes.Equal(got, s.Bytes()) {
+			t.Errorf("AppendBytes(%v) = %x, Bytes = %x", s, got, s.Bytes())
+		}
+		if s.EncodedLen() != len(s.Bytes()) {
+			t.Errorf("EncodedLen(%v) = %d, len(Bytes) = %d", s, s.EncodedLen(), len(s.Bytes()))
+		}
+	}
+}

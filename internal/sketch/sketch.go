@@ -28,13 +28,21 @@ func (s Sketch) Valid() bool {
 // component of the PRF input tuple (1 byte of length, then the key
 // big-endian in the minimum number of bytes).
 func (s Sketch) Bytes() []byte {
+	return s.AppendBytes(make([]byte, 0, s.EncodedLen()))
+}
+
+// EncodedLen returns the length of the Bytes encoding.
+func (s Sketch) EncodedLen() int { return 1 + (s.Length+7)/8 }
+
+// AppendBytes appends the Bytes encoding to dst, for callers that assemble
+// PRF messages into reusable scratch without allocating.
+func (s Sketch) AppendBytes(dst []byte) []byte {
 	nBytes := (s.Length + 7) / 8
-	out := make([]byte, 1+nBytes)
-	out[0] = byte(s.Length)
-	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], s.Key)
-	copy(out[1:], tmp[8-nBytes:])
-	return out
+	dst = append(dst, byte(s.Length))
+	for i := nBytes - 1; i >= 0; i-- {
+		dst = append(dst, byte(s.Key>>uint(8*i)))
+	}
+	return dst
 }
 
 // ParseSketch reconstructs a sketch from its Bytes encoding.
@@ -74,8 +82,16 @@ type Published struct {
 // Evaluate computes H(id, B, v, s) — the public evaluation shared by
 // Algorithm 1 (during sketch generation) and Algorithm 2 (during querying).
 // Anyone holding the published sketch can compute it for any candidate
-// value v.
+// value v.  When h supports per-goroutine evaluators, the call goes through
+// a pooled zero-allocation kernel; loops over many records for one (B, v)
+// should hold a Kernel directly instead.
 func Evaluate(h prf.BitSource, id bitvec.UserID, b bitvec.Subset, v bitvec.Vector, s Sketch) bool {
+	if _, ok := h.(prf.EvaluatorSource); ok {
+		k := AcquireKernel(h, b, v)
+		r := k.Evaluate(id, s)
+		k.Release()
+		return r
+	}
 	return h.Bit(id.Bytes(), b.Tag(), v.Bytes(), s.Bytes())
 }
 

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"sync"
 
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/prf"
@@ -51,6 +52,18 @@ func (sk *Sketcher) Sketch(rng *stats.RNG, profile bitvec.Profile, b bitvec.Subs
 	return res.S, err
 }
 
+// sketcherScratch bundles the reusable state of one SketchDetailed call —
+// the batch evaluation kernel and the lazy-shuffle bookkeeping — so the hot
+// path stays allocation-free across calls.
+type sketcherScratch struct {
+	kernel  Kernel
+	swapped map[int]uint64
+}
+
+var sketcherPool = sync.Pool{
+	New: func() any { return &sketcherScratch{swapped: make(map[int]uint64, 16)} },
+}
+
 // SketchDetailed is Sketch but also reports the number of iterations.
 func (sk *Sketcher) SketchDetailed(rng *stats.RNG, profile bitvec.Profile, b bitvec.Subset) (Result, error) {
 	if b.Len() == 0 {
@@ -60,32 +73,37 @@ func (sk *Sketcher) SketchDetailed(rng *stats.RNG, profile bitvec.Profile, b bit
 		return Result{}, fmt.Errorf("sketch: subset position %d outside profile of width %d", b.Max(), profile.Data.Len())
 	}
 	value := b.Project(profile.Data)
-	idBytes := profile.ID.Bytes()
-	tag := b.Tag()
-	valueBytes := value.Bytes()
 	accept := sk.Params.AcceptProb()
 	l := sk.Params.Length
 	space := sk.Params.KeySpace()
+
+	sc := sketcherPool.Get().(*sketcherScratch)
+	sc.kernel.Reset(sk.H, b, value)
+	clear(sc.swapped)
+	swapped := sc.swapped
+	defer func() {
+		sc.kernel.Drop()
+		sketcherPool.Put(sc)
+	}()
 
 	// Sample keys uniformly at random *without replacement* (step 1 of
 	// Algorithm 1) using a lazy Fisher–Yates shuffle: position i of the
 	// virtual permutation is drawn only when iteration i is reached, so the
 	// expected work stays O(expected iterations) rather than O(2^ℓ).
-	swapped := make(map[int]uint64)
-	keyAt := func(i int) uint64 {
-		if v, ok := swapped[i]; ok {
-			return v
-		}
-		return uint64(i)
-	}
-
 	for i := 0; i < space; i++ {
 		j := i + rng.Intn(space-i)
-		ki, kj := keyAt(i), keyAt(j)
+		ki, ok := swapped[i]
+		if !ok {
+			ki = uint64(i)
+		}
+		kj, ok := swapped[j]
+		if !ok {
+			kj = uint64(j)
+		}
 		swapped[i], swapped[j] = kj, ki
 		candidate := Sketch{Key: kj, Length: l}
 
-		if sk.H.Bit(idBytes, tag, valueBytes, candidate.Bytes()) {
+		if sc.kernel.Evaluate(profile.ID, candidate) {
 			// Step 2-3: the key evaluates to 1 at the true value; publish.
 			return Result{S: candidate, Iterations: i + 1}, nil
 		}

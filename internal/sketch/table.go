@@ -11,17 +11,32 @@ import (
 // Table is a concurrency-safe store of published sketches, organised by the
 // attribute subset they describe.  It is the analyst-side view of the world:
 // everything in a Table is public.
+//
+// Reads are served from immutable per-subset snapshots: the sorted record
+// slice for a subset is built once, cached, and shared by every concurrent
+// query until the next write to that subset invalidates it.  This keeps the
+// Algorithm 2 record loop allocation-free and lets queries scale across
+// cores while ingestion proceeds.
 type Table struct {
 	mu       sync.RWMutex
 	subsets  map[string]bitvec.Subset
 	bySubset map[string]map[bitvec.UserID]Sketch
+	// snapshots caches the sorted ForSubset result per subset key; entries
+	// are dropped on writes and rebuilt lazily.  A cached slice is
+	// immutable once stored.
+	snapshots map[string][]Published
+	// gen counts writes per subset key, so a snapshot built outside the
+	// lock is only cached if no write raced the build.
+	gen map[string]uint64
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
 	return &Table{
-		subsets:  make(map[string]bitvec.Subset),
-		bySubset: make(map[string]map[bitvec.UserID]Sketch),
+		subsets:   make(map[string]bitvec.Subset),
+		bySubset:  make(map[string]map[bitvec.UserID]Sketch),
+		snapshots: make(map[string][]Published),
+		gen:       make(map[string]uint64),
 	}
 }
 
@@ -44,6 +59,8 @@ func (t *Table) Add(p Published) error {
 		return fmt.Errorf("sketch: user %v already published a sketch for subset %v", p.ID, p.Subset)
 	}
 	t.bySubset[key][p.ID] = p.S
+	delete(t.snapshots, key)
+	t.gen[key]++
 	return nil
 }
 
@@ -70,19 +87,59 @@ func (t *Table) Get(id bitvec.UserID, b bitvec.Subset) (Sketch, bool) {
 }
 
 // ForSubset returns all published records for subset b, sorted by user id
-// so iteration order is deterministic.
+// so iteration order is deterministic.  The returned slice is the caller's
+// to modify.
 func (t *Table) ForSubset(b bitvec.Subset) []Published {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	m, ok := t.bySubset[b.Key()]
-	if !ok {
+	snap := t.Snapshot(b)
+	if snap == nil {
 		return nil
 	}
+	out := make([]Published, len(snap))
+	copy(out, snap)
+	return out
+}
+
+// Snapshot returns the records for subset b, sorted by user id, as a shared
+// immutable slice: callers must treat it as read-only.  Repeated queries on
+// a stable table reuse the cached snapshot, so the analyst-side hot path
+// pays neither the copy nor the sort.
+//
+// A cache miss copies the records under the shared read lock and sorts
+// outside any lock, so concurrent readers are never serialized behind the
+// O(n log n) rebuild; the brief exclusive section only stores the result,
+// and only if no write raced the build (per-subset generation check).
+func (t *Table) Snapshot(b bitvec.Subset) []Published {
+	key := b.Key()
+	t.mu.RLock()
+	if snap, ok := t.snapshots[key]; ok {
+		t.mu.RUnlock()
+		return snap
+	}
+	m, ok := t.bySubset[key]
+	if !ok {
+		t.mu.RUnlock()
+		return nil
+	}
+	g := t.gen[key]
 	out := make([]Published, 0, len(m))
 	for id, s := range m {
 		out = append(out, Published{ID: id, Subset: b, S: s})
 	}
+	t.mu.RUnlock()
+
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+
+	t.mu.Lock()
+	if t.gen[key] == g {
+		if cached, ok := t.snapshots[key]; ok {
+			// A racing reader built and stored the same generation first;
+			// share its slice.
+			out = cached
+		} else {
+			t.snapshots[key] = out
+		}
+	}
+	t.mu.Unlock()
 	return out
 }
 

@@ -70,7 +70,15 @@ type (
 	Engine = engine.Engine
 	// RNG supplies the user's private coin flips.
 	RNG = stats.RNG
+	// Kernel is a per-goroutine batch evaluator of the public function H,
+	// specialised to one (subset, value) query pair; loops over many
+	// records should hold one instead of calling the facade per record.
+	Kernel = sketch.Kernel
 )
+
+// NewKernel returns a batch evaluation kernel for one query pair.  Kernels
+// are single-goroutine; parallel loops create one per worker.
+func NewKernel(h prf.BitSource, b Subset, v Vector) *Kernel { return sketch.NewKernel(h, b, v) }
 
 // NewSource returns the public p-biased pseudorandom function H backed by
 // the from-scratch SHA-256 HMAC, keyed with the database's generator key
