@@ -141,13 +141,16 @@ func kernelBenchmarks() []struct {
 }
 
 // writeBenchJSON measures every kernel and writes the results to path.
-func writeBenchJSON(path string) error {
+// quick shrinks the store replay benchmark for CI smoke runs.
+func writeBenchJSON(path string, quick bool) error {
 	file := BenchFile{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 	}
-	for _, kb := range kernelBenchmarks() {
+	benches := kernelBenchmarks()
+	benches = append(benches, storeBenchmarks(quick)...)
+	for _, kb := range benches {
 		r := testing.Benchmark(kb.fn)
 		file.Kernels = append(file.Kernels, KernelResult{
 			Name:        kb.name,

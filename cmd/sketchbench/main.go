@@ -10,8 +10,12 @@
 //	sketchbench -users 50000    # override the base population size
 //	sketchbench -list           # list available experiments
 //	sketchbench -benchjson BENCH.json   # measure the PRF/sketch/query
-//	                                    # kernels and write machine-readable
-//	                                    # ns/op and allocs/op, then exit
+//	                                    # kernels plus the durable-store
+//	                                    # append and startup-replay paths,
+//	                                    # writing machine-readable ns/op
+//	                                    # and allocs/op, then exit
+//	                                    # (-quick shrinks the replay to
+//	                                    # 100k sketches for CI)
 package main
 
 import (
@@ -43,7 +47,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON); err != nil {
+		if err := writeBenchJSON(*benchJSON, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

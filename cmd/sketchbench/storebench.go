@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/store"
+)
+
+// storeReplayRecords is how many sketches the startup-replay benchmark
+// recovers; -quick drops it so CI stays fast while the name keeps the
+// scale visible in BENCH.json.
+const (
+	storeReplayRecords      = 1_000_000
+	storeReplayRecordsQuick = 100_000
+)
+
+// storeRecord fabricates a valid published sketch; the store does not
+// care how the key was produced, so benchmarks skip Algorithm 1.
+func storeRecord(id uint64, b bitvec.Subset) sketch.Published {
+	return sketch.Published{
+		ID:     bitvec.UserID(id),
+		Subset: b,
+		S:      sketch.Sketch{Key: id % 1024, Length: 10},
+	}
+}
+
+// storeBenchmarks measures the durability layer: append throughput into
+// the sharded WAL (with and without per-record fsync) and full startup
+// replay — store open, WAL replay, segment load and table rehydration.
+func storeBenchmarks(quick bool) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	replayN := storeReplayRecords
+	replayName := "store-replay-1m"
+	if quick {
+		replayN = storeReplayRecordsQuick
+		replayName = "store-replay-100k"
+	}
+	subset := bitvec.Range(0, 8)
+	appendBench := func(fsync bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "sketchbench-store")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(store.Options{Dir: dir, Shards: 8, Fsync: fsync, CompactInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Append(storeRecord(uint64(i+1), subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"store-append", appendBench(false)},
+		{"store-append-fsync", appendBench(true)},
+		{replayName, func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "sketchbench-replay")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(store.Options{Dir: dir, Shards: 8, CompactInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < replayN; i++ {
+				if err := st.Append(storeRecord(uint64(i+1), subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
+			params := sketch.MustParams(0.3, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One op = the daemon's full cold start: open the data
+				// directory and rehydrate the query table.
+				rst, err := store.Open(store.Options{Dir: dir, CompactInterval: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := engine.NewWithStore(h, params, rst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if eng.Sketches() != replayN {
+					b.Fatalf("replay recovered %d sketches, want %d", eng.Sketches(), replayN)
+				}
+				if err := rst.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

@@ -10,6 +10,9 @@
 //	# analyst side
 //	sketchctl -addr 127.0.0.1:7070 query -subset 0,2,4 -value 101
 //
+//	# operator side: per-subset record counts and durable-store sizes
+//	sketchctl -addr 127.0.0.1:7070 stats
+//
 // The -p, -users, -tau and -keyhex flags must match the daemon's
 // configuration (they define the public function H and the sketch length).
 package main
@@ -62,7 +65,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fail("usage: sketchctl [flags] publish|query [subcommand flags]")
+		fail("usage: sketchctl [flags] publish|query|stats [subcommand flags]")
 	}
 
 	key := make([]byte, prf.MinKeyBytes)
@@ -138,6 +141,25 @@ func main() {
 		}
 		fmt.Printf("estimated fraction %.4f (raw %.4f) over %d users; estimated count %.0f\n",
 			res.Fraction, res.Raw, res.Users, res.Fraction*float64(res.Users))
+	case "stats":
+		rep, err := cli.Stats()
+		if err != nil {
+			fail("stats failed: %v", err)
+		}
+		fmt.Printf("params: %s\n", rep.Params)
+		fmt.Printf("sketches: %d across %d subsets\n", rep.Sketches, len(rep.Subsets))
+		for _, sc := range rep.Subsets {
+			fmt.Printf("  subset %-16s %d records\n", sc.Subset, sc.Count)
+		}
+		if rep.Store == nil {
+			fmt.Println("store: memory-only (no -data-dir)")
+			return
+		}
+		fmt.Printf("store: %s, %d raw records\n", rep.Store.Dir, rep.Store.Records)
+		for _, sh := range rep.Store.Shards {
+			fmt.Printf("  shard %04d: wal %7d B / %6d records, %d segments %8d B / %6d records\n",
+				sh.Shard, sh.WALBytes, sh.WALRecords, sh.Segments, sh.SegmentBytes, sh.SegmentRecords)
+		}
 	default:
 		fail("unknown subcommand %q", flag.Arg(0))
 	}

@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	sketchd -addr 127.0.0.1:7070 -p 0.3 -users 1000000 -tau 1e-6 -keyhex <hex>
+//	sketchd -addr 127.0.0.1:7070 -p 0.3 -users 1000000 -tau 1e-6 -keyhex <hex> \
+//	        -data-dir /var/lib/sketchd -shards 8 -fsync
 //
 // The generator key must be shared with every user and analyst (it defines
 // the public function H); if -keyhex is omitted a deterministic development
 // key is used and a warning is printed.
+//
+// With -data-dir the daemon runs on the durable store: every acknowledged
+// publish is in the shard's write-ahead log before the ack leaves, and a
+// restart replays the directory — truncating any torn tail a crash left —
+// so the public sketch table survives SIGKILL.  Without -data-dir the
+// table is memory-only, as in earlier versions.
 package main
 
 import (
@@ -19,20 +26,25 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sketchprivacy/internal/engine"
 	"sketchprivacy/internal/prf"
 	"sketchprivacy/internal/server"
 	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/store"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7070", "listen address")
-		p      = flag.Float64("p", 0.3, "bias parameter p (0 < p < 1/2)")
-		users  = flag.Int("users", 1_000_000, "expected population size (sets the Lemma 3.1 sketch length)")
-		tau    = flag.Float64("tau", 1e-6, "sketch failure probability")
-		keyHex = flag.String("keyhex", "", "hex-encoded generator key (>= 38 bytes)")
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		p       = flag.Float64("p", 0.3, "bias parameter p (0 < p < 1/2)")
+		users   = flag.Int("users", 1_000_000, "expected population size (sets the Lemma 3.1 sketch length)")
+		tau     = flag.Float64("tau", 1e-6, "sketch failure probability")
+		keyHex  = flag.String("keyhex", "", "hex-encoded generator key (>= 38 bytes)")
+		dataDir = flag.String("data-dir", "", "durable store directory (empty: memory-only)")
+		shards  = flag.Int("shards", store.DefaultShards, "store shard count for a fresh -data-dir")
+		fsync   = flag.Bool("fsync", false, "fsync the WAL on every publish (survives machine crashes, not just process crashes)")
 	)
 	flag.Parse()
 
@@ -64,6 +76,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var st *store.Durable
+	if *dataDir != "" {
+		start := time.Now()
+		st, err = store.Open(store.Options{Dir: *dataDir, Shards: *shards, Fsync: *fsync})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := eng.AttachStore(st); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		fmt.Printf("recovered %d sketches from %s (%d shards, %d segments) in %s\n",
+			eng.Sketches(), *dataDir, len(stats.Shards), stats.Segments(),
+			time.Since(start).Round(time.Millisecond))
+	}
+
 	srv := server.New(eng)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -76,10 +106,23 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	// Stop accepting, close client connections and join the handlers
+	// before the final store flush, so nothing acknowledged is left
+	// unsynced and idle clients cannot stall the shutdown.  The store is
+	// closed even when the server close fails: the flush inside it is the
+	// durability half of graceful shutdown.
+	exit := 0
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit = 1
 	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
 }
 
 // devKey is the deterministic development generator key (38 bytes ≥ 300

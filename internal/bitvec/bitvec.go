@@ -201,8 +201,15 @@ func ParseBytes(b []byte) (Vector, error) {
 	if len(b) < 8 {
 		return Vector{}, fmt.Errorf("bitvec: encoding too short (%d bytes)", len(b))
 	}
+	// Bound the claimed bit length by what the buffer could possibly
+	// hold before any int arithmetic: a hostile 64-bit length makes
+	// n+63 wrap (e.g. n = 2^64-63 yields words = 0) and would otherwise
+	// reach New() with a negative length and panic.
 	n := binary.BigEndian.Uint64(b)
-	words := int(n+63) / 64
+	if n > uint64(len(b)-8)*8 {
+		return Vector{}, fmt.Errorf("bitvec: encoding claims %d bits in %d bytes", n, len(b))
+	}
+	words := (int(n) + 63) / 64
 	if len(b) != 8+8*words {
 		return Vector{}, fmt.Errorf("bitvec: encoding of length-%d vector must be %d bytes, got %d", n, 8+8*words, len(b))
 	}

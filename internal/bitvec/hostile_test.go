@@ -1,0 +1,46 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The decoders accept attacker-controlled bytes straight off the wire and
+// off disk, so a hostile length field must produce an error — never a
+// panic or a huge allocation.  These inputs are the regression corpus for
+// two integer-overflow panics FuzzDecode found: a subset-tag position
+// count chosen so 8+8*n wraps back onto len(b), and a vector bit length
+// chosen so n+63 wraps to zero words.
+
+func TestParseTagHostileCount(t *testing.T) {
+	cases := [][]byte{
+		// n = 0x2000000000000001: 8*n wraps to 8, so 8+8*n == 16 == len(b).
+		append(binary.BigEndian.AppendUint64(nil, 0x2000000000000001), make([]byte, 8)...),
+		// n = 2^61: 8*n wraps to 0, claiming 8 bytes total.
+		binary.BigEndian.AppendUint64(nil, 1<<61),
+		// n = 2^63 (negative as int).
+		append(binary.BigEndian.AppendUint64(nil, 1<<63), make([]byte, 8)...),
+	}
+	for i, b := range cases {
+		if _, err := ParseTag(b); err == nil {
+			t.Errorf("case %d: hostile tag accepted", i)
+		}
+	}
+}
+
+func TestParseBytesHostileLength(t *testing.T) {
+	cases := [][]byte{
+		// n = 2^64-63: n+63 wraps to 0 words, so an 8-byte buffer passes
+		// the length check and New(int(n)) would panic on a negative size.
+		binary.BigEndian.AppendUint64(nil, ^uint64(62)),
+		// n = 2^63 exactly.
+		append(binary.BigEndian.AppendUint64(nil, 1<<63), make([]byte, 8)...),
+		// n huge but int-positive: must not attempt the allocation.
+		append(binary.BigEndian.AppendUint64(nil, 1<<40), make([]byte, 8)...),
+	}
+	for i, b := range cases {
+		if _, err := ParseBytes(b); err == nil {
+			t.Errorf("case %d: hostile vector encoding accepted", i)
+		}
+	}
+}

@@ -178,7 +178,15 @@ func ParseTag(b []byte) (Subset, error) {
 	if len(b) < 8 {
 		return Subset{}, fmt.Errorf("bitvec: subset tag too short (%d bytes)", len(b))
 	}
-	n := int(binary.BigEndian.Uint64(b))
+	// Bound the claimed count by what the buffer could possibly hold
+	// before converting to int: a hostile 64-bit count can otherwise
+	// overflow 8+8*n right back onto len(b) and reach make() huge or
+	// negative.
+	n64 := binary.BigEndian.Uint64(b)
+	if n64 > uint64(len(b)-8)/8 {
+		return Subset{}, fmt.Errorf("bitvec: subset tag claims %d positions in %d bytes", n64, len(b))
+	}
+	n := int(n64)
 	if len(b) != 8+8*n {
 		return Subset{}, fmt.Errorf("bitvec: subset tag for %d positions must be %d bytes, got %d", n, 8+8*n, len(b))
 	}

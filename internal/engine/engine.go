@@ -3,11 +3,13 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/prf"
 	"sketchprivacy/internal/query"
 	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/store"
 )
 
 // Common engine errors.
@@ -26,6 +28,16 @@ type Engine struct {
 	params sketch.Params
 	est    *query.Estimator
 	table  *sketch.Table
+	// st, when non-nil, is the durability layer: Ingest appends to it
+	// after the in-memory table accepts the record, and AttachStore
+	// rehydrates the table from it on startup.
+	st store.Store
+	// ingestMu stripes (by user ID) serialize the table-add + durable-
+	// append pair: without them a concurrent duplicate publish could be
+	// NACKed against a record that a failed append then rolls back,
+	// leaving the sketch in neither table nor store while both callers
+	// saw an error.  Queries never touch these locks.
+	ingestMu [64]sync.Mutex
 }
 
 // New creates an engine around a public p-biased function and parameters.
@@ -43,6 +55,48 @@ func New(h prf.BitSource, params sketch.Params) (*Engine, error) {
 	return &Engine{params: params, est: est, table: sketch.NewTable()}, nil
 }
 
+// NewWithStore creates an engine whose table is rehydrated from st and
+// whose ingests are made durable through it.
+func NewWithStore(h prf.BitSource, params sketch.Params, st store.Store) (*Engine, error) {
+	e, err := New(h, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.AttachStore(st); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AttachStore rehydrates the in-memory table from st and routes every
+// subsequent ingest through it.  It must be called before the engine
+// starts serving: the replay loads st's records (deduplicated,
+// newest-wins) into the table, skipping (user, subset) pairs already
+// present in memory.
+func (e *Engine) AttachStore(st store.Store) error {
+	if st == nil {
+		return errors.New("engine: nil store")
+	}
+	err := st.Iterate(func(p sketch.Published) error {
+		if _, ok := e.table.Get(p.ID, p.Subset); ok {
+			return nil
+		}
+		if err := e.table.Add(p); err != nil {
+			return fmt.Errorf("engine: replaying store: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.st = st
+	return nil
+}
+
+// Store returns the attached durability layer, or nil when the engine is
+// memory-only.
+func (e *Engine) Store() store.Store { return e.st }
+
 // Params returns the mechanism parameters the engine was configured with.
 func (e *Engine) Params() sketch.Params { return e.params }
 
@@ -53,12 +107,47 @@ func (e *Engine) Table() *sketch.Table { return e.table }
 // Estimator exposes the underlying query estimator.
 func (e *Engine) Estimator() *query.Estimator { return e.est }
 
-// Ingest stores one published sketch.
-func (e *Engine) Ingest(p sketch.Published) error { return e.table.Add(p) }
+// Ingest stores one published sketch: first into the in-memory table
+// (which enforces the one-sketch-per-(user, subset) budget rule), then
+// into the durable store when one is attached.  The table-first order
+// keeps duplicate publishes out of the log entirely, so replay can apply
+// newest-wins deduplication without ever resurrecting a rejected record.
+// A failed durable append rolls the record back out of the table before
+// returning the error: the publish is not acknowledged, nothing
+// non-durable stays queryable (a query racing the failed append can
+// transiently see the record for the append's duration — accepted, as
+// closing it would need a pending-invisible table state), and the user
+// can retry once the store recovers.  The add+append pair runs under a
+// per-user stripe lock so a
+// concurrent publish for the same (user, subset) waits for the outcome
+// instead of being rejected against a record about to roll back.
+func (e *Engine) Ingest(p sketch.Published) error {
+	if e.st == nil {
+		return e.table.Add(p)
+	}
+	mu := &e.ingestMu[uint64(p.ID)%uint64(len(e.ingestMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	if err := e.table.Add(p); err != nil {
+		return err
+	}
+	if err := e.st.Append(p); err != nil {
+		e.table.Remove(p.ID, p.Subset)
+		return err
+	}
+	return nil
+}
 
 // IngestBatch stores a batch of published sketches, stopping at the first
 // error.
-func (e *Engine) IngestBatch(ps []sketch.Published) error { return e.table.AddAll(ps) }
+func (e *Engine) IngestBatch(ps []sketch.Published) error {
+	for _, p := range ps {
+		if err := e.Ingest(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Sketches returns the total number of stored sketches.
 func (e *Engine) Sketches() int { return e.table.Len() }

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+	"sketchprivacy/internal/store"
+)
+
+// TestEngineDurableStoreRoundTrip proves the durability contract at the
+// engine level: everything ingested through an engine with a durable
+// store attached is answered identically by a fresh engine rehydrated
+// from the same directory.
+func TestEngineDurableStoreRoundTrip(t *testing.T) {
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	dir := t.TempDir()
+
+	st, err := store.Open(store.Options{Dir: dir, Shards: 4, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewWithStore(h, params, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := sketch.NewSketcher(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 4)
+	v := bitvec.MustFromString("1010")
+	rng := stats.NewRNG(99)
+	const n = 800
+	for i := 1; i <= n; i++ {
+		profile := bitvec.Profile{ID: bitvec.UserID(i), Data: bitvec.FromUint(uint64(i), 4)}
+		s, err := sk.Sketch(rng, profile, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest(sketch.Published{ID: profile.ID, Subset: subset, S: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(store.Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	eng2, err := NewWithStore(h, params, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Sketches() != n {
+		t.Fatalf("rehydrated engine has %d sketches, want %d", eng2.Sketches(), n)
+	}
+	got, err := eng2.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("rehydrated estimate %+v differs from pre-restart %+v", got, want)
+	}
+
+	// Duplicate publishes must still be rejected after rehydration.
+	dup := sketch.Published{ID: 1, Subset: subset, S: sketch.Sketch{Key: 1, Length: 10}}
+	if err := eng2.Ingest(dup); err == nil {
+		t.Fatal("duplicate (user, subset) accepted after rehydration")
+	}
+}
+
+// TestEngineMemStoreMatchesDurable runs the same ingests through the
+// in-memory store and checks the rehydration path behaves identically.
+func TestEngineMemStoreMatchesDurable(t *testing.T) {
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	mem := store.NewMem()
+	eng, err := NewWithStore(h, params, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	for i := 1; i <= 50; i++ {
+		pub := sketch.Published{ID: bitvec.UserID(i), Subset: subset, S: sketch.Sketch{Key: uint64(i % 512), Length: 10}}
+		if err := eng.Ingest(pub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng2, err := NewWithStore(h, params, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Sketches() != eng.Sketches() {
+		t.Fatalf("mem rehydration: %d sketches, want %d", eng2.Sketches(), eng.Sketches())
+	}
+}
+
+// failingStore errors on Append after a set number of successes.
+type failingStore struct {
+	store.Store
+	remaining int
+}
+
+var errDiskFull = errors.New("synthetic disk full")
+
+func (f *failingStore) Append(p sketch.Published) error {
+	if f.remaining <= 0 {
+		return errDiskFull
+	}
+	f.remaining--
+	return f.Store.Append(p)
+}
+
+// TestEngineIngestRollsBackOnAppendFailure: a record whose durable
+// append fails must not stay queryable (it would silently vanish on
+// restart), and the user must be able to retry once the store recovers.
+func TestEngineIngestRollsBackOnAppendFailure(t *testing.T) {
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	fs := &failingStore{Store: store.NewMem(), remaining: 2}
+	eng, err := NewWithStore(testSource(p), params, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	pub := func(id uint64) sketch.Published {
+		return sketch.Published{ID: bitvec.UserID(id), Subset: subset, S: sketch.Sketch{Key: id, Length: 10}}
+	}
+	if err := eng.Ingest(pub(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(pub(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(pub(3)); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Ingest with failing store = %v, want errDiskFull", err)
+	}
+	if eng.Sketches() != 2 {
+		t.Fatalf("failed ingest left %d sketches queryable, want 2", eng.Sketches())
+	}
+	if _, ok := eng.Table().Get(3, subset); ok {
+		t.Fatal("rolled-back record still in the table")
+	}
+	// Store recovers; the same user retries successfully.
+	fs.remaining = 10
+	if err := eng.Ingest(pub(3)); err != nil {
+		t.Fatalf("retry after store recovery: %v", err)
+	}
+	if eng.Sketches() != 3 {
+		t.Fatalf("retry not stored: %d sketches", eng.Sketches())
+	}
+}
+
+// gateStore blocks its first Append until released, then fails it;
+// later appends pass through.  Calls for one user are serialized by the
+// engine's stripe lock, so the fields need no extra synchronization.
+type gateStore struct {
+	store.Store
+	entered chan struct{}
+	release chan struct{}
+	failed  bool
+}
+
+func (g *gateStore) Append(p sketch.Published) error {
+	if !g.failed {
+		g.failed = true
+		close(g.entered)
+		<-g.release
+		return errDiskFull
+	}
+	return g.Store.Append(p)
+}
+
+// TestEngineConcurrentDuplicateDuringFailedAppend: a publish retried
+// while the first attempt's durable append is in flight must wait for
+// the outcome, not be NACKed as a duplicate of a record that the failed
+// append then rolls back — that would leave the sketch in neither table
+// nor store with both callers told it failed for different reasons.
+func TestEngineConcurrentDuplicateDuringFailedAppend(t *testing.T) {
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	gs := &gateStore{Store: store.NewMem(), entered: make(chan struct{}), release: make(chan struct{})}
+	eng, err := NewWithStore(testSource(p), params, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	pub := sketch.Published{ID: 7, Subset: subset, S: sketch.Sketch{Key: 7, Length: 10}}
+	firstErr := make(chan error, 1)
+	go func() { firstErr <- eng.Ingest(pub) }()
+	<-gs.entered
+	retryErr := make(chan error, 1)
+	go func() { retryErr <- eng.Ingest(pub) }()
+	close(gs.release)
+	if err := <-firstErr; !errors.Is(err, errDiskFull) {
+		t.Fatalf("first ingest = %v, want errDiskFull", err)
+	}
+	if err := <-retryErr; err != nil {
+		t.Fatalf("concurrent retry = %v, want success after the rollback", err)
+	}
+	if _, ok := eng.Table().Get(7, subset); !ok {
+		t.Fatal("record missing from the table after the successful retry")
+	}
+}
+
+// TestEngineConcurrentDurableIngestAndQuery is the -race test of the
+// durable path: parallel Ingest into a sharded on-disk store while
+// analysts run Algorithm 2 queries, then a rehydration check that every
+// acknowledged record survived.
+func TestEngineConcurrentDurableIngestAndQuery(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	h := testSource(p)
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{
+		Dir:    dir,
+		Shards: 4,
+		// Tiny threshold + fast compaction so rolls and merges race the
+		// ingest and query traffic inside the test window.
+		FlushThreshold:   2048,
+		CompactThreshold: 2,
+		CompactInterval:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewWithStore(h, params, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 4)
+	v := bitvec.MustFromString("1100")
+
+	// Seed so queries never see an empty subset.
+	for i := 1; i <= 100; i++ {
+		pub := sketch.Published{ID: bitvec.UserID(i), Subset: subset, S: sketch.Sketch{Key: uint64(i), Length: 10}}
+		if err := eng.Ingest(pub); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers    = 4
+		perWriter  = 250
+		readers    = 4
+		queriesPer = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := 1000 + w*perWriter
+			for i := 0; i < perWriter; i++ {
+				id := bitvec.UserID(base + i)
+				pub := sketch.Published{ID: id, Subset: subset, S: sketch.Sketch{Key: uint64(id % 1024), Length: 10}}
+				if err := eng.Ingest(pub); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPer; i++ {
+				if _, err := eng.Conjunction(subset, v); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, store.ErrClosed) {
+			t.Fatal(err)
+		}
+	}
+
+	total := 100 + writers*perWriter
+	if eng.Sketches() != total {
+		t.Fatalf("engine has %d sketches, want %d", eng.Sketches(), total)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(store.Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered := 0
+	if err := st2.Iterate(func(sketch.Published) error { recovered++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if recovered != total {
+		t.Fatalf("durable store recovered %d records, want %d", recovered, total)
+	}
+}

@@ -56,6 +56,26 @@ func (c *Client) PublishAll(ps []sketch.Published) error {
 	return nil
 }
 
+// Stats requests the server's stats report: mechanism parameters,
+// per-subset record counts and durable-store sizes.
+func (c *Client) Stats() (wire.Stats, error) {
+	if err := wire.WriteFrame(c.conn, wire.TypeStats, nil); err != nil {
+		return wire.Stats{}, err
+	}
+	msgType, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	switch msgType {
+	case wire.TypeStatsReply:
+		return wire.DecodeStats(payload)
+	case wire.TypeError:
+		return wire.Stats{}, fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return wire.Stats{}, fmt.Errorf("%w: unexpected reply type %d", ErrRemote, msgType)
+	}
+}
+
 // QueryConjunction runs a conjunctive query remotely and returns the
 // estimated fraction, the unclamped raw estimate and the number of users
 // it was computed over.

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCloseWithIdleConnection: Close must not wait for idle clients to
+// hang up — a daemon with a connected but silent sketchctl still has to
+// reach its final store flush on shutdown.
+func TestCloseWithIdleConnection(t *testing.T) {
+	srv, addr, _, _ := startTestServer(t, 0.3, 10)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Prove the connection is live before the shutdown.
+	if _, err := cli.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked on an idle client connection")
+	}
+	// The client sees its connection die rather than hanging forever.
+	if _, err := cli.Stats(); err == nil {
+		t.Fatal("request on a closed server's connection succeeded")
+	}
+}

@@ -22,13 +22,14 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
 }
 
 // New creates a server around an engine.
 func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng}
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -62,11 +63,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// Close stops the listener, closes every open connection and waits for
+// the handler goroutines to finish.  Closing the connections (rather
+// than waiting for clients to hang up) is what lets a daemon with idle
+// clients still reach its final store flush on shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	ln := s.listener
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
@@ -76,9 +83,32 @@ func (s *Server) Close() error {
 	return err
 }
 
-// handle serves one connection until it closes or a protocol error occurs.
+// track registers a live connection, or refuses it when the server is
+// already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handle serves one connection until it closes, a protocol error occurs
+// or the server shuts down.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	for {
 		msgType, payload, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -109,10 +139,54 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			res := wire.Result{Fraction: est.Fraction, Raw: est.Raw, Users: uint64(est.Users)}
 			_ = wire.WriteFrame(conn, wire.TypeResult, wire.EncodeResult(res))
+		case wire.TypeStats:
+			// Unlike publish/query replies, a stats payload has no fixed
+			// size bound, so a frame-too-large failure must still send
+			// *something* or the client blocks forever awaiting a reply.
+			if err := wire.WriteFrame(conn, wire.TypeStatsReply, wire.EncodeStats(s.stats())); err != nil {
+				s.writeError(conn, err)
+			}
 		default:
 			s.writeError(conn, fmt.Errorf("server: unknown message type %d", msgType))
 		}
 	}
+}
+
+// stats assembles the TypeStats report: mechanism parameters, per-subset
+// record counts and — when the engine runs on a durable store — shard,
+// segment and WAL sizes.
+func (s *Server) stats() wire.Stats {
+	params := s.eng.Params()
+	tab := s.eng.Table()
+	rep := wire.Stats{
+		Params:     params.String(),
+		P:          params.P,
+		SketchBits: params.Length,
+		Sketches:   uint64(s.eng.Sketches()),
+	}
+	for _, b := range s.eng.Subsets() {
+		rep.Subsets = append(rep.Subsets, wire.SubsetCount{
+			Subset:    b.String(),
+			Positions: b.Positions(),
+			Count:     uint64(tab.CountForSubset(b)),
+		})
+	}
+	if st := s.eng.Store(); st != nil {
+		ss := st.Stats()
+		ws := &wire.StoreStats{Dir: ss.Dir, Records: ss.Records}
+		for _, sh := range ss.Shards {
+			ws.Shards = append(ws.Shards, wire.ShardStats{
+				Shard:          sh.Shard,
+				WALBytes:       sh.WALBytes,
+				WALRecords:     sh.WALRecords,
+				Segments:       sh.Segments,
+				SegmentBytes:   sh.SegmentBytes,
+				SegmentRecords: sh.SegmentRecords,
+			})
+		}
+		rep.Store = ws
+	}
+	return rep
 }
 
 func (s *Server) writeError(conn net.Conn, err error) {

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/store"
+)
+
+// TestStatsOverTCP exercises the stats opcode end to end: publishes over
+// the wire land in a durable store, and the report carries per-subset
+// counts plus shard/WAL/segment sizes back to the client.
+func TestStatsOverTCP(t *testing.T) {
+	p := 0.3
+	h := prf.NewBiased(bytes.Repeat([]byte{0x11}, prf.MinKeyBytes), prf.MustProb(p))
+	params := sketch.MustParams(p, 10)
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Shards: 2, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	eng, err := engine.NewWithStore(h, params, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	subA := bitvec.MustSubset(0, 1)
+	subB := bitvec.MustSubset(2)
+	for i := 1; i <= 30; i++ {
+		if err := cli.Publish(sketch.Published{ID: bitvec.UserID(i), Subset: subA, S: sketch.Sketch{Key: uint64(i), Length: 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 12; i++ {
+		if err := cli.Publish(sketch.Published{ID: bitvec.UserID(i), Subset: subB, S: sketch.Sketch{Key: uint64(i), Length: 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sketches != 42 {
+		t.Fatalf("Sketches = %d, want 42", rep.Sketches)
+	}
+	if rep.P != p || rep.SketchBits != 10 || rep.Params == "" {
+		t.Fatalf("params not reported: %+v", rep)
+	}
+	counts := map[string]uint64{}
+	for _, sc := range rep.Subsets {
+		counts[sc.Subset] = sc.Count
+	}
+	if counts[subA.String()] != 30 || counts[subB.String()] != 12 {
+		t.Fatalf("per-subset counts wrong: %v", counts)
+	}
+	if rep.Store == nil {
+		t.Fatal("durable store missing from stats report")
+	}
+	if rep.Store.Records != 42 || len(rep.Store.Shards) != 2 {
+		t.Fatalf("store stats wrong: %+v", rep.Store)
+	}
+	var walBytes int64
+	for _, sh := range rep.Store.Shards {
+		walBytes += sh.WALBytes
+	}
+	if walBytes == 0 {
+		t.Fatal("expected non-empty WALs in stats report")
+	}
+}
+
+// TestStatsMemoryOnly checks the report for an engine with no store.
+func TestStatsMemoryOnly(t *testing.T) {
+	_, addr, _, _ := startTestServer(t, 0.3, 10)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	rep, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Store != nil {
+		t.Fatalf("memory-only server reported a store: %+v", rep.Store)
+	}
+	if rep.Sketches != 0 || len(rep.Subsets) != 0 {
+		t.Fatalf("empty server reported records: %+v", rep)
+	}
+}

@@ -74,6 +74,33 @@ func (t *Table) AddAll(ps []Published) error {
 	return nil
 }
 
+// Remove deletes the record user id published for subset b, reporting
+// whether one existed.  It exists for the engine's durability rollback —
+// a record whose durable append failed must not stay queryable, or it
+// would influence analysts until the restart silently drops it — and is
+// not a user-facing "unpublish": the privacy spend of a published sketch
+// is not recoverable.
+func (t *Table) Remove(id bitvec.UserID, b bitvec.Subset) bool {
+	key := b.Key()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.bySubset[key]
+	if !ok {
+		return false
+	}
+	if _, ok := m[id]; !ok {
+		return false
+	}
+	delete(m, id)
+	if len(m) == 0 {
+		delete(t.bySubset, key)
+		delete(t.subsets, key)
+	}
+	delete(t.snapshots, key)
+	t.gen[key]++
+	return true
+}
+
 // Get returns the sketch user id published for subset b, if any.
 func (t *Table) Get(id bitvec.UserID, b bitvec.Subset) (Sketch, bool) {
 	t.mu.RLock()

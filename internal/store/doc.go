@@ -1,0 +1,35 @@
+// Package store is the durable persistence layer under the collection
+// engine.  The paper's central observation is that a published sketch is
+// *permanently* public — a user discloses a few bits once and the analyst
+// may query them forever — so the collector must never lose a sketch it has
+// acknowledged.  This package provides exactly that guarantee.
+//
+// # Architecture
+//
+// The durable store shards records by hash(userID) % N.  Each shard owns
+//
+//   - a write-ahead log (wal.log): length-prefixed, CRC32-checksummed
+//     records in arrival order, appended (and optionally fsynced) before
+//     the publish is acknowledged; and
+//   - immutable sorted segment files (seg-NNNNNNNN.seg): produced by
+//     rolling a WAL that passed the flush threshold, written to a
+//     temporary file, fsynced and atomically renamed into place.
+//
+// A background compaction loop merges a shard's segments once enough of
+// them accumulate, deduplicating by (user, subset) and keeping the newest
+// record.
+//
+// # Recovery
+//
+// Open loads every segment and replays every WAL.  A torn WAL tail — the
+// partial record a crash mid-write leaves behind — is detected by the
+// length/CRC framing and truncated away instead of failing the open, so a
+// SIGKILLed collector restarts with exactly the set of fully-written
+// sketches.  Segment files are written atomically and verified by
+// checksum, so corruption there is reported as an error rather than
+// silently dropped.
+//
+// Records reuse the internal/wire sketch encoding: the bytes on disk are
+// the same public objects that travel on the wire, wrapped in the
+// per-record framing above.
+package store

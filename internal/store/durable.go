@@ -1,0 +1,613 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sketchprivacy/internal/sketch"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultShards is the default shard count for new data directories.
+	DefaultShards = 8
+	// DefaultFlushThreshold is the WAL size at which a shard rolls its
+	// log into an immutable segment.
+	DefaultFlushThreshold = 4 << 20
+	// DefaultCompactThreshold is the segment count at which a shard is
+	// compacted.
+	DefaultCompactThreshold = 4
+	// DefaultCompactInterval is how often the background loop checks
+	// shards for compaction work.
+	DefaultCompactInterval = 2 * time.Second
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configures a durable store.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// Shards is the number of shards for a fresh directory (default
+	// DefaultShards).  Reopening an existing directory always adopts the
+	// shard count found on disk, since records are placed by
+	// hash(userID) % shards.
+	Shards int
+	// Fsync, when true, fsyncs the WAL on every append, extending the
+	// durability guarantee from process crashes to machine crashes at a
+	// substantial throughput cost.
+	Fsync bool
+	// FlushThreshold is the WAL size in bytes that triggers a roll into a
+	// segment (default DefaultFlushThreshold).
+	FlushThreshold int64
+	// CompactThreshold is the per-shard segment count that triggers
+	// compaction (default DefaultCompactThreshold).
+	CompactThreshold int
+	// CompactInterval is the background compaction poll period (default
+	// DefaultCompactInterval).  Negative disables the background loop;
+	// CompactNow still works.
+	CompactInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.FlushThreshold <= 0 {
+		o.FlushThreshold = DefaultFlushThreshold
+	}
+	if o.CompactThreshold <= 0 {
+		o.CompactThreshold = DefaultCompactThreshold
+	}
+	if o.CompactInterval == 0 {
+		o.CompactInterval = DefaultCompactInterval
+	}
+	return o
+}
+
+// dshard is one shard: a WAL plus its immutable segments.
+type dshard struct {
+	mu      sync.Mutex
+	id      int
+	dir     string
+	wal     *wal
+	segs    []segmentMeta
+	nextSeq uint64
+	// compacting serializes compactions on the shard (background loop vs
+	// CompactNow) so the merge can run without holding mu.
+	compacting bool
+	// rollFailedAt is the WAL size when the last inline roll failed
+	// (0 = healthy).  Appends retry the roll only after another flush
+	// threshold of growth, so a stuck segment directory costs one failed
+	// attempt per threshold instead of one per append.
+	rollFailedAt int64
+	// closed is set (under mu) at the start of Close, so an Append that
+	// raced past the store-level check still fails with ErrClosed before
+	// touching the WAL — and everything the close-time Flush syncs is
+	// everything that was ever acknowledged.
+	closed bool
+}
+
+// Durable is the sharded on-disk Store.
+type Durable struct {
+	opts   Options
+	lock   *dirLock
+	shards []*dshard
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Open opens (creating if necessary) a durable store in opts.Dir,
+// replaying every shard's WAL — truncating torn tails — and validating
+// every segment.  The returned store is ready for Append and Iterate.
+func Open(opts Options) (*Durable, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	nShards, err := readManifest(opts.Dir)
+	if err != nil {
+		lock.Unlock()
+		return nil, err
+	}
+	found, err := existingShards(opts.Dir)
+	if err != nil {
+		lock.Unlock()
+		return nil, err
+	}
+	if nShards == 0 {
+		// No manifest: adopt any shard directories already present (a
+		// pre-manifest or hand-built layout), else take opts.Shards, and
+		// persist the count before creating a single shard directory —
+		// a crash mid-creation must not shrink N on the next open, since
+		// records are placed by hash % N.
+		nShards = found
+		if nShards == 0 {
+			nShards = opts.Shards
+		}
+		if err := writeManifest(opts.Dir, nShards, opts.Fsync); err != nil {
+			lock.Unlock()
+			return nil, err
+		}
+	}
+	if found > nShards {
+		lock.Unlock()
+		return nil, fmt.Errorf("store: %s holds %d shard directories but its manifest says %d: refusing to open a mixed data directory", opts.Dir, found, nShards)
+	}
+	d := &Durable{opts: opts, lock: lock, done: make(chan struct{})}
+	for i := 0; i < nShards; i++ {
+		sh, err := openShard(opts, i)
+		if err != nil {
+			d.closeShards()
+			lock.Unlock()
+			return nil, err
+		}
+		d.shards = append(d.shards, sh)
+	}
+	if opts.Fsync {
+		// Make freshly-created shard directories durable before the first
+		// append is acknowledged.
+		if err := syncDir(opts.Dir); err != nil {
+			d.closeShards()
+			lock.Unlock()
+			return nil, err
+		}
+	}
+	if opts.CompactInterval > 0 {
+		d.wg.Add(1)
+		go d.compactLoop()
+	}
+	return d, nil
+}
+
+// manifestName is the file in the data directory root recording the
+// shard count, written before any shard directory is created.
+const manifestName = "SHARDS"
+
+// readManifest returns the shard count recorded in dir, 0 when no
+// manifest exists yet.
+func readManifest(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("store: corrupt shard manifest in %s: %q", dir, data)
+	}
+	return n, nil
+}
+
+// writeManifest atomically records the shard count in dir.  Like
+// writeSegment, the temp file is fsynced before the rename so a power
+// loss cannot leave a renamed-but-empty manifest that would make every
+// later open fail.
+func writeManifest(dir string, n int, fsync bool) error {
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(strconv.Itoa(n) + "\n")); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if fsync {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// existingShards counts the shard directories already present in dir,
+// failing loudly unless the set is exactly shard-0000..shard-(n-1):
+// records are placed by hash % n, so opening a directory with a gap
+// (say, a partial restore that lost one shard) would silently drop the
+// shards above the gap and re-place new records under a smaller
+// modulus.
+func existingShards(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var idx []int
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			if i, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "shard-")); err == nil {
+				idx = append(idx, i)
+			}
+		}
+	}
+	sort.Ints(idx)
+	for i, v := range idx {
+		if v != i {
+			return 0, fmt.Errorf("store: %s is missing shard directory shard-%04d (found shard-%04d): refusing to open a partial data directory", dir, i, v)
+		}
+	}
+	return len(idx), nil
+}
+
+// shardDirName renders the canonical directory name for shard i.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// openShard opens shard i: lists and validates its segments, replays its
+// WAL and positions the log for appending.
+func openShard(opts Options, i int) (*dshard, error) {
+	dir := filepath.Join(opts.Dir, shardDirName(i))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	nextSeq := uint64(1)
+	for si := range segs {
+		n, err := statSegment(segs[si].path)
+		if err != nil {
+			return nil, err
+		}
+		segs[si].records = n
+		if segs[si].seq >= nextSeq {
+			nextSeq = segs[si].seq + 1
+		}
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	records, size, err := replayWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(walPath, size, records, opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Fsync {
+		// Machine-crash durability needs the wal.log (and shard directory)
+		// directory entries on disk too, not just the record bytes.
+		if err := w.Sync(); err != nil {
+			w.Close()
+			return nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return &dshard{id: i, dir: dir, wal: w, segs: segs, nextSeq: nextSeq}, nil
+}
+
+// FNV-1a 64-bit constants, inlined so the per-append hash is
+// allocation-free.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardOf places a record by hash(userID) % shards.
+func (d *Durable) shardOf(p sketch.Published) *dshard {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(p.ID))
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return d.shards[h%uint64(len(d.shards))]
+}
+
+// Append implements Store: the record is framed, CRC'd and written to its
+// shard's WAL before Append returns.  A WAL past the flush threshold is
+// rolled into a segment inline.
+func (d *Durable) Append(p sketch.Published) error {
+	sh := d.shardOf(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	if err := sh.wal.Append(p); err != nil {
+		return err
+	}
+	if sh.wal.size >= d.opts.FlushThreshold &&
+		(sh.rollFailedAt == 0 || sh.wal.size >= sh.rollFailedAt+d.opts.FlushThreshold) {
+		// A failed roll is a maintenance problem, not an append failure:
+		// the record is already durable in the WAL, and surfacing the
+		// error here would make the engine NACK and roll back a record
+		// the log would resurrect on replay.  Log the transition into
+		// the failing state, back off until the WAL grows by another
+		// threshold, and let Flush/Close surface persistent errors.
+		if err := sh.rollLocked(); err != nil {
+			if sh.rollFailedAt == 0 {
+				log.Printf("store: shard %d wal roll failed (records stay in the wal; will retry): %v", sh.id, err)
+			}
+			sh.rollFailedAt = sh.wal.size
+		} else {
+			sh.rollFailedAt = 0
+		}
+	}
+	return nil
+}
+
+// rollLocked flushes the shard's WAL into a fresh segment and truncates
+// the log.  The records come from the WAL's in-memory mirror, so no
+// disk re-read happens under the shard lock.  The shard lock must be
+// held.  Crash safety: the segment is durable (fsync + rename + dir
+// sync) before the WAL is truncated, so a crash in between leaves the
+// records present twice and deduplication drops the copy.
+func (sh *dshard) rollLocked() error {
+	if len(sh.wal.pending) == 0 {
+		return nil
+	}
+	records := normalize(sh.wal.pending)
+	meta, err := writeSegment(sh.dir, sh.nextSeq, records)
+	if err != nil {
+		return fmt.Errorf("store: shard %d roll: %w", sh.id, err)
+	}
+	sh.nextSeq++
+	sh.segs = append(sh.segs, meta)
+	if err := sh.wal.Truncate(); err != nil {
+		return fmt.Errorf("store: shard %d truncating rolled wal: %w", sh.id, err)
+	}
+	return nil
+}
+
+// loadShardLocked returns a shard's full deduplicated contents, oldest
+// sources first so newest-wins is a map overwrite.  The WAL part comes
+// from the in-memory mirror, which holds exactly the acknowledged
+// records — a NACKed-but-written record never appears here.  The shard
+// lock must be held.
+func (sh *dshard) loadShardLocked() ([]sketch.Published, error) {
+	var all []sketch.Published
+	for _, seg := range sh.segs {
+		records, err := readSegment(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, records...)
+	}
+	all = append(all, sh.wal.pending...)
+	return normalize(all), nil
+}
+
+// Iterate implements Store: shards are visited in order, each yielding
+// its deduplicated records in canonical (subset, user) order.
+func (d *Durable) Iterate(fn func(p sketch.Published) error) error {
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		records, err := sh.loadShardLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		for _, p := range records {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush implements Store: every shard's WAL is fsynced, and WALs past the
+// flush threshold are rolled into segments.  Every shard is attempted
+// even after a failure — Flush is the durability half of graceful
+// shutdown, and one shard's bad disk must not leave the healthy shards
+// unsynced — with the first error reported.
+func (d *Durable) Flush() error {
+	var first error
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		err := sh.wal.Sync()
+		if err == nil && sh.wal.size >= d.opts.FlushThreshold {
+			err = sh.rollLocked()
+			if err == nil {
+				sh.rollFailedAt = 0
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CompactNow merges the segments of every shard holding at least min of
+// them; min is clamped to 2, since merging fewer than two segments is
+// never productive (a lone segment is already deduplicated — rolls and
+// compactions always write normalized records).  It is the synchronous
+// form of the background loop, for tests and operators.  The run is
+// registered with the store's waitgroup so Close waits for an in-flight
+// merge instead of releasing the directory lock while segment files are
+// still being written and deleted.
+func (d *Durable) CompactNow(min int) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	d.wg.Add(1)
+	d.mu.Unlock()
+	defer d.wg.Done()
+	for _, sh := range d.shards {
+		if err := sh.compact(min); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact merges the shard's current segments into one when it has at
+// least min of them, deduplicating by (user, subset) with the newest
+// record winning.  The WAL is untouched: it is always newer than any
+// segment, so queries and iteration still resolve correctly.
+//
+// The merge itself runs without the shard lock so appends are never
+// stalled behind multi-MiB reads and fsyncs: segments are immutable,
+// rolls only append to sh.segs, and the compacting flag keeps a second
+// compaction off the shard, so the snapshot taken under the lock stays
+// valid for the whole merge.  Segments rolled meanwhile carry higher
+// sequence numbers than the merged one, so the rebuilt list (and a
+// reopened directory, which sorts by sequence) keeps oldest-first order.
+func (sh *dshard) compact(min int) error {
+	if min < 2 {
+		min = 2
+	}
+	sh.mu.Lock()
+	if sh.closed || sh.compacting || len(sh.segs) < min {
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.compacting = true
+	snap := append([]segmentMeta(nil), sh.segs...)
+	seq := sh.nextSeq
+	sh.nextSeq++
+	sh.mu.Unlock()
+	defer func() {
+		sh.mu.Lock()
+		sh.compacting = false
+		sh.mu.Unlock()
+	}()
+
+	var all []sketch.Published
+	for _, seg := range snap {
+		records, err := readSegment(seg.path)
+		if err != nil {
+			return fmt.Errorf("store: shard %d compact: %w", sh.id, err)
+		}
+		all = append(all, records...)
+	}
+	all = normalize(all)
+	meta, err := writeSegment(sh.dir, seq, all)
+	if err != nil {
+		return fmt.Errorf("store: shard %d compact: %w", sh.id, err)
+	}
+	sh.mu.Lock()
+	sh.segs = append([]segmentMeta{meta}, sh.segs[len(snap):]...)
+	sh.mu.Unlock()
+	for _, seg := range snap {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("store: shard %d removing compacted segment: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// compactLoop is the background compaction goroutine.
+func (d *Durable) compactLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.opts.CompactInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-ticker.C:
+			// Best effort: an IO error here will resurface on the next
+			// Append/Flush against the same shard.
+			_ = d.CompactNow(d.opts.CompactThreshold)
+		}
+	}
+}
+
+// Close implements Store: stops compaction, flushes every WAL and closes
+// the log files.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	// Fence appends first: once every shard is marked closed, the Flush
+	// below covers every record any Append ever acknowledged.
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.mu.Unlock()
+	}
+	close(d.done)
+	d.wg.Wait()
+	err := d.Flush()
+	if cerr := d.closeShards(); err == nil {
+		err = cerr
+	}
+	if uerr := d.lock.Unlock(); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+func (d *Durable) closeShards() error {
+	var err error
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		if cerr := sh.wal.Close(); err == nil {
+			err = cerr
+		}
+		sh.mu.Unlock()
+	}
+	return err
+}
+
+// Stats implements Store.
+func (d *Durable) Stats() Stats {
+	st := Stats{Dir: d.opts.Dir}
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		s := ShardStats{
+			Shard:      sh.id,
+			WALBytes:   sh.wal.size,
+			WALRecords: sh.wal.records,
+			Segments:   len(sh.segs),
+		}
+		for _, seg := range sh.segs {
+			s.SegmentBytes += seg.bytes
+			s.SegmentRecords += seg.records
+		}
+		sh.mu.Unlock()
+		st.Shards = append(st.Shards, s)
+		st.Records += s.WALRecords + s.SegmentRecords
+	}
+	// st.Shards is in index order by construction: Open builds d.shards
+	// strictly as shard 0..n-1.
+	return st
+}

@@ -1,0 +1,599 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// testRecord fabricates a valid published sketch for user id over subset b.
+func testRecord(id uint64, b bitvec.Subset) sketch.Published {
+	return sketch.Published{
+		ID:     bitvec.UserID(id),
+		Subset: b,
+		S:      sketch.Sketch{Key: id % 1024, Length: 10},
+	}
+}
+
+// collect drains a store's Iterate into a slice.
+func collect(t *testing.T, st Store) []sketch.Published {
+	t.Helper()
+	var out []sketch.Published
+	if err := st.Iterate(func(p sketch.Published) error {
+		out = append(out, p)
+		return nil
+	}); err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	return out
+}
+
+// indexRecords maps (user, subset) to the stored sketch, failing on dups.
+func indexRecords(t *testing.T, ps []sketch.Published) map[recordKey]sketch.Sketch {
+	t.Helper()
+	out := make(map[recordKey]sketch.Sketch, len(ps))
+	for _, p := range ps {
+		k := keyOf(p)
+		if _, dup := out[k]; dup {
+			t.Fatalf("duplicate record for user %d subset %v after dedup", p.ID, p.Subset)
+		}
+		out[k] = p.S
+	}
+	return out
+}
+
+func TestDurableAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 4, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bitvec.MustSubset(0, 2, 4)
+	const n = 500
+	for i := uint64(1); i <= n; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if got := collect(t, st); len(got) != n {
+		t.Fatalf("Iterate before close returned %d records, want %d", len(got), n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(st2.shards) != 4 {
+		t.Fatalf("reopen found %d shards, want 4 (adopted from disk)", len(st2.shards))
+	}
+	got := indexRecords(t, collect(t, st2))
+	if len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+	for i := uint64(1); i <= n; i++ {
+		want := testRecord(i, b)
+		s, ok := got[keyOf(want)]
+		if !ok {
+			t.Fatalf("user %d missing after reopen", i)
+		}
+		if s != want.S {
+			t.Fatalf("user %d sketch %v, want %v", i, s, want.S)
+		}
+	}
+	if stats := st2.Stats(); stats.Records != n {
+		t.Fatalf("Stats.Records = %d, want %d", stats.Records, n)
+	}
+}
+
+func TestDurableRollsWALIntoSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every few appends roll into a segment.
+	st, err := Open(Options{Dir: dir, Shards: 2, FlushThreshold: 256, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := bitvec.MustSubset(1, 3)
+	const n = 200
+	for i := uint64(1); i <= n; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Segments() == 0 {
+		t.Fatalf("expected segments after %d appends past a 256-byte threshold, got none (stats %+v)", n, stats)
+	}
+	if len(collect(t, st)) != n {
+		t.Fatalf("records lost across WAL rolls")
+	}
+}
+
+func TestDurableCompactionMergesAndDedups(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := bitvec.MustSubset(0)
+	// FlushThreshold 1: every append creates its own segment, including
+	// three generations of user 7's record.
+	for i := uint64(1); i <= 10; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := sketch.Published{ID: 7, Subset: b, S: sketch.Sketch{Key: 3, Length: 10}}
+	for _, s := range []sketch.Sketch{{Key: 1, Length: 10}, {Key: 2, Length: 10}, newest.S} {
+		if err := st.Append(sketch.Published{ID: 7, Subset: b, S: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := st.Stats()
+	if before.Segments() < 13 {
+		t.Fatalf("setup expected one segment per append, got %d", before.Segments())
+	}
+	if err := st.CompactNow(2); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Stats()
+	if after.Segments() != 1 {
+		t.Fatalf("compaction left %d segments, want 1", after.Segments())
+	}
+	got := indexRecords(t, collect(t, st))
+	if len(got) != 10 {
+		t.Fatalf("compacted store has %d unique records, want 10", len(got))
+	}
+	if s := got[keyOf(newest)]; s != newest.S {
+		t.Fatalf("compaction kept sketch %v for user 7, want newest %v", s, newest.S)
+	}
+
+	// Compacted state must survive a reopen.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got2 := indexRecords(t, collect(t, st2))
+	if len(got2) != 10 || got2[keyOf(newest)] != newest.S {
+		t.Fatalf("compacted state corrupted by reopen: %d records", len(got2))
+	}
+}
+
+func TestDurableWALNewerThanSegments(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 1 << 20, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := bitvec.MustSubset(0)
+	old := sketch.Published{ID: 1, Subset: b, S: sketch.Sketch{Key: 11, Length: 10}}
+	if err := st.Append(old); err != nil {
+		t.Fatal(err)
+	}
+	// Force the old record into a segment, then append a newer one that
+	// stays in the WAL.
+	st.shards[0].mu.Lock()
+	err = st.shards[0].rollLocked()
+	st.shards[0].mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer := sketch.Published{ID: 1, Subset: b, S: sketch.Sketch{Key: 22, Length: 10}}
+	if err := st.Append(newer); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, st)
+	if len(got) != 1 || got[0].S != newer.S {
+		t.Fatalf("WAL record must shadow segment record, got %+v", got)
+	}
+}
+
+func TestDurableCrashBetweenSegmentAndTruncate(t *testing.T) {
+	// A crash after a segment lands but before the WAL truncates leaves
+	// the same records in both; recovery must deduplicate them.
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bitvec.MustSubset(0, 1)
+	for i := uint64(1); i <= 20; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash: write the segment by hand, leave wal.log alone.
+	sh := st.shards[0]
+	records, _, err := replayWAL(sh.wal.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeSegment(sh.dir, sh.nextSeq, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := indexRecords(t, collect(t, st2))
+	if len(got) != 20 {
+		t.Fatalf("recovered %d unique records, want 20", len(got))
+	}
+}
+
+func TestDurableLeftoverTmpSegmentIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bitvec.MustSubset(2)
+	if err := st.Append(testRecord(1, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-flush leaves a partial .tmp file behind.
+	tmp := filepath.Join(dir, "shard-0000", segmentName(99)+".tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := collect(t, st2); len(got) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(got))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover tmp segment not cleaned up: %v", err)
+	}
+}
+
+func TestDurableCorruptSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testRecord(1, bitvec.MustSubset(0))); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Segments() != 1 {
+		t.Fatalf("setup wanted 1 segment, got %d", stats.Segments())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "shard-0000", segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, CompactInterval: -1}); err == nil {
+		t.Fatal("Open must fail on a corrupt (checksum-violating) segment")
+	}
+}
+
+func TestDurableDirLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, CompactInterval: -1}); err == nil {
+		t.Fatal("second Open on a live data directory must fail, or two processes would corrupt each other's WALs")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableCompactionDuringAppends(t *testing.T) {
+	// Compaction merges outside the shard lock; appends (and the segments
+	// they roll) that land mid-merge must survive the segment swap.
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := bitvec.MustSubset(0, 1)
+	const n = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := uint64(1); i <= n; i++ {
+			if err := st.Append(testRecord(i, b)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := st.CompactNow(2); err != nil {
+				t.Fatal(err)
+			}
+			got := indexRecords(t, collect(t, st))
+			if len(got) != n {
+				t.Fatalf("after compaction under appends: %d unique records, want %d", len(got), n)
+			}
+			return
+		default:
+			if err := st.CompactNow(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestWALRepairAfterUnrecoverableWrite(t *testing.T) {
+	// A broken WAL (failed write whose rollback also failed) self-heals on
+	// the next append: everything past the acknowledged prefix is cut —
+	// torn bytes AND a fully-written record whose fsync failed, which the
+	// engine NACKed and must not resurrect — and service resumes.
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	b := bitvec.MustSubset(0, 2)
+	for i := uint64(1); i <= 3; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the failure aftermath: a CRC-valid record that was NACKed
+	// (fsync failed after the write) followed by torn bytes, broken set.
+	w := st.shards[0].wal
+	payload := wire.AppendPublished(nil, testRecord(99, b))
+	var hdr [walHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.f.Write([]byte{0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	w.broken = true
+	if err := st.Append(testRecord(4, b)); err != nil {
+		t.Fatalf("append after repairable breakage: %v", err)
+	}
+	if w.broken {
+		t.Fatal("wal still marked broken after successful repair")
+	}
+	got := indexRecords(t, collect(t, st))
+	if len(got) != 4 {
+		t.Fatalf("store has %d unique records after repair, want 4", len(got))
+	}
+	if _, resurrected := got[keyOf(testRecord(99, b))]; resurrected {
+		t.Fatal("NACKed record resurrected by repair")
+	}
+	// The on-disk log must agree: repair physically cut the NACKed record
+	// and the torn bytes, so a restart cannot resurrect them either.
+	onDisk, _, err := replayWAL(w.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != 4 {
+		t.Fatalf("on-disk wal has %d records after repair, want 4", len(onDisk))
+	}
+	for _, p := range onDisk {
+		if p.ID == 99 {
+			t.Fatal("NACKed record still on disk after repair")
+		}
+	}
+}
+
+func TestDurableShardGapFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 4, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A partial restore that lost one shard must fail loudly: silently
+	// adopting 3 shards would re-place records under a smaller modulus
+	// and never replay the shards above the gap.
+	if err := os.RemoveAll(filepath.Join(dir, "shard-0002")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, CompactInterval: -1}); err == nil {
+		t.Fatal("Open must refuse a data directory with a shard gap")
+	}
+}
+
+func TestDurableManifestHealsCrashMidCreation(t *testing.T) {
+	// A crash during the first Open can leave only a prefix of the shard
+	// directories; the manifest (written before any of them) pins N so
+	// the store cannot silently shrink to the prefix.
+	dir := t.TempDir()
+	if err := writeManifest(dir, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := os.MkdirAll(filepath.Join(dir, shardDirName(i)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := Open(Options{Dir: dir, Shards: 8, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if len(st.shards) != 4 {
+		t.Fatalf("opened %d shards, want the manifest's 4 (not the 2 on disk or the flag's 8)", len(st.shards))
+	}
+}
+
+func TestDurableManifestMismatchFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 4, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// More shard directories than the manifest records means the manifest
+	// and the data disagree — refuse rather than guess the modulus.
+	if err := writeManifest(dir, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, CompactInterval: -1}); err == nil {
+		t.Fatal("Open must refuse a directory whose shard count exceeds its manifest")
+	}
+}
+
+func TestDurableRollFailureBacksOffAndRecovers(t *testing.T) {
+	// A shard whose segment writes fail must keep acknowledging appends
+	// (the WAL has them), retry the roll only after another threshold of
+	// growth, and roll normally once the blockage clears.
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 64, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sh := st.shards[0]
+	// Block segment writes: a directory where the temp file would go.
+	block := filepath.Join(sh.dir, segmentName(1)+".tmp")
+	if err := os.MkdirAll(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b := bitvec.MustSubset(0)
+	for i := uint64(1); i <= 40; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatalf("Append(%d) during roll blockage: %v", i, err)
+		}
+	}
+	if sh.rollFailedAt == 0 {
+		t.Fatal("roll failure not recorded for backoff")
+	}
+	if st.Stats().Segments() != 0 {
+		t.Fatal("segment appeared despite the blocked temp path")
+	}
+	if got := collect(t, st); len(got) != 40 {
+		t.Fatalf("blocked shard serves %d records, want 40", len(got))
+	}
+	if err := os.RemoveAll(block); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(41); i <= 120; i++ {
+		if err := st.Append(testRecord(i, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().Segments() == 0 {
+		t.Fatal("roll never retried after the blockage cleared")
+	}
+	if got := collect(t, st); len(got) != 120 {
+		t.Fatalf("recovered shard serves %d records, want 120", len(got))
+	}
+}
+
+func TestSegmentHostileCountRejected(t *testing.T) {
+	// A crafted segment declaring 2^32-1 records (checksum recomputed)
+	// must produce a decode error, not a huge preallocation.
+	dir := t.TempDir()
+	meta, err := writeSegment(dir, 1, []sketch.Published{testRecord(1, bitvec.MustSubset(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(meta.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(data[8:], 0xFFFFFFFF)
+	binary.BigEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+	if err := os.WriteFile(meta.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSegment(meta.path); err == nil {
+		t.Fatal("segment with a hostile record count must fail to decode")
+	}
+}
+
+func TestDurableClosedAppend(t *testing.T) {
+	st, err := Open(Options{Dir: t.TempDir(), CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(testRecord(1, bitvec.MustSubset(0))); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double Close = %v, want nil", err)
+	}
+}
+
+func TestMemStoreSemanticsMatchDurable(t *testing.T) {
+	b := bitvec.MustSubset(0, 1)
+	m := NewMem()
+	for i := uint64(1); i <= 5; i++ {
+		if err := m.Append(testRecord(i, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newer := sketch.Published{ID: 3, Subset: b, S: sketch.Sketch{Key: 999, Length: 10}}
+	if err := m.Append(newer); err != nil {
+		t.Fatal(err)
+	}
+	got := indexRecords(t, collect(t, m))
+	if len(got) != 5 {
+		t.Fatalf("mem store has %d unique records, want 5", len(got))
+	}
+	if got[keyOf(newer)] != newer.S {
+		t.Fatalf("mem store did not keep the newest record")
+	}
+	if st := m.Stats(); st.Records != 5 {
+		t.Fatalf("mem Stats.Records = %d, want 5", st.Records)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+// dirLock is a no-op on platforms without flock; single-process use per
+// data directory is then the operator's responsibility.
+type dirLock struct{}
+
+func lockDir(dir string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) Unlock() error { return nil }

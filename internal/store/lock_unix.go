@@ -1,0 +1,43 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// dirLock holds an exclusive advisory lock on a data directory.  Two
+// processes sharing one directory would append to the same WALs, race
+// their rolls onto identical segment names and truncate each other's
+// acknowledged records — flock makes the second Open fail fast instead.
+// The kernel releases the lock when the process dies, so a SIGKILLed
+// daemon never leaves a stale lock behind.
+type dirLock struct {
+	f *os.File
+}
+
+// lockDir takes the exclusive lock on dir's LOCK file without blocking.
+func lockDir(dir string) (*dirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data directory %s is in use by another process: %w", dir, err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+// Unlock releases the lock.  Closing the descriptor drops the flock.
+func (l *dirLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+// Store is the persistence interface the engine writes published sketches
+// through.  Implementations must be safe for concurrent use.
+type Store interface {
+	// Append durably records one published sketch.  When Append returns
+	// nil the record must survive a crash of the process (subject to the
+	// implementation's fsync policy for machine crashes).
+	Append(p sketch.Published) error
+	// Iterate calls fn for every stored record with (user, subset)
+	// deduplication applied — the newest record for a pair wins.  It is
+	// how the engine rehydrates its in-memory table on startup.
+	// Iteration stops at the first error, which is returned.
+	Iterate(fn func(p sketch.Published) error) error
+	// Flush makes every appended record durable (fsync) and rolls any WAL
+	// past the flush threshold into a segment.
+	Flush() error
+	// Close flushes and releases all resources.  The store must not be
+	// used afterwards.
+	Close() error
+	// Stats reports sizes and record counts for monitoring.
+	Stats() Stats
+}
+
+// ShardStats describes one shard of a durable store.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// WALBytes is the current size of the shard's write-ahead log.
+	WALBytes int64
+	// WALRecords is the number of records in the WAL (not yet rolled
+	// into a segment).
+	WALRecords uint64
+	// Segments is the number of immutable segment files.
+	Segments int
+	// SegmentBytes is the total size of the segment files.
+	SegmentBytes int64
+	// SegmentRecords is the total number of records across segments
+	// (before deduplication against the WAL).
+	SegmentRecords uint64
+}
+
+// Stats is a snapshot of a store's size and layout.
+type Stats struct {
+	// Dir is the data directory, empty for in-memory stores.
+	Dir string
+	// Records is the total number of raw records (WAL + segments, before
+	// deduplication).
+	Records uint64
+	// Shards holds per-shard detail; nil for in-memory stores.
+	Shards []ShardStats
+}
+
+// WALBytes returns the total WAL size across shards.
+func (s Stats) WALBytes() int64 {
+	var n int64
+	for _, sh := range s.Shards {
+		n += sh.WALBytes
+	}
+	return n
+}
+
+// SegmentBytes returns the total segment size across shards.
+func (s Stats) SegmentBytes() int64 {
+	var n int64
+	for _, sh := range s.Shards {
+		n += sh.SegmentBytes
+	}
+	return n
+}
+
+// Segments returns the total segment count across shards.
+func (s Stats) Segments() int {
+	n := 0
+	for _, sh := range s.Shards {
+		n += sh.Segments
+	}
+	return n
+}
+
+// recordKey identifies the (user, subset) pair deduplication works over.
+type recordKey struct {
+	id     bitvec.UserID
+	subset string
+}
+
+func keyOf(p sketch.Published) recordKey {
+	return recordKey{id: p.ID, subset: p.Subset.Key()}
+}
+
+// Mem is an in-memory Store: the same interface and deduplication
+// semantics as the durable store with no disk underneath.  Tests and
+// examples that do not care about persistence use it so the engine's
+// storage path stays exercised.
+type Mem struct {
+	mu      sync.Mutex
+	records map[recordKey]sketch.Published
+	order   []recordKey // first-append order, for deterministic iteration
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{records: make(map[recordKey]sketch.Published)}
+}
+
+// Append implements Store.  Re-appending a (user, subset) pair overwrites
+// the previous record, matching the durable store's newest-wins merge.
+func (m *Mem) Append(p sketch.Published) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := keyOf(p)
+	if _, ok := m.records[k]; !ok {
+		m.order = append(m.order, k)
+	}
+	m.records[k] = p
+	return nil
+}
+
+// Iterate implements Store.
+func (m *Mem) Iterate(fn func(p sketch.Published) error) error {
+	m.mu.Lock()
+	out := make([]sketch.Published, 0, len(m.order))
+	for _, k := range m.order {
+		out = append(out, m.records[k])
+	}
+	m.mu.Unlock()
+	for _, p := range out {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements Store; there is nothing to make durable.
+func (m *Mem) Flush() error { return nil }
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+// Stats implements Store.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Records: uint64(len(m.records))}
+}
+
+// normalize deduplicates records by (user, subset) — the newest wins, so
+// the input must be ordered oldest source first — and sorts the
+// survivors into canonical (subset key, user id) order.  Subset keys are
+// materialised once per record rather than per comparison: rolls,
+// compaction and cold-start replay all funnel through here, so the sort
+// must not allocate O(n log n) tag encodings.
+func normalize(records []sketch.Published) []sketch.Published {
+	keys := make([]string, len(records))
+	last := make(map[recordKey]int, len(records))
+	for i, p := range records {
+		keys[i] = p.Subset.Key()
+		last[recordKey{id: p.ID, subset: keys[i]}] = i
+	}
+	idx := make([]int, 0, len(last))
+	for i, p := range records {
+		if last[recordKey{id: p.ID, subset: keys[i]}] == i {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if keys[ia] != keys[ib] {
+			return keys[ia] < keys[ib]
+		}
+		return records[ia].ID < records[ib].ID
+	})
+	out := make([]sketch.Published, len(idx))
+	for j, i := range idx {
+		out[j] = records[i]
+	}
+	return out
+}

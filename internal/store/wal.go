@@ -1,0 +1,219 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// walHeaderSize is the per-record framing: a 4-byte big-endian payload
+// length followed by a 4-byte big-endian CRC32 (IEEE) of the payload.
+const walHeaderSize = 8
+
+// maxRecordSize bounds one WAL record.  Sketch records are tiny (tens of
+// bytes), so anything larger marks a torn or corrupt tail.
+const maxRecordSize = wire.MaxFrameSize
+
+// ErrRecordTooLarge is returned when asked to append a record exceeding
+// maxRecordSize.
+var ErrRecordTooLarge = errors.New("store: record exceeds maximum size")
+
+// wal is one shard's write-ahead log.  Appends go straight to the file
+// with a single write(2) each — no user-space buffering — so a record is
+// in the kernel (and survives SIGKILL) the moment Append returns.  An
+// optional fsync per append extends the guarantee to machine crashes.
+type wal struct {
+	f       *os.File
+	path    string
+	size    int64
+	records uint64
+	fsync   bool
+	scratch []byte
+	// pending mirrors the log's acknowledged records in append order, so
+	// rolls and reads never re-read the file from disk (bounded by the
+	// flush threshold, a few MiB of tiny records per shard).  A record
+	// enters pending only after its append fully succeeded, which keeps a
+	// NACKed-but-written record out of segments and query results.
+	pending []sketch.Published
+	// broken is set when a failed write could not be rolled back: the
+	// on-disk log may hold torn bytes at the tail that a later append
+	// would bury mid-file, where replay would truncate acknowledged
+	// records behind the tear.  While set, Append first re-replays the
+	// log to cut the tear off; only if that repair also fails does the
+	// append itself fail.
+	broken bool
+}
+
+// ErrWALBroken is returned by appends after an unrecoverable write error.
+var ErrWALBroken = errors.New("store: wal broken by an unrecoverable write error")
+
+// openWAL opens (creating if needed) the log at path for appending.
+// Callers must have replayed the file first and pass the replayed
+// records and post-truncation size.
+func openWAL(path string, size int64, records []sketch.Published, fsync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, path: path, size: size, records: uint64(len(records)), fsync: fsync, pending: records}, nil
+}
+
+// Append writes one record.  The framed record is assembled in a reused
+// scratch buffer and written with one call, so a crash can tear at most
+// the final record.
+func (w *wal) Append(p sketch.Published) error {
+	if n := wire.PublishedEncodedLen(p); n > maxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, n)
+	}
+	// Reserve the header, encode the payload in place, then frame it.
+	if cap(w.scratch) < walHeaderSize {
+		w.scratch = make([]byte, walHeaderSize, 64)
+	}
+	if w.broken {
+		if err := w.repair(); err != nil {
+			return fmt.Errorf("%w: %v", ErrWALBroken, err)
+		}
+	}
+	w.scratch = wire.AppendPublished(w.scratch[:walHeaderSize], p)
+	payload := w.scratch[walHeaderSize:]
+	binary.BigEndian.PutUint32(w.scratch[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(w.scratch[4:], crc32.ChecksumIEEE(payload))
+	if n, err := w.f.Write(w.scratch); err != nil {
+		// A partial write leaves torn bytes that are NOT at the tail once
+		// a later append lands after them — replay would then truncate
+		// acknowledged records.  Cut the file back to the last good
+		// record; if even that fails, refuse all further appends.
+		if n > 0 {
+			if terr := w.f.Truncate(w.size); terr != nil {
+				w.broken = true
+			}
+		}
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.size += int64(len(w.scratch))
+	w.records++
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			// The write reached the kernel but stable storage is in doubt
+			// and fsync error semantics make retrying unsafe.  Roll the
+			// record back out so a NACKed publish cannot resurrect.
+			w.size -= int64(len(w.scratch))
+			w.records--
+			if terr := w.f.Truncate(w.size); terr != nil {
+				w.broken = true
+			}
+			return fmt.Errorf("store: wal fsync: %w", err)
+		}
+	}
+	w.pending = append(w.pending, p)
+	return nil
+}
+
+// repair cuts a broken log back to its acknowledged prefix.  w.size
+// never counts a record whose append returned an error, so truncating
+// to it removes both torn bytes and a fully-written record whose fsync
+// failed after the write — a publish the caller was told failed must
+// not resurrect (replaying the log instead would count such a
+// CRC-valid record back in).  The condition that made the original
+// rollback fail (typically a full disk) is often transient, so a later
+// append gets one repair attempt instead of the shard being down until
+// restart.  A process that dies while broken loses this protection:
+// restart replay keeps every CRC-valid record, so a NACKed publish can
+// resurrect across a crash — the fsync-failure ambiguity every WAL
+// without revocation records has.
+func (w *wal) repair() error {
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.broken = false
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *wal) Sync() error { return w.f.Sync() }
+
+// Close closes the underlying file without syncing.
+func (w *wal) Close() error { return w.f.Close() }
+
+// Truncate empties the log after its records were rolled into a segment.
+func (w *wal) Truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	// O_APPEND writes ignore the seek offset on POSIX, but reset it anyway
+	// so size accounting and the file offset agree on every platform.
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = 0
+	w.records = 0
+	w.pending = nil
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	// The log is provably empty and clean now, so any earlier
+	// unrecoverable-write state no longer applies.
+	w.broken = false
+	return nil
+}
+
+// replayWAL reads every fully-written record of the log at path and
+// truncates a torn tail in place.  A missing file is an empty log.  The
+// returned size is the file size after truncation.
+//
+// Any framing violation — short header, implausible length, short payload
+// or checksum mismatch — marks the end of the valid prefix: everything
+// before it is returned and everything from it on is cut off.  This is
+// exactly the state a crash mid-append leaves behind.
+func replayWAL(path string) (records []sketch.Published, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	valid := int64(0)
+	for {
+		rest := data[valid:]
+		if len(rest) < walHeaderSize {
+			break
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		// Compare in int64: a log past 4 GiB must not have its length
+		// truncated to uint32, or valid records would be cut off.
+		if n > maxRecordSize || int64(len(rest))-walHeaderSize < int64(n) {
+			break
+		}
+		payload := rest[walHeaderSize : walHeaderSize+int64(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		p, err := wire.DecodePublished(payload)
+		if err != nil {
+			// The framing was intact but the payload does not decode: the
+			// record was fully written yet corrupt, which atomic appends
+			// never produce.  Still treat it as the end of the valid
+			// prefix rather than failing recovery.
+			break
+		}
+		records = append(records, p)
+		valid += walHeaderSize + int64(n)
+	}
+	if valid != int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, 0, fmt.Errorf("store: truncating torn wal tail of %s: %w", path, err)
+		}
+	}
+	return records, valid, nil
+}

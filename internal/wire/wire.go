@@ -98,13 +98,23 @@ func readBytes(src []byte) (value, rest []byte, err error) {
 
 // EncodePublished serializes a published sketch.
 func EncodePublished(p sketch.Published) []byte {
-	out := make([]byte, 0, 64)
-	var id [8]byte
-	binary.BigEndian.PutUint64(id[:], uint64(p.ID))
-	out = append(out, id[:]...)
-	out = appendBytes(out, p.Subset.Tag())
-	out = appendBytes(out, p.S.Bytes())
-	return out
+	return AppendPublished(make([]byte, 0, PublishedEncodedLen(p)), p)
+}
+
+// PublishedEncodedLen returns len(EncodePublished(p)) without encoding.
+func PublishedEncodedLen(p sketch.Published) int {
+	return 8 + 4 + p.Subset.TagLen() + 4 + p.S.EncodedLen()
+}
+
+// AppendPublished appends the EncodePublished encoding to dst without
+// intermediate allocations; the store's WAL assembles records into
+// reusable scratch through it.
+func AppendPublished(dst []byte, p sketch.Published) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.ID))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.Subset.TagLen()))
+	dst = p.Subset.AppendTag(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.S.EncodedLen()))
+	return p.S.AppendBytes(dst)
 }
 
 // DecodePublished reverses EncodePublished.

@@ -28,6 +28,7 @@ import (
 	"sketchprivacy/internal/query"
 	"sketchprivacy/internal/sketch"
 	"sketchprivacy/internal/stats"
+	"sketchprivacy/internal/store"
 )
 
 // Core profile and query vocabulary.
@@ -74,6 +75,11 @@ type (
 	// specialised to one (subset, value) query pair; loops over many
 	// records should hold one instead of calling the facade per record.
 	Kernel = sketch.Kernel
+	// Store is the durability interface the engine persists sketches
+	// through (internal/store: sharded WAL + immutable segments).
+	Store = store.Store
+	// StoreOptions configures a durable store (data dir, shards, fsync).
+	StoreOptions = store.Options
 )
 
 // NewKernel returns a batch evaluation kernel for one query pair.  Kernels
@@ -117,6 +123,16 @@ func NewEstimator(h prf.BitSource) (*Estimator, error) { return query.NewEstimat
 
 // NewEngine builds the aggregation engine (sketch store plus estimators).
 func NewEngine(h prf.BitSource, params Params) (*Engine, error) { return engine.New(h, params) }
+
+// OpenStore opens (creating if needed) a durable sketch store: sharded
+// write-ahead logs plus immutable segments, with torn-tail crash recovery.
+func OpenStore(opts StoreOptions) (*store.Durable, error) { return store.Open(opts) }
+
+// NewEngineWithStore builds an engine rehydrated from st on startup and
+// persisting every ingest through it.
+func NewEngineWithStore(h prf.BitSource, params Params, st Store) (*Engine, error) {
+	return engine.NewWithStore(h, params, st)
+}
 
 // NewSubset builds an attribute subset, validating positions.
 func NewSubset(positions ...int) (Subset, error) { return bitvec.NewSubset(positions...) }
