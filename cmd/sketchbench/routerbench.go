@@ -1,0 +1,128 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/cluster"
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/server"
+	"sketchprivacy/internal/sketch"
+)
+
+// routerClusterSize and routerQueryRecords shape the networked-path
+// kernels: a 3-node loopback cluster at RF=2, queried over a pre-loaded
+// table.
+const (
+	routerClusterSize       = 3
+	routerQueryRecords      = 30_000
+	routerQueryRecordsQuick = 5_000
+)
+
+// routerRecord fabricates a valid published sketch (the networked path
+// does not care how the key was produced).
+func routerRecord(id uint64, b bitvec.Subset) sketch.Published {
+	return sketch.Published{
+		ID:     bitvec.UserID(id),
+		Subset: b,
+		S:      sketch.Sketch{Key: id % 1024, Length: 10},
+	}
+}
+
+// benchCluster brings up 3 in-process nodes behind real TCP servers plus
+// a router at RF=2.  The returned map keys each node's engine by its
+// listen address (the ring member name), so a benchmark can bulk-load
+// records straight into their owners.
+func benchCluster(b *testing.B) (*cluster.Router, map[string]*engine.Engine, func()) {
+	p := 0.3
+	h := prf.NewBiased(benchKey(), prf.MustProb(p))
+	params := sketch.MustParams(p, 10)
+	var (
+		addrs   []string
+		closers []func()
+	)
+	engines := make(map[string]*engine.Engine, routerClusterSize)
+	for i := 0; i < routerClusterSize; i++ {
+		eng, err := engine.New(h, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(eng)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+		engines[addr] = eng
+		closers = append(closers, func() { srv.Close() })
+	}
+	r, err := cluster.NewRouter(h, cluster.Config{
+		Nodes:        addrs,
+		Replication:  2,
+		VNodes:       64,
+		PingInterval: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, engines, func() {
+		r.Close()
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+// routerBenchmarks measures the networked cluster path: replicated
+// publish through the router (2 node round trips per op) and the 3-node
+// scatter-gather conjunctive query with exact partial merging.
+func routerBenchmarks(quick bool) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	queryN := routerQueryRecords
+	if quick {
+		queryN = routerQueryRecordsQuick
+	}
+	subset := bitvec.Range(0, 4)
+	value := bitvec.MustFromString("1010")
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"router-publish", func(b *testing.B) {
+			r, _, done := benchCluster(b)
+			defer done()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.Publish(routerRecord(uint64(i+1), subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"router-query-3node", func(b *testing.B) {
+			r, engines, done := benchCluster(b)
+			defer done()
+			// Bulk-load straight into the owner engines along the ring —
+			// the direct-to-node path sketchgen -ring pre-partitions for.
+			for id := uint64(1); id <= uint64(queryN); id++ {
+				rec := routerRecord(id, subset)
+				for _, addr := range r.Ring().Owners(rec.ID, 2) {
+					if err := engines[addr].Ingest(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Conjunction(subset, value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

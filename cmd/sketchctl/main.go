@@ -13,6 +13,16 @@
 //	# operator side: per-subset record counts and durable-store sizes
 //	sketchctl -addr 127.0.0.1:7070 stats
 //
+//	# liveness: a node answers with its sketch count, a router with its
+//	# ring, per-node liveness and ownership spans
+//	sketchctl -addr 127.0.0.1:7080 ping
+//
+// Publish and query work unchanged against a sketchrouter — the router
+// speaks the node protocol and replicates/fans out internally.  The
+// -router flag adjusts the operator commands for a router target: `stats`
+// is answered with the router's aggregated cluster status (the per-node
+// JSON stats report is a node-level endpoint).
+//
 // The -p, -users, -tau and -keyhex flags must match the daemon's
 // configuration (they define the public function H and the sketch length).
 package main
@@ -57,15 +67,16 @@ func parseSubset(s string) bitvec.Subset {
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7070", "sketchd address")
+		addr   = flag.String("addr", "127.0.0.1:7070", "sketchd or sketchrouter address")
 		p      = flag.Float64("p", 0.3, "bias parameter p")
 		users  = flag.Int("users", 1_000_000, "expected population size")
 		tau    = flag.Float64("tau", 1e-6, "sketch failure probability")
 		keyHex = flag.String("keyhex", "", "hex-encoded generator key (must match the daemon)")
+		router = flag.Bool("router", false, "the address is a sketchrouter: stats reports cluster status")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fail("usage: sketchctl [flags] publish|query|stats [subcommand flags]")
+		fail("usage: sketchctl [flags] publish|query|stats|ping [subcommand flags]")
 	}
 
 	key := make([]byte, prf.MinKeyBytes)
@@ -141,7 +152,26 @@ func main() {
 		}
 		fmt.Printf("estimated fraction %.4f (raw %.4f) over %d users; estimated count %.0f\n",
 			res.Fraction, res.Raw, res.Users, res.Fraction*float64(res.Users))
+	case "ping":
+		status, err := cli.Ping()
+		if err != nil {
+			fail("ping failed: %v", err)
+		}
+		fmt.Print(status)
+		if !strings.HasSuffix(status, "\n") {
+			fmt.Println()
+		}
 	case "stats":
+		if *router {
+			// A router has no single JSON stats report; its cluster status
+			// rides the ping opcode.
+			status, err := cli.Ping()
+			if err != nil {
+				fail("router status failed: %v", err)
+			}
+			fmt.Print(status)
+			return
+		}
 		rep, err := cli.Stats()
 		if err != nil {
 			fail("stats failed: %v", err)

@@ -8,6 +8,16 @@
 //	sketchgen -workload salary -users 10000
 //	sketchgen -workload basket -users 10000 -items 100
 //	sketchgen -workload binary -users 10000 -width 16 -density 0.3
+//
+// With -ring the output is pre-partitioned for direct-to-node bulk
+// loading into a cluster: an "owners" column is appended holding each
+// user's owner and replica addresses (semicolon-separated) on the same
+// consistent-hash ring a sketchrouter with matching -nodes/-vnodes/-rf
+// would use, so a loader can split the file per node and publish straight
+// to the owners without routing every record:
+//
+//	sketchgen -workload binary -users 100000 \
+//	        -ring 10.0.0.1:7071,10.0.0.2:7071,10.0.0.3:7071 -ring-rf 2
 package main
 
 import (
@@ -16,20 +26,58 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/cluster"
 	"sketchprivacy/internal/dataset"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "epidemiology", "binary | epidemiology | salary | basket")
-		users    = flag.Int("users", 10000, "number of users")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		width    = flag.Int("width", 16, "profile width (binary workload)")
-		density  = flag.Float64("density", 0.3, "bit density (binary workload)")
-		items    = flag.Int("items", 100, "catalog size (basket workload)")
+		workload   = flag.String("workload", "epidemiology", "binary | epidemiology | salary | basket")
+		users      = flag.Int("users", 10000, "number of users")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		width      = flag.Int("width", 16, "profile width (binary workload)")
+		density    = flag.Float64("density", 0.3, "bit density (binary workload)")
+		items      = flag.Int("items", 100, "catalog size (basket workload)")
+		ringNodes  = flag.String("ring", "", "comma-separated node addresses: append an owners column for direct-to-node loading")
+		ringVNodes = flag.Int("ring-vnodes", 64, "virtual nodes per member (must match the router)")
+		ringRF     = flag.Int("ring-rf", 2, "replication factor (must match the router)")
 	)
 	flag.Parse()
+
+	// owners maps a user to its replica set when -ring is given.
+	owners := func(bitvec.UserID) string { return "" }
+	ringActive := false
+	if *ringNodes != "" {
+		var nodes []string
+		for _, n := range strings.Split(*ringNodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		ring, err := cluster.NewRing(nodes, *ringVNodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rf := *ringRF
+		if rf < 1 {
+			rf = 1 // the router's config default
+		}
+		// Match the router's validation: silently clamping rf down would
+		// emit owner columns no equivalently configured sketchrouter
+		// accepts.
+		if rf > len(nodes) {
+			fmt.Fprintf(os.Stderr, "cluster: replication factor %d exceeds %d nodes\n", rf, len(nodes))
+			os.Exit(2)
+		}
+		ringActive = true
+		owners = func(id bitvec.UserID) string {
+			return strings.Join(ring.Owners(id, rf), ";")
+		}
+	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -38,6 +86,9 @@ func main() {
 		header := []string{"user_id"}
 		for i := 0; i < pop.Width; i++ {
 			header = append(header, pop.AttributeName(i))
+		}
+		if ringActive {
+			header = append(header, "owners")
 		}
 		w.Write(header)
 		for _, p := range pop.Profiles {
@@ -48,6 +99,9 @@ func main() {
 				} else {
 					row = append(row, "0")
 				}
+			}
+			if ringActive {
+				row = append(row, owners(p.ID))
 			}
 			w.Write(row)
 		}
@@ -62,15 +116,23 @@ func main() {
 		writeBits(dataset.MarketBasket(*seed, *users, *items, 5, 1.1))
 	case "salary":
 		pop, layout := dataset.SalarySurvey(*seed, *users, dataset.DefaultSalaryConfig())
-		w.Write([]string{"user_id", "age", "salary_k", "homeowner", "employed"})
+		header := []string{"user_id", "age", "salary_k", "homeowner", "employed"}
+		if ringActive {
+			header = append(header, "owners")
+		}
+		w.Write(header)
 		for _, p := range pop.Profiles {
-			w.Write([]string{
+			row := []string{
 				strconv.FormatUint(uint64(p.ID), 10),
 				strconv.FormatUint(layout.Age.Decode(p.Data), 10),
 				strconv.FormatUint(layout.Salary.Decode(p.Data), 10),
 				boolBit(p.Data.Get(layout.Homeowner)),
 				boolBit(p.Data.Get(layout.Employed)),
-			})
+			}
+			if ringActive {
+				row = append(row, owners(p.ID))
+			}
+			w.Write(row)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/cluster"
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/server"
+	"sketchprivacy/internal/sketch"
+)
+
+// buildBinary compiles a command into dir and returns the binary path.
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building %s: %v", pkg, err)
+	}
+	return bin
+}
+
+// startProc launches a daemon binary and waits for its listening line.
+func startProc(t *testing.T, bin string, prefix string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), prefix); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("%s did not report a listening address", bin)
+		return nil, ""
+	}
+}
+
+// TestRouterSIGKILLNodeFailover is the process-level acceptance test: a
+// real 3-sketchd cluster behind a real sketchrouter, one node SIGKILLed
+// after a batch of acknowledged publishes.  Every acknowledged sketch must
+// stay queryable with estimates bit-identical to a single engine holding
+// the full record set, and publishes owned by the dead node must fail
+// loudly (never a false acknowledgement) while publishes owned by the
+// survivors keep succeeding.
+func TestRouterSIGKILLNodeFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemons; skipped in -short")
+	}
+	tmp := t.TempDir()
+	sketchdBin := buildBinary(t, tmp, "sketchprivacy/cmd/sketchd", "sketchd")
+	routerBin := buildBinary(t, tmp, ".", "sketchrouter")
+
+	const (
+		users = 5000
+		p     = 0.3
+		tau   = 1e-6
+		n     = 400
+		rf    = 2
+	)
+	params, err := sketch.ParamsFor(p, users, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.MustSubset(0, 1, 2)
+	value := bitvec.MustFromString("101")
+	record := func(id uint64) sketch.Published {
+		return sketch.Published{
+			ID:     bitvec.UserID(id),
+			Subset: subset,
+			S:      sketch.Sketch{Key: id % (1 << params.Length), Length: params.Length},
+		}
+	}
+
+	nodeArgs := []string{"-addr", "127.0.0.1:0", "-users", fmt.Sprint(users), "-p", fmt.Sprint(p), "-tau", fmt.Sprint(tau)}
+	var (
+		nodeCmds  []*exec.Cmd
+		nodeAddrs []string
+	)
+	for i := 0; i < 3; i++ {
+		cmd, addr := startProc(t, sketchdBin, "sketchd listening on ", nodeArgs...)
+		nodeCmds = append(nodeCmds, cmd)
+		nodeAddrs = append(nodeAddrs, addr)
+	}
+	defer func() {
+		for _, cmd := range nodeCmds {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	routerCmd, routerAddr := startProc(t, routerBin, "sketchrouter listening on ",
+		"-addr", "127.0.0.1:0",
+		"-nodes", strings.Join(nodeAddrs, ","),
+		"-rf", fmt.Sprint(rf),
+		"-p", fmt.Sprint(p),
+		"-ping-interval", "200ms",
+	)
+	defer func() {
+		routerCmd.Process.Signal(os.Interrupt)
+		routerCmd.Wait()
+	}()
+
+	cli, err := server.Dial(routerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Publish the acknowledged set through the router.
+	for id := uint64(1); id <= n; id++ {
+		if err := cli.Publish(record(id)); err != nil {
+			t.Fatalf("publish %d: %v", id, err)
+		}
+	}
+
+	// Reference: a single engine over exactly the acknowledged records.
+	h := prf.NewBiased(routerDevKey(), prf.MustProb(p))
+	ref, err := engine.New(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= n; id++ {
+		if err := ref.Ingest(record(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Conjunction(subset, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(context string) {
+		t.Helper()
+		got, err := cli.QueryConjunction(subset, value)
+		if err != nil {
+			t.Fatalf("%s: query: %v", context, err)
+		}
+		if got.Users != n {
+			t.Fatalf("%s: query covers %d users, want all %d acknowledged", context, got.Users, n)
+		}
+		if got.Fraction != want.Fraction || got.Raw != want.Raw {
+			t.Fatalf("%s: estimate (%v, %v) differs from reference (%v, %v)",
+				context, got.Fraction, got.Raw, want.Fraction, want.Raw)
+		}
+	}
+	check("all nodes up")
+
+	// SIGKILL one node.  The router must fail queries over to the
+	// surviving replicas on its own.
+	dead := nodeAddrs[0]
+	if err := nodeCmds[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	nodeCmds[0].Wait()
+	check("one node SIGKILLed")
+
+	// The router's status (over the ping opcode) reports the death once
+	// the health loop catches up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, err := cli.Ping()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(status, "dead") && strings.Contains(status, "live=2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router status never reported the dead node:\n%s", status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Publishes owned by the dead node fail loudly; survivor-owned ones
+	// succeed.  The test rebuilds the router's ring from the same
+	// membership to find both kinds of id.
+	ring, err := cluster.NewRing(nodeAddrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDead, foundLive := false, false
+	for id := uint64(1_000_000); id < 1_001_000 && !(foundDead && foundLive); id++ {
+		owners := ring.Owners(bitvec.UserID(id), rf)
+		deadOwned := owners[0] == dead || owners[1] == dead
+		if deadOwned && !foundDead {
+			foundDead = true
+			if err := cli.Publish(record(id)); err == nil {
+				t.Fatalf("publish for user %d owned by SIGKILLed node was acknowledged", id)
+			}
+		}
+		if !deadOwned && !foundLive {
+			foundLive = true
+			if err := cli.Publish(record(id)); err != nil {
+				t.Fatalf("publish for user %d with surviving owners %v failed: %v", id, owners, err)
+			}
+		}
+	}
+	if !foundDead || !foundLive {
+		t.Fatal("id scan found no suitable owners")
+	}
+}
+
+// routerDevKey mirrors sketchd's built-in development key, which the
+// nodes in this test run with.
+func routerDevKey() []byte {
+	key := make([]byte, prf.MinKeyBytes)
+	for i := range key {
+		key[i] = byte(0x42 + i)
+	}
+	return key
+}

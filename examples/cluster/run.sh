@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Cluster walkthrough: 3 sketchd nodes + 1 sketchrouter, a replicated
+# workload published through the router, exact scatter-gather queries,
+# and a live node-kill (SIGKILL) failover demo.
+#
+# Run from the repository root:
+#
+#	bash examples/cluster/run.sh
+#
+# Everything listens on loopback and is torn down on exit.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+	for pid in "${pids[@]-}"; do kill "$pid" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building sketchd, sketchrouter, sketchctl"
+go build -o "$workdir/sketchd" ./cmd/sketchd
+go build -o "$workdir/sketchrouter" ./cmd/sketchrouter
+go build -o "$workdir/sketchctl" ./cmd/sketchctl
+
+# Start a daemon, wait for its listening line and set $addr (runs in the
+# current shell so the pid lands in pids[] for the kill demo and cleanup).
+start() { # start <logfile> <cmd...>
+	local log=$1
+	shift
+	"$@" >"$log" 2>&1 &
+	pids+=($!)
+	disown $! # keep the SIGKILL demo free of shell job-control noise
+	addr=""
+	for _ in $(seq 100); do
+		if grep -q "listening on" "$log"; then
+			addr=$(grep -o "listening on [^ ]*" "$log" | head -1 | awk '{print $3}')
+			return
+		fi
+		sleep 0.1
+	done
+	echo "daemon did not start; log:" >&2
+	cat "$log" >&2
+	exit 1
+}
+
+echo "== starting 3 sketchd nodes (memory-only; add -data-dir for durability)"
+start "$workdir/n1.log" "$workdir/sketchd" -addr 127.0.0.1:0
+n1=$addr
+start "$workdir/n2.log" "$workdir/sketchd" -addr 127.0.0.1:0
+n2=$addr
+start "$workdir/n3.log" "$workdir/sketchd" -addr 127.0.0.1:0
+n3=$addr
+echo "   nodes: $n1 $n2 $n3"
+
+echo "== starting sketchrouter (rf=2: every sketch lives on 2 nodes)"
+start "$workdir/router.log" "$workdir/sketchrouter" \
+	-addr 127.0.0.1:0 -nodes "$n1,$n2,$n3" -rf 2 -ping-interval 200ms
+router=$addr
+echo "   router: $router"
+
+echo "== publishing 60 users through the router (profiles never leave this machine)"
+for id in $(seq 1 60); do
+	# Even users project to 101 on the sketched subset {0,2,4}
+	# (bits 0,2,4 of the profile), odd users to 010.
+	if ((id % 2 == 0)); then profile=10001; else profile=00100; fi
+	"$workdir/sketchctl" -addr "$router" publish \
+		-id "$id" -profile "$profile" -subset 0,2,4 >/dev/null
+done
+
+echo "== cluster status (sketchctl ping → per-node liveness, sketches, ring spans)"
+"$workdir/sketchctl" -addr "$router" ping
+
+echo "== querying P[profile⊓{0,2,4} = 101] through the router (truth: 0.5)"
+"$workdir/sketchctl" -addr "$router" query -subset 0,2,4 -value 101
+
+echo "== SIGKILL node 1 ($n1) — rf=2 means every sketch still has a live replica"
+kill -9 "${pids[0]}"
+
+echo "== same query after the kill: served by the surviving replicas, same answer"
+"$workdir/sketchctl" -addr "$router" query -subset 0,2,4 -value 101
+
+echo "== cluster status after the kill"
+sleep 1 # let the health loop mark the node dead
+"$workdir/sketchctl" -addr "$router" ping
+
+echo "== done (cluster torn down)"

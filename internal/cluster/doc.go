@@ -1,0 +1,24 @@
+// Package cluster scales the collection service past one sketchd: a
+// consistent-hash ring (virtual nodes, FNV-1a over the user id — the same
+// placement family the durable store shards with) routes each publish to
+// an owner node plus RF−1 replicas, and a router fans conjunctive and
+// numeric queries out to every live node as partial-aggregate requests.
+//
+// The fan-out is exact, not approximate.  Algorithm 2's Fraction is a pure
+// sum of per-record match indicators, so raw match and record counts merge
+// across disjoint record sets without error; the Appendix F match
+// histograms merge bin-wise the same way.  Replication is kept out of the
+// sums by an ownership filter pushed down with each partial query: a node
+// answers only for the records whose first *live* preference-walk node it
+// is.  With every acknowledged record on RF replicas and at most RF−1
+// nodes down, exactly one live node answers for each record, and the
+// merged counters are the integers a single engine holding the union of
+// the records would have computed — the distributed estimate is
+// bit-identical.
+//
+// The router health-checks nodes with periodic pings, marks failures dead
+// with exponential backoff, retries queries on a recomputed live set when
+// a node dies mid-fan-out, and requires every replica's acknowledgement
+// before acknowledging a publish — so killing any single node at RF=2
+// loses no acknowledged sketch.
+package cluster

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sketchprivacy/internal/wire"
+)
+
+// Frontend serves the router over TCP with the same wire protocol a
+// sketchd node speaks: users publish through it (replicated by the ring)
+// and analysts query through it (scatter-gathered and merged exactly), so
+// existing clients work against a cluster unchanged.
+type Frontend struct {
+	r *Router
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewFrontend wraps a router in a TCP server.
+func NewFrontend(r *Router) *Frontend {
+	return &Frontend{r: r, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr and returns the bound
+// address.
+func (f *Frontend) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.listener = ln
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go f.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (f *Frontend) acceptLoop(ln net.Listener) {
+	defer f.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener, closes every open connection and waits for the
+// handlers to finish.  It does not close the router (the process may share
+// it).
+func (f *Frontend) Close() error {
+	f.mu.Lock()
+	ln := f.listener
+	f.closed = true
+	for conn := range f.conns {
+		conn.Close()
+	}
+	f.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	f.wg.Wait()
+	return err
+}
+
+func (f *Frontend) track(conn net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false
+	}
+	f.conns[conn] = struct{}{}
+	return true
+}
+
+func (f *Frontend) untrack(conn net.Conn) {
+	f.mu.Lock()
+	delete(f.conns, conn)
+	f.mu.Unlock()
+}
+
+func (f *Frontend) handle(conn net.Conn) {
+	defer conn.Close()
+	if !f.track(conn) {
+		return
+	}
+	defer f.untrack(conn)
+	for {
+		msgType, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch msgType {
+		case wire.TypeHello:
+			if err := wire.CheckHello(payload); err != nil {
+				// Refusal ends the connection: an incompatible peer's next
+				// frames would decode as garbage.
+				f.writeError(conn, err)
+				return
+			}
+			_ = wire.WriteFrame(conn, wire.TypeHelloAck, wire.EncodeHello())
+		case wire.TypePing:
+			_ = wire.WriteFrame(conn, wire.TypePong, []byte(f.r.Status()))
+		case wire.TypePublish:
+			pub, err := wire.DecodePublished(payload)
+			if err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			if err := f.r.Publish(pub); err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+		case wire.TypeQuery:
+			q, err := wire.DecodeQuery(payload)
+			if err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			est, err := f.r.Conjunction(q.Subset, q.Value)
+			if err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			res := wire.Result{Fraction: est.Fraction, Raw: est.Raw, Users: uint64(est.Users)}
+			_ = wire.WriteFrame(conn, wire.TypeResult, wire.EncodeResult(res))
+		case wire.TypeStats:
+			f.writeError(conn, fmt.Errorf("cluster: stats is a per-node report; ping the router for cluster status"))
+		case wire.TypePartialQuery:
+			f.writeError(conn, fmt.Errorf("cluster: partial queries are node-level; send full queries to the router"))
+		default:
+			f.writeError(conn, fmt.Errorf("cluster: unknown message type %d", msgType))
+		}
+	}
+}
+
+func (f *Frontend) writeError(conn net.Conn, err error) {
+	_ = wire.WriteFrame(conn, wire.TypeError, []byte(err.Error()))
+}

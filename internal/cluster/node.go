@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sketchprivacy/internal/wire"
+)
+
+// node is the router's view of one cluster member: a small pool of
+// hello-handshaken connections plus the health state the ping loop and the
+// request path both feed.
+type node struct {
+	addr        string
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	mu       sync.Mutex
+	idle     []net.Conn
+	alive    bool
+	failures int
+	retryAt  time.Time
+	lastOK   time.Time
+	lastErr  string
+	sketches uint64
+	closed   bool
+}
+
+// isAlive reports whether the node is currently considered live.
+func (n *node) isAlive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// probeDue reports whether a dead node's backoff has elapsed, so the ping
+// loop should try to revive it.
+func (n *node) probeDue(now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive || !now.Before(n.retryAt)
+}
+
+// markOK records a successful exchange, reviving a dead node.
+func (n *node) markOK() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = true
+	n.failures = 0
+	n.lastOK = time.Now()
+	n.lastErr = ""
+}
+
+// markFailed records a failed exchange: the node is marked dead and its
+// next probe is pushed out with exponential backoff.
+func (n *node) markFailed(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = false
+	n.failures++
+	backoff := n.backoffBase << uint(min(n.failures-1, 10))
+	if backoff > n.backoffMax {
+		backoff = n.backoffMax
+	}
+	n.retryAt = time.Now().Add(backoff)
+	n.lastErr = err.Error()
+	for _, c := range n.idle {
+		c.Close()
+	}
+	n.idle = n.idle[:0]
+}
+
+// get returns a pooled connection or dials and handshakes a fresh one.
+func (n *node) get() (c net.Conn, pooled bool, err error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, false, fmt.Errorf("cluster: node %s: router closed", n.addr)
+	}
+	if k := len(n.idle); k > 0 {
+		c = n.idle[k-1]
+		n.idle = n.idle[:k-1]
+		n.mu.Unlock()
+		return c, true, nil
+	}
+	n.mu.Unlock()
+	c, err = net.DialTimeout("tcp", n.addr, n.dialTimeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: node %s: %w", n.addr, err)
+	}
+	c.SetDeadline(time.Now().Add(n.reqTimeout))
+	if err := wire.ClientHandshake(c); err != nil {
+		c.Close()
+		return nil, false, fmt.Errorf("cluster: node %s: %w", n.addr, err)
+	}
+	c.SetDeadline(time.Time{})
+	return c, false, nil
+}
+
+// put returns a healthy connection to the pool.
+func (n *node) put(c net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || len(n.idle) >= 4 {
+		c.Close()
+		return
+	}
+	n.idle = append(n.idle, c)
+}
+
+// close shuts the pool down.
+func (n *node) close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, c := range n.idle {
+		c.Close()
+	}
+	n.idle = nil
+}
+
+// roundTrip performs one request/response exchange.  A failure on a pooled
+// connection is hedged once on a fresh dial (the pooled conn may simply be
+// stale after a node restart); a failure on a fresh connection marks the
+// node dead.  Success feeds the health state, so a query can revive a node
+// between pings.
+func (n *node) roundTrip(msgType byte, payload []byte) (byte, []byte, error) {
+	for {
+		c, pooled, err := n.get()
+		if err != nil {
+			n.markFailed(err)
+			return 0, nil, err
+		}
+		c.SetDeadline(time.Now().Add(n.reqTimeout))
+		err = wire.WriteFrame(c, msgType, payload)
+		var (
+			replyType byte
+			reply     []byte
+		)
+		if err == nil {
+			replyType, reply, err = wire.ReadFrame(c)
+		}
+		if err == nil {
+			c.SetDeadline(time.Time{})
+			n.put(c)
+			n.markOK()
+			return replyType, reply, nil
+		}
+		c.Close()
+		if pooled {
+			continue
+		}
+		err = fmt.Errorf("cluster: node %s: %w", n.addr, err)
+		n.markFailed(err)
+		return 0, nil, err
+	}
+}
+
+// ping probes the node and records its reported sketch count.
+func (n *node) ping() error {
+	replyType, payload, err := n.roundTrip(wire.TypePing, nil)
+	if err != nil {
+		return err
+	}
+	if replyType != wire.TypePong {
+		err := fmt.Errorf("cluster: node %s: ping answered with message type %d", n.addr, replyType)
+		n.markFailed(err)
+		return err
+	}
+	// The pong text is "ok version=V sketches=N"; the sketch count feeds
+	// the router status report.
+	for _, tok := range strings.Fields(string(payload)) {
+		if rest, ok := strings.CutPrefix(tok, "sketches="); ok {
+			if v, perr := strconv.ParseUint(rest, 10, 64); perr == nil {
+				n.mu.Lock()
+				n.sketches = v
+				n.mu.Unlock()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/wire"
+)
+
+// FNV-1a 64-bit constants — the same placement family the durable store
+// shards with, lifted from shard-local to cluster-wide.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnv1a hashes a byte string with 64-bit FNV-1a.
+func fnv1a(bs []byte) uint64 {
+	h := fnvOffset64
+	for _, c := range bs {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 finalizes a hash with a full 64-bit avalanche (the MurmurHash3
+// fmix64 constants).  FNV-1a alone leaves the high bits of sequential
+// inputs strongly correlated — a run of consecutive user ids differs only
+// in its last byte, which moves the raw hash by at most 255·prime ≈ 2^48,
+// a sliver of the 2^64 circle — so without this step a sequentially
+// numbered workload lands on a single virtual-node arc.  The store's
+// shardOf escapes the problem by reducing modulo N (the low bits avalanche
+// fine); ring placement orders by the full hash, so it needs the finisher.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashUserID places a user on the ring: FNV-1a over the 8-byte big-endian
+// id — the same placement family as the store's shardOf — finished with
+// mix64.
+func hashUserID(id bitvec.UserID) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return mix64(fnv1a(b[:]))
+}
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the member it belongs to.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// Ring is an immutable consistent-hash ring over a set of member
+// addresses.  Placement depends only on the member set and the vnode
+// count, never on the order members were listed in, so every router and
+// node configured with the same membership computes the same ring.
+type Ring struct {
+	nodes  []string // sorted, distinct
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: vnodes must be positive, got %d", vnodes)
+	}
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, errors.New("cluster: empty node address")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node address %q", n)
+		}
+	}
+	r := &Ring{nodes: sorted, vnodes: vnodes, points: make([]ringPoint, 0, len(sorted)*vnodes)}
+	var scratch []byte
+	for i, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			scratch = append(scratch[:0], n...)
+			scratch = append(scratch, '#')
+			scratch = binary.BigEndian.AppendUint64(scratch, uint64(v))
+			r.points = append(r.points, ringPoint{hash: mix64(fnv1a(scratch)), node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring membership in canonical (sorted) order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// walk visits the distinct members of id's preference list in order,
+// stopping when visit returns false or every member was seen.  Ownership
+// filters call it once per record, so the common ≤64-member case keeps the
+// seen set in a register instead of allocating.
+func (r *Ring) walk(id bitvec.UserID, visit func(node string) bool) {
+	h := hashUserID(id)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	remaining := len(r.nodes)
+	if remaining <= 64 {
+		var seen uint64
+		for i := 0; i < len(r.points) && remaining > 0; i++ {
+			pt := r.points[(start+i)%len(r.points)]
+			bit := uint64(1) << uint(pt.node)
+			if seen&bit != 0 {
+				continue
+			}
+			seen |= bit
+			remaining--
+			if !visit(r.nodes[pt.node]) {
+				return
+			}
+		}
+		return
+	}
+	seen := make([]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && remaining > 0; i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if seen[pt.node] {
+			continue
+		}
+		seen[pt.node] = true
+		remaining--
+		if !visit(r.nodes[pt.node]) {
+			return
+		}
+	}
+}
+
+// Owners returns the first rf distinct members of id's preference list:
+// the owner followed by its RF−1 replicas.  With fewer than rf members the
+// whole membership is returned.
+func (r *Ring) Owners(id bitvec.UserID, rf int) []string {
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	out := make([]string, 0, rf)
+	r.walk(id, func(n string) bool {
+		out = append(out, n)
+		return len(out) < rf
+	})
+	return out
+}
+
+// FirstLive returns the first member of id's preference list present in
+// live — the node that answers for id's records in a scatter-gather
+// fan-out.  It reports false when no live node exists.
+func (r *Ring) FirstLive(id bitvec.UserID, live map[string]bool) (string, bool) {
+	var owner string
+	found := false
+	r.walk(id, func(n string) bool {
+		if live[n] {
+			owner, found = n, true
+			return false
+		}
+		return true
+	})
+	return owner, found
+}
+
+// Spans returns each member's share of the hash space — the fraction of
+// user ids whose primary owner it is.  The shares sum to 1.
+func (r *Ring) Spans() map[string]float64 {
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return out
+	}
+	for i, pt := range r.points {
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		// Unsigned subtraction wraps correctly for the arc crossing zero;
+		// with a single point the arc is the full circle.
+		arc := pt.hash - prev
+		if len(r.points) == 1 {
+			out[r.nodes[pt.node]] = 1
+			return out
+		}
+		out[r.nodes[pt.node]] += float64(arc) / math.Exp2(64)
+	}
+	return out
+}
+
+// CompileFilter turns a wire ownership filter into the record predicate a
+// node evaluates: keep a record exactly when this node is the first live
+// member of the record's preference walk.  A nil filter compiles to a nil
+// predicate (keep everything).
+func CompileFilter(f *wire.Filter) (query.UserFilter, error) {
+	if f == nil {
+		return nil, nil
+	}
+	ring, err := NewRing(f.Nodes, int(f.VNodes))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad filter ring: %w", err)
+	}
+	members := make(map[string]bool, len(f.Nodes))
+	for _, n := range f.Nodes {
+		members[n] = true
+	}
+	if !members[f.Self] {
+		return nil, fmt.Errorf("cluster: filter self %q is not a ring member", f.Self)
+	}
+	if len(f.Live) == 0 {
+		return nil, errors.New("cluster: filter has no live nodes")
+	}
+	live := make(map[string]bool, len(f.Live))
+	for _, n := range f.Live {
+		if !members[n] {
+			return nil, fmt.Errorf("cluster: live node %q is not a ring member", n)
+		}
+		live[n] = true
+	}
+	self := f.Self
+	return func(id bitvec.UserID) bool {
+		owner, ok := ring.FirstLive(id, live)
+		return ok && owner == self
+	}, nil
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/wire"
+)
+
+func TestRingPlacementIsMembershipOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:1", "n3:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:1", "n1:1", "n2:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := bitvec.UserID(1); id <= 500; id++ {
+		oa := a.Owners(id, 2)
+		ob := b.Owners(id, 2)
+		if len(oa) != 2 || len(ob) != 2 || oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("id %d: owners differ by listing order: %v vs %v", id, oa, ob)
+		}
+		if oa[0] == oa[1] {
+			t.Fatalf("id %d: replica equals owner: %v", id, oa)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := NewRing([]string{"a"}, 0); err == nil {
+		t.Fatal("zero vnodes accepted")
+	}
+}
+
+func TestRingSpansSumToOne(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:1", "n3:1", "n4:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range r.Spans() {
+		if s <= 0 {
+			t.Fatalf("non-positive span %v", s)
+		}
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("spans sum to %v, want 1", total)
+	}
+}
+
+func TestRingFirstLiveFailsOverInPreferenceOrder(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:1", "n3:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allLive := map[string]bool{"n1:1": true, "n2:1": true, "n3:1": true}
+	for id := bitvec.UserID(1); id <= 300; id++ {
+		owners := r.Owners(id, 2)
+		if got, ok := r.FirstLive(id, allLive); !ok || got != owners[0] {
+			t.Fatalf("id %d: first live with all nodes up is %q, want owner %q", id, got, owners[0])
+		}
+		// Kill the owner: the record's replica must answer.
+		oneDead := map[string]bool{}
+		for n := range allLive {
+			oneDead[n] = n != owners[0]
+		}
+		if got, ok := r.FirstLive(id, oneDead); !ok || got != owners[1] {
+			t.Fatalf("id %d: first live with owner dead is %q, want replica %q", id, got, owners[1])
+		}
+		if _, ok := r.FirstLive(id, map[string]bool{}); ok {
+			t.Fatalf("id %d: first live reported with nothing live", id)
+		}
+	}
+}
+
+// TestCompiledFiltersPartitionUsers is the dedup invariant of the exact
+// scatter-gather: for any live set, each user id is owned by exactly one
+// live node's filter.
+func TestCompiledFiltersPartitionUsers(t *testing.T) {
+	nodes := []string{"n1:1", "n2:1", "n3:1"}
+	for _, live := range [][]string{
+		{"n1:1", "n2:1", "n3:1"},
+		{"n1:1", "n3:1"},
+		{"n2:1"},
+	} {
+		filters := make([]func(bitvec.UserID) bool, len(live))
+		for i, self := range live {
+			f, err := CompileFilter(&wire.Filter{Nodes: nodes, VNodes: 32, Self: self, Live: live})
+			if err != nil {
+				t.Fatal(err)
+			}
+			filters[i] = f
+		}
+		for id := bitvec.UserID(1); id <= 500; id++ {
+			owners := 0
+			for _, f := range filters {
+				if f(id) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("live=%v id=%d owned by %d filters, want exactly 1", live, id, owners)
+			}
+		}
+	}
+}
+
+func TestCompileFilterValidates(t *testing.T) {
+	nodes := []string{"n1:1", "n2:1"}
+	cases := []*wire.Filter{
+		{Nodes: nodes, VNodes: 8, Self: "nX:1", Live: nodes},            // self not a member
+		{Nodes: nodes, VNodes: 8, Self: "n1:1", Live: nil},              // nothing live
+		{Nodes: nodes, VNodes: 8, Self: "n1:1", Live: []string{"nX:1"}}, // live not a member
+		{Nodes: nil, VNodes: 8, Self: "n1:1", Live: nodes},              // empty ring
+	}
+	for i, f := range cases {
+		if _, err := CompileFilter(f); err == nil {
+			t.Fatalf("case %d: invalid filter accepted", i)
+		}
+	}
+	if keep, err := CompileFilter(nil); err != nil || keep != nil {
+		t.Fatalf("nil filter must compile to nil predicate, got %v, %v", keep, err)
+	}
+}

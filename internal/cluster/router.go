@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Nodes is the cluster membership (sketchd addresses).
+	Nodes []string
+	// Replication is the number of nodes each record is stored on (RF).
+	Replication int
+	// VNodes is the virtual-node count per member (default 64).
+	VNodes int
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response exchange (default 10s).
+	RequestTimeout time.Duration
+	// PingInterval is the health-check period (default 2s).
+	PingInterval time.Duration
+	// BackoffBase and BackoffMax bound the dead-node probe backoff
+	// (defaults 250ms and 15s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Replication < 1 {
+		c.Replication = 1
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = 2 * time.Second
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 15 * time.Second
+	}
+	return c
+}
+
+// Router routes publishes to their ring owners and fans queries out to all
+// live nodes as partial-aggregate requests, merging the raw counters
+// exactly.  It implements query.PartialSource, so every estimator in
+// internal/query — Algorithm 2 fractions, the Section 4.1 numeric and
+// interval decompositions, decision trees and the Appendix F combinations
+// — runs over a cluster unchanged and bit-identically.
+type Router struct {
+	cfg   Config
+	ring  *Ring
+	est   *query.Estimator
+	order []string // canonical membership order
+	nodes map[string]*node
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewRouter builds a router over the configured membership.  h must be the
+// deployment's public function (only its bias p enters the estimate
+// arithmetic on the router; evaluations happen on the nodes).  The initial
+// health sweep runs synchronously so a router started against a partially
+// dead cluster begins with an accurate live set; unreachable nodes are
+// marked dead, not errors.
+func NewRouter(h prf.BitSource, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	est, err := query.NewEstimator(h)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replication > len(ring.Nodes()) {
+		return nil, fmt.Errorf("cluster: replication factor %d exceeds %d nodes", cfg.Replication, len(ring.Nodes()))
+	}
+	r := &Router{
+		cfg:   cfg,
+		ring:  ring,
+		est:   est,
+		order: ring.Nodes(),
+		nodes: make(map[string]*node, len(cfg.Nodes)),
+		stop:  make(chan struct{}),
+	}
+	for _, addr := range r.order {
+		r.nodes[addr] = &node{
+			addr:        addr,
+			dialTimeout: cfg.DialTimeout,
+			reqTimeout:  cfg.RequestTimeout,
+			backoffBase: cfg.BackoffBase,
+			backoffMax:  cfg.BackoffMax,
+		}
+	}
+	r.sweep()
+	r.wg.Add(1)
+	go r.pingLoop()
+	return r, nil
+}
+
+// pingLoop health-checks the membership until Close.
+func (r *Router) pingLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.sweep()
+		}
+	}
+}
+
+// sweep pings every live node and every dead node whose backoff elapsed.
+func (r *Router) sweep() {
+	now := time.Now()
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		if !n.probeDue(now) {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			_ = n.ping()
+		}(n)
+	}
+	wg.Wait()
+}
+
+// Estimator returns the estimator the router reduces partials with.
+func (r *Router) Estimator() *query.Estimator { return r.est }
+
+// Ring returns the placement ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// LiveNodes returns the members currently considered alive, in canonical
+// order.
+func (r *Router) LiveNodes() []string {
+	live := make([]string, 0, len(r.order))
+	for _, addr := range r.order {
+		if r.nodes[addr].isAlive() {
+			live = append(live, addr)
+		}
+	}
+	return live
+}
+
+// Close stops the health loop and closes every pooled connection.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		for _, n := range r.nodes {
+			n.close()
+		}
+	})
+	r.wg.Wait()
+	return nil
+}
+
+// Publish routes one record to its owner and RF−1 replicas and waits for
+// every one of them to acknowledge.  All-replica acknowledgement is what
+// makes the loss guarantee hold: an acked record survives any RF−1 node
+// deaths, because some live replica holds it and the ownership filter
+// assigns it to exactly one of them at query time.  If any owner is down
+// the publish fails — the record may exist on a subset of replicas, but it
+// was never acknowledged, so nothing durable was promised; the client
+// retries once the cluster heals (nodes acknowledge an identical
+// re-publish idempotently, so retries converge).
+func (r *Router) Publish(p sketch.Published) error {
+	owners := r.ring.Owners(p.ID, r.cfg.Replication)
+	for _, addr := range owners {
+		if !r.nodes[addr].isAlive() {
+			return fmt.Errorf("cluster: replica %s is down; publish of user %v needs all %d owners", addr, p.ID, len(owners))
+		}
+	}
+	payload := wire.EncodePublished(p)
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, addr := range owners {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			replyType, reply, err := n.roundTrip(wire.TypePublish, payload)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			switch replyType {
+			case wire.TypeAck:
+			case wire.TypeError:
+				errs[i] = fmt.Errorf("cluster: node %s: %s", n.addr, reply)
+			default:
+				errs[i] = fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, replyType)
+			}
+		}(i, r.nodes[addr])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// PublishAll publishes a batch, stopping at the first error.
+func (r *Router) PublishAll(ps []sketch.Published) error {
+	for _, p := range ps {
+		if err := r.Publish(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errNodeFailed marks transport-level fan-out failures, which are retried
+// on a recomputed live set; semantic errors (a node answering TypeError)
+// abort the query immediately, since every retry would fail the same way.
+type errNodeFailed struct{ err error }
+
+func (e errNodeFailed) Error() string { return e.err.Error() }
+func (e errNodeFailed) Unwrap() error { return e.err }
+
+// fanout scatter-gathers one partial query across all live nodes.  Each
+// node receives the same query under its own ownership filter, built from
+// a single live-set snapshot so the filters partition the records exactly.
+// If a node fails mid-fan-out it is marked dead (roundTrip already did)
+// and the whole fan-out retries on the recomputed live set — the failed
+// node's records are answered by their surviving replicas.
+func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.PartialResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= len(r.order); attempt++ {
+		live := r.LiveNodes()
+		// Coverage is only guaranteed while fewer than RF nodes are down:
+		// beyond that an acknowledged record may have no live replica, and
+		// a merge over the survivors would be a confidently wrong estimate.
+		// Fail loudly instead of answering over a silently truncated
+		// record set.
+		if dead := len(r.order) - len(live); dead >= r.cfg.Replication {
+			err := fmt.Errorf("cluster: %d of %d nodes down at rf=%d — acknowledged records may be unreachable, refusing a partial answer", dead, len(r.order), r.cfg.Replication)
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last node error: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		results := make([]wire.PartialResult, len(live))
+		errs := make([]error, len(live))
+		var wg sync.WaitGroup
+		for i, addr := range live {
+			wg.Add(1)
+			go func(i int, n *node) {
+				defer wg.Done()
+				pq := mk(&wire.Filter{
+					Nodes:  r.order,
+					VNodes: uint32(r.cfg.VNodes),
+					Self:   n.addr,
+					Live:   live,
+				})
+				replyType, reply, err := n.roundTrip(wire.TypePartialQuery, wire.EncodePartialQuery(pq))
+				if err != nil {
+					errs[i] = errNodeFailed{err}
+					return
+				}
+				switch replyType {
+				case wire.TypePartialResult:
+					res, err := wire.DecodePartialResult(reply)
+					if err != nil {
+						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: %w", n.addr, err)}
+						return
+					}
+					results[i] = res
+				case wire.TypeError:
+					errs[i] = fmt.Errorf("cluster: node %s: %s", n.addr, reply)
+				default:
+					errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, replyType)}
+				}
+			}(i, r.nodes[addr])
+		}
+		wg.Wait()
+		failed := false
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			var nf errNodeFailed
+			if errors.As(err, &nf) {
+				failed = true
+				lastErr = err
+				continue
+			}
+			return nil, err // semantic error: deterministic, don't retry
+		}
+		if !failed {
+			return results, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: fan-out failed after retries: %w", lastErr)
+}
+
+// FractionPartial implements query.PartialSource: the exact cluster-wide
+// Algorithm 2 counters, merged from per-node partials.
+func (r *Router) FractionPartial(b bitvec.Subset, v bitvec.Vector) (query.Partial, error) {
+	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+		return wire.PartialQuery{Kind: wire.PartialFraction, Filter: f, Subset: b, Value: v}
+	})
+	if err != nil {
+		return query.Partial{}, err
+	}
+	var merged query.Partial
+	for _, res := range results {
+		merged = merged.Merge(query.Partial{Hits: res.Hits, Records: res.Records})
+	}
+	return merged, nil
+}
+
+// HistogramPartial implements query.PartialSource: the exact cluster-wide
+// Appendix F match histogram.
+func (r *Router) HistogramPartial(subs []query.SubQuery) (query.HistPartial, error) {
+	qs := make([]wire.Query, len(subs))
+	for i, s := range subs {
+		qs[i] = wire.Query{Subset: s.Subset, Value: s.Value}
+	}
+	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+		return wire.PartialQuery{Kind: wire.PartialHistogram, Filter: f, Subs: qs}
+	})
+	if err != nil {
+		return query.HistPartial{}, err
+	}
+	merged := query.HistPartial{Hist: make([]uint64, len(subs)+1)}
+	for _, res := range results {
+		merged, err = merged.Merge(query.HistPartial{Hist: res.Hist, Users: res.Users})
+		if err != nil {
+			return query.HistPartial{}, err
+		}
+	}
+	return merged, nil
+}
+
+// SubsetRecords implements query.PartialSource.
+func (r *Router) SubsetRecords(b bitvec.Subset) (uint64, error) {
+	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+		return wire.PartialQuery{Kind: wire.PartialSubsetRecords, Filter: f, Subset: b}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for _, res := range results {
+		n += res.Records
+	}
+	return n, nil
+}
+
+// TotalRecords implements query.PartialSource.
+func (r *Router) TotalRecords() (uint64, error) {
+	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+		return wire.PartialQuery{Kind: wire.PartialTotalRecords, Filter: f}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for _, res := range results {
+		n += res.Records
+	}
+	return n, nil
+}
+
+// Conjunction answers the basic Algorithm 2 query over the cluster.
+func (r *Router) Conjunction(b bitvec.Subset, v bitvec.Vector) (query.Estimate, error) {
+	return r.est.FractionFrom(r, b, v)
+}
+
+// ConjunctionLiterals answers a conjunction given as literals, using exact
+// subsets when available and Appendix F gluing otherwise.
+func (r *Router) ConjunctionLiterals(c bitvec.Conjunction) (query.Estimate, error) {
+	return r.est.ConjunctionFractionFrom(r, c)
+}
+
+// UnionConjunction answers a conjunction over the union of several
+// sketched subsets (Appendix F) over the cluster.
+func (r *Router) UnionConjunction(subs []query.SubQuery) (query.Estimate, error) {
+	return r.est.UnionConjunctionFrom(r, subs)
+}
+
+// ExactlyOfK answers "exactly l of these k sub-queries hold" over the
+// cluster.
+func (r *Router) ExactlyOfK(subs []query.SubQuery, l int) (query.Estimate, error) {
+	return r.est.ExactlyOfKFrom(r, subs, l)
+}
+
+// FieldMean answers the Section 4.1 mean query over the cluster.
+func (r *Router) FieldMean(f bitvec.IntField) (query.NumericEstimate, error) {
+	return r.est.FieldMeanFrom(r, f)
+}
+
+// FieldAtMost answers the Section 4.1 interval query value ≤ c over the
+// cluster.
+func (r *Router) FieldAtMost(f bitvec.IntField, c uint64) (query.NumericEstimate, error) {
+	return r.est.FieldAtMostFrom(r, f, c)
+}
+
+// DecisionTree answers the Section 4.1 decision-tree query over the
+// cluster.
+func (r *Router) DecisionTree(tree *query.TreeNode) (query.NumericEstimate, error) {
+	return r.est.DecisionTreeFractionFrom(r, tree)
+}
+
+// Status renders the router's view of the cluster: ring shape, per-node
+// liveness, sketch counts and ownership spans.  It is the payload the
+// router answers pings with.
+func (r *Router) Status() string {
+	spans := r.ring.Spans()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "router ok version=%d nodes=%d rf=%d vnodes=%d live=%d\n",
+		wire.ProtocolVersion, len(r.order), r.cfg.Replication, r.cfg.VNodes, len(r.LiveNodes()))
+	addrs := make([]string, len(r.order))
+	copy(addrs, r.order)
+	sort.Strings(addrs)
+	now := time.Now()
+	for _, addr := range addrs {
+		n := r.nodes[addr]
+		n.mu.Lock()
+		state := "alive"
+		detail := fmt.Sprintf("sketches=%d", n.sketches)
+		if !n.alive {
+			state = "dead"
+			detail = fmt.Sprintf("retry-in=%s err=%q", time.Until(n.retryAt).Round(time.Millisecond), n.lastErr)
+		} else if !n.lastOK.IsZero() {
+			detail += fmt.Sprintf(" last-ok=%s", now.Sub(n.lastOK).Round(time.Millisecond))
+		}
+		n.mu.Unlock()
+		fmt.Fprintf(&sb, "node %-24s %-5s span=%5.1f%% %s\n", addr, state, 100*spans[addr], detail)
+	}
+	return sb.String()
+}

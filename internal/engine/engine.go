@@ -121,14 +121,25 @@ func (e *Engine) Estimator() *query.Estimator { return e.est }
 // per-user stripe lock so a
 // concurrent publish for the same (user, subset) waits for the outcome
 // instead of being rejected against a record about to roll back.
+//
+// Re-publishing the *identical* sketch for a (user, subset) pair is an
+// idempotent no-op, acknowledged without touching the store: the same
+// public object discloses nothing new, and cluster replication depends on
+// retry convergence — a publish that reached one replica before failing
+// must be acknowledged by that replica on retry, not refused as a
+// duplicate.  A *different* sketch for the same pair is still rejected
+// (each extra sketch would spend more of the user's privacy budget,
+// Corollary 3.4).
 func (e *Engine) Ingest(p sketch.Published) error {
 	if e.st == nil {
-		return e.table.Add(p)
+		_, err := e.add(p)
+		return err
 	}
 	mu := &e.ingestMu[uint64(p.ID)%uint64(len(e.ingestMu))]
 	mu.Lock()
 	defer mu.Unlock()
-	if err := e.table.Add(p); err != nil {
+	added, err := e.add(p)
+	if err != nil || !added {
 		return err
 	}
 	if err := e.st.Append(p); err != nil {
@@ -136,6 +147,19 @@ func (e *Engine) Ingest(p sketch.Published) error {
 		return err
 	}
 	return nil
+}
+
+// add inserts p into the table, reporting whether it was newly added.  An
+// identical re-publish reports (false, nil); a conflicting one returns the
+// table's rejection.
+func (e *Engine) add(p sketch.Published) (bool, error) {
+	if err := e.table.Add(p); err != nil {
+		if existing, ok := e.table.Get(p.ID, p.Subset); ok && existing == p.S {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
 }
 
 // IngestBatch stores a batch of published sketches, stopping at the first
@@ -158,6 +182,38 @@ func (e *Engine) Subsets() []bitvec.Subset { return e.table.Subsets() }
 // Conjunction answers the basic Algorithm 2 query.
 func (e *Engine) Conjunction(b bitvec.Subset, v bitvec.Vector) (query.Estimate, error) {
 	return e.est.Fraction(e.table, b, v)
+}
+
+// Source returns the engine's local partial source: the table-backed
+// counter supplier every estimator runs on.
+func (e *Engine) Source() query.PartialSource { return e.est.TableSource(e.table) }
+
+// FractionPartial returns the raw Algorithm 2 counters for one
+// (subset, value) evaluation over the records whose user passes keep
+// (nil keep: all records).  A cluster node serves scatter-gather queries
+// through it: the counters merge exactly across disjoint ownership
+// filters, so the router's estimate is bit-identical to a single engine
+// holding the union of the records.
+func (e *Engine) FractionPartial(b bitvec.Subset, v bitvec.Vector, keep query.UserFilter) (query.Partial, error) {
+	return e.est.FractionPartialOf(e.table, b, v, keep)
+}
+
+// HistogramPartial returns the Appendix F match-histogram counters over
+// the users that sketched every sub-query subset and pass keep.
+func (e *Engine) HistogramPartial(subs []query.SubQuery, keep query.UserFilter) (query.HistPartial, error) {
+	return e.est.HistogramPartialOf(e.table, subs, keep)
+}
+
+// SubsetRecords counts stored records for one subset whose user passes
+// keep.
+func (e *Engine) SubsetRecords(b bitvec.Subset, keep query.UserFilter) uint64 {
+	return query.SubsetRecordsOf(e.table, b, keep)
+}
+
+// TotalRecords counts stored records across all subsets whose user passes
+// keep.
+func (e *Engine) TotalRecords(keep query.UserFilter) uint64 {
+	return query.TotalRecordsOf(e.table, keep)
 }
 
 // ConjunctionLiterals answers a conjunction given as literals, using exact

@@ -72,33 +72,32 @@ func errMissingSubset(id bitvec.UserID, b bitvec.Subset) error {
 	return fmt.Errorf("%w: user %v missing subset %v", ErrNoSketches, id, b)
 }
 
-// matchCountDistribution computes, over the users that sketched every
+// matchCountDistributionFrom computes, over the users that sketched every
 // sub-query's subset, the observed distribution y where y[l'] is the
 // fraction of those users for whom exactly l' of the k sub-query
 // evaluations H(id, B_i, v_i, s_i) are 1.  It also reports the users used.
-// The per-user evaluation loop is sharded across workers (see
-// matchHistogram), mirroring the parallel Algorithm 2 record loop.
-func (e *Estimator) matchCountDistribution(tab *sketch.Table, subs []SubQuery) ([]float64, int, error) {
+// The raw histogram comes from the partial source — locally the per-user
+// evaluation loop is sharded across workers (see matchHistogram); over a
+// cluster it is the exact bin-wise sum of the per-node histograms.
+func (e *Estimator) matchCountDistributionFrom(src PartialSource, subs []SubQuery) ([]float64, int, error) {
 	if err := validateSubQueries(subs); err != nil {
 		return nil, 0, err
 	}
-	subsets := make([]bitvec.Subset, len(subs))
-	for i, s := range subs {
-		subsets[i] = s.Subset
-	}
-	users := tab.UsersWithAll(subsets)
-	if len(users) == 0 {
-		return nil, 0, fmt.Errorf("%w: no user sketched all %d subsets", ErrNoSketches, len(subs))
-	}
-	hist, err := matchHistogram(e.h, tab, subs, users)
+	hp, err := src.HistogramPartial(subs)
 	if err != nil {
 		return nil, 0, err
 	}
-	y := make([]float64, len(hist))
-	for i, c := range hist {
-		y[i] = float64(c) / float64(len(users))
+	if hp.Users == 0 {
+		return nil, 0, fmt.Errorf("%w: no user sketched all %d subsets", ErrNoSketches, len(subs))
 	}
-	return y, len(users), nil
+	if len(hp.Hist) != len(subs)+1 {
+		return nil, 0, fmt.Errorf("%w: histogram has %d bins for %d sub-queries", ErrMismatch, len(hp.Hist), len(subs))
+	}
+	y := make([]float64, len(hp.Hist))
+	for i, c := range hp.Hist {
+		y[i] = float64(c) / float64(hp.Users)
+	}
+	return y, int(hp.Users), nil
 }
 
 // MatchDistribution estimates the distribution over the number of
@@ -107,7 +106,12 @@ func (e *Estimator) matchCountDistribution(tab *sketch.Table, subs []SubQuery) (
 // the Appendix F system x = V⁻¹·y.  Entries of x may fall slightly outside
 // [0, 1] by sampling noise; callers that need probabilities should clamp.
 func (e *Estimator) MatchDistribution(tab *sketch.Table, subs []SubQuery) ([]float64, int, error) {
-	y, users, err := e.matchCountDistribution(tab, subs)
+	return e.MatchDistributionFrom(e.TableSource(tab), subs)
+}
+
+// MatchDistributionFrom is MatchDistribution over any partial source.
+func (e *Estimator) MatchDistributionFrom(src PartialSource, subs []SubQuery) ([]float64, int, error) {
+	y, users, err := e.matchCountDistributionFrom(src, subs)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -123,12 +127,17 @@ func (e *Estimator) MatchDistribution(tab *sketch.Table, subs []SubQuery) ([]flo
 // sub-query simultaneously — a conjunctive query over the union
 // B₁ ∪ ... ∪ B_q of the sketched subsets (Appendix F).
 func (e *Estimator) UnionConjunction(tab *sketch.Table, subs []SubQuery) (Estimate, error) {
+	return e.UnionConjunctionFrom(e.TableSource(tab), subs)
+}
+
+// UnionConjunctionFrom is UnionConjunction over any partial source.
+func (e *Estimator) UnionConjunctionFrom(src PartialSource, subs []SubQuery) (Estimate, error) {
 	if len(subs) == 1 {
 		// A single sub-query is an ordinary Algorithm 2 query; skip the
 		// matrix machinery and its conditioning penalty.
-		return e.Fraction(tab, subs[0].Subset, subs[0].Value)
+		return e.FractionFrom(src, subs[0].Subset, subs[0].Value)
 	}
-	x, users, err := e.MatchDistribution(tab, subs)
+	x, users, err := e.MatchDistributionFrom(src, subs)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -139,10 +148,15 @@ func (e *Estimator) UnionConjunction(tab *sketch.Table, subs []SubQuery) (Estima
 // which Appendix F notes can be used to answer disjunctions of conjunctions
 // (1 − NoneOf is the fraction satisfying at least one).
 func (e *Estimator) NoneOf(tab *sketch.Table, subs []SubQuery) (Estimate, error) {
+	return e.NoneOfFrom(e.TableSource(tab), subs)
+}
+
+// NoneOfFrom is NoneOf over any partial source.
+func (e *Estimator) NoneOfFrom(src PartialSource, subs []SubQuery) (Estimate, error) {
 	if err := validateSubQueries(subs); err != nil {
 		return Estimate{}, err
 	}
-	x, users, err := e.MatchDistribution(tab, subs)
+	x, users, err := e.MatchDistributionFrom(src, subs)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -153,10 +167,15 @@ func (e *Estimator) NoneOf(tab *sketch.Table, subs []SubQuery) (Estimate, error)
 // sub-queries ("one can estimate the fraction of users that satisfy exactly
 // l out of k bits in the query", Section 4.1).
 func (e *Estimator) ExactlyOfK(tab *sketch.Table, subs []SubQuery, l int) (Estimate, error) {
+	return e.ExactlyOfKFrom(e.TableSource(tab), subs, l)
+}
+
+// ExactlyOfKFrom is ExactlyOfK over any partial source.
+func (e *Estimator) ExactlyOfKFrom(src PartialSource, subs []SubQuery, l int) (Estimate, error) {
 	if l < 0 || l > len(subs) {
 		return Estimate{}, fmt.Errorf("%w: exactly-%d-of-%d", ErrMismatch, l, len(subs))
 	}
-	x, users, err := e.MatchDistribution(tab, subs)
+	x, users, err := e.MatchDistributionFrom(src, subs)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -166,10 +185,15 @@ func (e *Estimator) ExactlyOfK(tab *sketch.Table, subs []SubQuery, l int) (Estim
 // AtLeastOfK estimates the fraction of users satisfying at least l of the k
 // sub-queries, by summing the tail of the match distribution.
 func (e *Estimator) AtLeastOfK(tab *sketch.Table, subs []SubQuery, l int) (Estimate, error) {
+	return e.AtLeastOfKFrom(e.TableSource(tab), subs, l)
+}
+
+// AtLeastOfKFrom is AtLeastOfK over any partial source.
+func (e *Estimator) AtLeastOfKFrom(src PartialSource, subs []SubQuery, l int) (Estimate, error) {
 	if l < 0 || l > len(subs) {
 		return Estimate{}, fmt.Errorf("%w: at-least-%d-of-%d", ErrMismatch, l, len(subs))
 	}
-	x, users, err := e.MatchDistribution(tab, subs)
+	x, users, err := e.MatchDistributionFrom(src, subs)
 	if err != nil {
 		return Estimate{}, err
 	}

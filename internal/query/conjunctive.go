@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 
 	"sketchprivacy/internal/bitvec"
@@ -18,30 +19,16 @@ import (
 // The M-record evaluation loop runs on the zero-allocation batch kernel,
 // sharded across GOMAXPROCS worker goroutines for large tables; the derived
 // estimators (numeric, interval, tree, combine) inherit the parallel path
-// through their Fraction and match-distribution fan-outs.
+// through their Fraction and match-distribution fan-outs.  Fraction is
+// FractionFrom over the local table source; a cluster router substitutes
+// its scatter-gather source and gets bit-identical estimates.
 func (e *Estimator) Fraction(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector) (Estimate, error) {
-	if b.Len() != v.Len() {
-		return Estimate{}, fmt.Errorf("%w: subset of size %d queried with value of length %d", ErrMismatch, b.Len(), v.Len())
-	}
-	if b.Len() == 0 {
-		return Estimate{}, fmt.Errorf("%w: empty subset", ErrMismatch)
-	}
-	records := tab.Snapshot(b)
-	if len(records) == 0 {
-		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSketches, b)
-	}
-	hits := countMatches(e.h, records, b, v)
-	observed := float64(hits) / float64(len(records))
-	return e.newEstimate(observed, len(records)), nil
+	return e.FractionFrom(e.TableSource(tab), b, v)
 }
 
 // Count is Fraction scaled to a user count estimate.
 func (e *Estimator) Count(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector) (float64, error) {
-	est, err := e.Fraction(tab, b, v)
-	if err != nil {
-		return 0, err
-	}
-	return est.Count(), nil
+	return e.CountFrom(e.TableSource(tab), b, v)
 }
 
 // ConjunctionFraction estimates the fraction of users satisfying an
@@ -52,12 +39,22 @@ func (e *Estimator) Count(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector) (
 // combination, which only requires per-attribute sketches but pays the
 // combination's conditioning penalty.
 func (e *Estimator) ConjunctionFraction(tab *sketch.Table, c bitvec.Conjunction) (Estimate, error) {
+	return e.ConjunctionFractionFrom(e.TableSource(tab), c)
+}
+
+// ConjunctionFractionFrom is ConjunctionFraction over any partial source.
+func (e *Estimator) ConjunctionFractionFrom(src PartialSource, c bitvec.Conjunction) (Estimate, error) {
 	if c.Len() == 0 {
 		return Estimate{}, fmt.Errorf("%w: empty conjunction", ErrMismatch)
 	}
 	b, v := c.Split()
-	if tab.HasSubset(b) {
-		return e.Fraction(tab, b, v)
+	// Try the exact-subset path directly; ErrNoSketches means no sketches
+	// of this exact subset exist, which is the old HasSubset probe folded
+	// into the evaluation itself — over a cluster source a separate probe
+	// would cost a second full fan-out.
+	est, err := e.FractionFrom(src, b, v)
+	if err == nil || !errors.Is(err, ErrNoSketches) {
+		return est, err
 	}
 	subs := make([]SubQuery, c.Len())
 	for i, lit := range c {
@@ -67,5 +64,5 @@ func (e *Estimator) ConjunctionFraction(tab *sketch.Table, c bitvec.Conjunction)
 		}
 		subs[i] = SubQuery{Subset: bitvec.MustSubset(lit.Position), Value: val}
 	}
-	return e.UnionConjunction(tab, subs)
+	return e.UnionConjunctionFrom(src, subs)
 }

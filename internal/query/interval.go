@@ -30,9 +30,18 @@ func prefixValue(c uint64, width, i int) bitvec.Vector {
 //
 // It requires sketches of the prefix subsets A_i for every i with c_i = 1.
 func (e *Estimator) FieldLessThan(tab *sketch.Table, f bitvec.IntField, c uint64) (NumericEstimate, error) {
+	return e.FieldLessThanFrom(e.TableSource(tab), f, c)
+}
+
+// FieldLessThanFrom is FieldLessThan over any partial source.
+func (e *Estimator) FieldLessThanFrom(src PartialSource, f bitvec.IntField, c uint64) (NumericEstimate, error) {
 	if c > f.Max() {
 		// Every representable value is below c.
-		return NumericEstimate{Value: 1, Users: tab.CountForSubset(f.BitSubset(1)), Queries: 0}, nil
+		n, err := src.SubsetRecords(f.BitSubset(1))
+		if err != nil {
+			return NumericEstimate{}, err
+		}
+		return NumericEstimate{Value: 1, Users: int(n), Queries: 0}, nil
 	}
 	cBits := bitvec.FromUint(c, f.Width)
 	var raw float64
@@ -42,7 +51,7 @@ func (e *Estimator) FieldLessThan(tab *sketch.Table, f bitvec.IntField, c uint64
 		if !cBits.Get(i - 1) {
 			continue
 		}
-		est, err := e.Fraction(tab, f.PrefixSubset(i), prefixValue(c, f.Width, i))
+		est, err := e.FractionFrom(src, f.PrefixSubset(i), prefixValue(c, f.Width, i))
 		if err != nil {
 			return NumericEstimate{}, fmt.Errorf("prefix %d: %w", i, err)
 		}
@@ -63,14 +72,23 @@ func (e *Estimator) FieldLessThan(tab *sketch.Table, f bitvec.IntField, c uint64
 // (the paper's formula targets the strict inequality; the equality term
 // completes it).
 func (e *Estimator) FieldAtMost(tab *sketch.Table, f bitvec.IntField, c uint64) (NumericEstimate, error) {
+	return e.FieldAtMostFrom(e.TableSource(tab), f, c)
+}
+
+// FieldAtMostFrom is FieldAtMost over any partial source.
+func (e *Estimator) FieldAtMostFrom(src PartialSource, f bitvec.IntField, c uint64) (NumericEstimate, error) {
 	if c >= f.Max() {
-		return NumericEstimate{Value: 1, Users: tab.CountForSubset(f.FullSubset()), Queries: 0}, nil
+		n, err := src.SubsetRecords(f.FullSubset())
+		if err != nil {
+			return NumericEstimate{}, err
+		}
+		return NumericEstimate{Value: 1, Users: int(n), Queries: 0}, nil
 	}
-	less, err := e.FieldLessThan(tab, f, c)
+	less, err := e.FieldLessThanFrom(src, f, c)
 	if err != nil {
 		return NumericEstimate{}, err
 	}
-	eq, err := e.Fraction(tab, f.FullSubset(), bitvec.FromUint(c, f.Width))
+	eq, err := e.FractionFrom(src, f.FullSubset(), bitvec.FromUint(c, f.Width))
 	if err != nil {
 		return NumericEstimate{}, fmt.Errorf("equality term: %w", err)
 	}
@@ -91,6 +109,11 @@ func (e *Estimator) FieldAtMost(tab *sketch.Table, f bitvec.IntField, c uint64) 
 // subset A and the sketch of the prefix subset B_i via the Appendix F
 // combination, so no union subset needs to have been sketched.
 func (e *Estimator) EqualAndLessThan(tab *sketch.Table, a bitvec.IntField, c uint64, b bitvec.IntField, d uint64) (NumericEstimate, error) {
+	return e.EqualAndLessThanFrom(e.TableSource(tab), a, c, b, d)
+}
+
+// EqualAndLessThanFrom is EqualAndLessThan over any partial source.
+func (e *Estimator) EqualAndLessThanFrom(src PartialSource, a bitvec.IntField, c uint64, b bitvec.IntField, d uint64) (NumericEstimate, error) {
 	if c > a.Max() {
 		return NumericEstimate{}, fmt.Errorf("%w: constant %d does not fit in field of width %d", ErrMismatch, c, a.Width)
 	}
@@ -104,7 +127,7 @@ func (e *Estimator) EqualAndLessThan(tab *sketch.Table, a bitvec.IntField, c uin
 			continue
 		}
 		subs := []SubQuery{aQuery, {Subset: b.PrefixSubset(i), Value: prefixValue(d, b.Width, i)}}
-		est, err := e.UnionConjunction(tab, subs)
+		est, err := e.UnionConjunctionFrom(src, subs)
 		if err != nil {
 			return NumericEstimate{}, fmt.Errorf("prefix %d: %w", i, err)
 		}
@@ -126,6 +149,12 @@ func (e *Estimator) EqualAndLessThan(tab *sketch.Table, a bitvec.IntField, c uin
 // Σ_{j : c_j=1} Σ_i 2^(k−i) I(A_j ∪ B_i, c₁...c_{j−1}0 1); each term is
 // glued from the prefix sketch of a and the single-bit sketch of b.
 func (e *Estimator) ConditionalSumGivenLessThan(tab *sketch.Table, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
+	return e.ConditionalSumGivenLessThanFrom(e.TableSource(tab), b, a, c)
+}
+
+// ConditionalSumGivenLessThanFrom is ConditionalSumGivenLessThan over any
+// partial source.
+func (e *Estimator) ConditionalSumGivenLessThanFrom(src PartialSource, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
 	cBits := bitvec.FromUint(c, a.Width)
 	var total float64
 	users := math.MaxInt64
@@ -137,7 +166,7 @@ func (e *Estimator) ConditionalSumGivenLessThan(tab *sketch.Table, b bitvec.IntF
 		prefixQuery := SubQuery{Subset: a.PrefixSubset(j), Value: prefixValue(c, a.Width, j)}
 		for i := 1; i <= b.Width; i++ {
 			subs := []SubQuery{prefixQuery, {Subset: b.BitSubset(i), Value: oneBit()}}
-			est, err := e.UnionConjunction(tab, subs)
+			est, err := e.UnionConjunctionFrom(src, subs)
 			if err != nil {
 				return NumericEstimate{}, fmt.Errorf("prefix %d, bit %d: %w", j, i, err)
 			}
@@ -160,11 +189,17 @@ func (e *Estimator) ConditionalSumGivenLessThan(tab *sketch.Table, b bitvec.IntF
 // ConditionalMeanGivenLessThan estimates E[b | a < c]: the conditional sum
 // divided by the estimated fraction of users with a < c.
 func (e *Estimator) ConditionalMeanGivenLessThan(tab *sketch.Table, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
-	num, err := e.ConditionalSumGivenLessThan(tab, b, a, c)
+	return e.ConditionalMeanGivenLessThanFrom(e.TableSource(tab), b, a, c)
+}
+
+// ConditionalMeanGivenLessThanFrom is ConditionalMeanGivenLessThan over any
+// partial source.
+func (e *Estimator) ConditionalMeanGivenLessThanFrom(src PartialSource, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
+	num, err := e.ConditionalSumGivenLessThanFrom(src, b, a, c)
 	if err != nil {
 		return NumericEstimate{}, err
 	}
-	den, err := e.FieldLessThan(tab, a, c)
+	den, err := e.FieldLessThanFrom(src, a, c)
 	if err != nil {
 		return NumericEstimate{}, err
 	}

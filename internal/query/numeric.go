@@ -27,10 +27,15 @@ type NumericEstimate struct {
 // decomposition Σᵢ 2^(k−i) · I(Aᵢ, 1).  It requires a sketch of every
 // single-bit subset {Aᵢ} of the field.
 func (e *Estimator) FieldMean(tab *sketch.Table, f bitvec.IntField) (NumericEstimate, error) {
+	return e.FieldMeanFrom(e.TableSource(tab), f)
+}
+
+// FieldMeanFrom is FieldMean over any partial source.
+func (e *Estimator) FieldMeanFrom(src PartialSource, f bitvec.IntField) (NumericEstimate, error) {
 	var mean float64
 	users := math.MaxInt64
 	for i := 1; i <= f.Width; i++ {
-		est, err := e.Fraction(tab, f.BitSubset(i), oneBit())
+		est, err := e.FractionFrom(src, f.BitSubset(i), oneBit())
 		if err != nil {
 			return NumericEstimate{}, fmt.Errorf("bit %d of field: %w", i, err)
 		}
@@ -53,7 +58,12 @@ func (e *Estimator) FieldMean(tab *sketch.Table, f bitvec.IntField) (NumericEsti
 
 // FieldSum estimates the population sum of a field: mean × users.
 func (e *Estimator) FieldSum(tab *sketch.Table, f bitvec.IntField) (NumericEstimate, error) {
-	est, err := e.FieldMean(tab, f)
+	return e.FieldSumFrom(e.TableSource(tab), f)
+}
+
+// FieldSumFrom is FieldSum over any partial source.
+func (e *Estimator) FieldSumFrom(src PartialSource, f bitvec.IntField) (NumericEstimate, error) {
+	est, err := e.FieldMeanFrom(src, f)
 	if err != nil {
 		return NumericEstimate{}, err
 	}
@@ -68,6 +78,11 @@ func (e *Estimator) FieldSum(tab *sketch.Table, f bitvec.IntField) (NumericEstim
 // combination, so only per-bit sketches are required ("we do not have to
 // sketch each pair AᵢBⱼ").
 func (e *Estimator) InnerProductMean(tab *sketch.Table, a, b bitvec.IntField) (NumericEstimate, error) {
+	return e.InnerProductMeanFrom(e.TableSource(tab), a, b)
+}
+
+// InnerProductMeanFrom is InnerProductMean over any partial source.
+func (e *Estimator) InnerProductMeanFrom(src PartialSource, a, b bitvec.IntField) (NumericEstimate, error) {
 	var total float64
 	users := math.MaxInt64
 	queries := 0
@@ -77,7 +92,7 @@ func (e *Estimator) InnerProductMean(tab *sketch.Table, a, b bitvec.IntField) (N
 				{Subset: a.BitSubset(i), Value: oneBit()},
 				{Subset: b.BitSubset(j), Value: oneBit()},
 			}
-			est, err := e.UnionConjunction(tab, subs)
+			est, err := e.UnionConjunctionFrom(src, subs)
 			if err != nil {
 				return NumericEstimate{}, fmt.Errorf("bits (%d,%d): %w", i, j, err)
 			}

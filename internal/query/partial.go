@@ -1,0 +1,234 @@
+package query
+
+import (
+	"fmt"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+// Partial is the pair of raw counters Algorithm 2 reduces over: how many
+// records matched the query evaluation and how many records were evaluated.
+// Because Fraction is a pure sum of per-record indicators, partials over
+// disjoint record sets merge exactly — a router summing node partials
+// computes bit-identical estimates to a single node holding the union of
+// the records.
+type Partial struct {
+	// Hits is the number of records whose evaluation H(id, B, v, s) was 1.
+	Hits uint64
+	// Records is the number of records evaluated.
+	Records uint64
+}
+
+// Merge returns the exact union counters of two disjoint record sets.
+func (p Partial) Merge(q Partial) Partial {
+	return Partial{Hits: p.Hits + q.Hits, Records: p.Records + q.Records}
+}
+
+// HistPartial is the mergeable form of the Appendix F match histogram:
+// Hist[l] counts users for whom exactly l of the k sub-query evaluations
+// were 1, over the Users users that sketched every sub-query subset.
+type HistPartial struct {
+	// Hist has k+1 bins for a k-sub-query histogram.
+	Hist []uint64
+	// Users is the number of users the histogram covers.
+	Users uint64
+}
+
+// Merge returns the exact union histogram of two disjoint user sets.
+func (h HistPartial) Merge(o HistPartial) (HistPartial, error) {
+	if len(h.Hist) == 0 {
+		return o, nil
+	}
+	if len(o.Hist) == 0 {
+		return h, nil
+	}
+	if len(h.Hist) != len(o.Hist) {
+		return HistPartial{}, fmt.Errorf("%w: merging histograms with %d and %d bins", ErrMismatch, len(h.Hist), len(o.Hist))
+	}
+	out := HistPartial{Hist: make([]uint64, len(h.Hist)), Users: h.Users + o.Users}
+	for i := range out.Hist {
+		out.Hist[i] = h.Hist[i] + o.Hist[i]
+	}
+	return out, nil
+}
+
+// UserFilter restricts an evaluation to the records whose user it accepts.
+// A nil UserFilter accepts everything.  The cluster layer uses it to assign
+// each record to exactly one live replica, so replicated records are
+// counted once across a scatter-gather fan-out.
+type UserFilter func(bitvec.UserID) bool
+
+// PartialSource supplies the raw counters the estimators reduce over.  Two
+// implementations exist: the local sketch table (TableSource) and the
+// cluster router, which fans each request out to all live nodes and merges
+// their partials exactly.  Every derived estimator (numeric, interval,
+// tree, Appendix F combinations) is written against this interface, so the
+// whole query surface works unchanged over a cluster.
+type PartialSource interface {
+	// FractionPartial returns the Algorithm 2 counters for one
+	// (subset, value) evaluation.  A source with no records for the subset
+	// returns a zero partial, not an error: emptiness is decided by the
+	// caller after merging.
+	FractionPartial(b bitvec.Subset, v bitvec.Vector) (Partial, error)
+	// HistogramPartial returns the Appendix F match histogram counters.
+	HistogramPartial(subs []SubQuery) (HistPartial, error)
+	// SubsetRecords returns how many records exist for one subset.
+	SubsetRecords(b bitvec.Subset) (uint64, error)
+	// TotalRecords returns how many records exist across all subsets.
+	TotalRecords() (uint64, error)
+}
+
+// tableSource adapts a local sketch table to PartialSource.
+type tableSource struct {
+	e   *Estimator
+	tab *sketch.Table
+}
+
+// TableSource returns the local-table PartialSource the table-based
+// estimator methods run on.
+func (e *Estimator) TableSource(tab *sketch.Table) PartialSource {
+	return tableSource{e: e, tab: tab}
+}
+
+func (s tableSource) FractionPartial(b bitvec.Subset, v bitvec.Vector) (Partial, error) {
+	return s.e.FractionPartialOf(s.tab, b, v, nil)
+}
+
+func (s tableSource) HistogramPartial(subs []SubQuery) (HistPartial, error) {
+	return s.e.HistogramPartialOf(s.tab, subs, nil)
+}
+
+func (s tableSource) SubsetRecords(b bitvec.Subset) (uint64, error) {
+	return SubsetRecordsOf(s.tab, b, nil), nil
+}
+
+func (s tableSource) TotalRecords() (uint64, error) {
+	return TotalRecordsOf(s.tab, nil), nil
+}
+
+// FractionPartialOf computes the Algorithm 2 raw counters over the table's
+// records for subset b whose user passes keep (nil keep: all records).
+// The match loop is the same sharded zero-allocation kernel Fraction uses.
+func (e *Estimator) FractionPartialOf(tab *sketch.Table, b bitvec.Subset, v bitvec.Vector, keep UserFilter) (Partial, error) {
+	if err := validateFractionShape(b, v); err != nil {
+		return Partial{}, err
+	}
+	records := tab.Snapshot(b)
+	if keep != nil {
+		kept := make([]sketch.Published, 0, len(records))
+		for _, p := range records {
+			if keep(p.ID) {
+				kept = append(kept, p)
+			}
+		}
+		records = kept
+	}
+	if len(records) == 0 {
+		return Partial{}, nil
+	}
+	hits := countMatches(e.h, records, b, v)
+	return Partial{Hits: uint64(hits), Records: uint64(len(records))}, nil
+}
+
+// HistogramPartialOf computes the Appendix F match histogram counters over
+// the table's users that sketched every sub-query subset and pass keep.
+func (e *Estimator) HistogramPartialOf(tab *sketch.Table, subs []SubQuery, keep UserFilter) (HistPartial, error) {
+	if err := validateSubQueries(subs); err != nil {
+		return HistPartial{}, err
+	}
+	subsets := make([]bitvec.Subset, len(subs))
+	for i, s := range subs {
+		subsets[i] = s.Subset
+	}
+	users := tab.UsersWithAll(subsets)
+	if keep != nil {
+		kept := users[:0:0]
+		for _, id := range users {
+			if keep(id) {
+				kept = append(kept, id)
+			}
+		}
+		users = kept
+	}
+	if len(users) == 0 {
+		return HistPartial{Hist: make([]uint64, len(subs)+1)}, nil
+	}
+	hist, err := matchHistogram(e.h, tab, subs, users)
+	if err != nil {
+		return HistPartial{}, err
+	}
+	out := HistPartial{Hist: make([]uint64, len(hist)), Users: uint64(len(users))}
+	for i, c := range hist {
+		out.Hist[i] = uint64(c)
+	}
+	return out, nil
+}
+
+// SubsetRecordsOf counts the table's records for subset b whose user
+// passes keep.
+func SubsetRecordsOf(tab *sketch.Table, b bitvec.Subset, keep UserFilter) uint64 {
+	if keep == nil {
+		return uint64(tab.CountForSubset(b))
+	}
+	var n uint64
+	for _, p := range tab.Snapshot(b) {
+		if keep(p.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalRecordsOf counts the table's records across all subsets whose user
+// passes keep.
+func TotalRecordsOf(tab *sketch.Table, keep UserFilter) uint64 {
+	if keep == nil {
+		return uint64(tab.Len())
+	}
+	var n uint64
+	for _, b := range tab.Subsets() {
+		n += SubsetRecordsOf(tab, b, keep)
+	}
+	return n
+}
+
+// validateFractionShape checks the Algorithm 2 query shape.
+func validateFractionShape(b bitvec.Subset, v bitvec.Vector) error {
+	if b.Len() != v.Len() {
+		return fmt.Errorf("%w: subset of size %d queried with value of length %d", ErrMismatch, b.Len(), v.Len())
+	}
+	if b.Len() == 0 {
+		return fmt.Errorf("%w: empty subset", ErrMismatch)
+	}
+	return nil
+}
+
+// FractionFrom is Algorithm 2 over any partial source: it reduces the
+// source's raw counters into the debiased estimate.  Over TableSource it is
+// exactly Fraction; over a cluster router the merged counters are the same
+// integers a single node holding the union of the records would compute,
+// so the estimate is bit-identical.
+func (e *Estimator) FractionFrom(src PartialSource, b bitvec.Subset, v bitvec.Vector) (Estimate, error) {
+	if err := validateFractionShape(b, v); err != nil {
+		return Estimate{}, err
+	}
+	part, err := src.FractionPartial(b, v)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if part.Records == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSketches, b)
+	}
+	observed := float64(part.Hits) / float64(part.Records)
+	return e.newEstimate(observed, int(part.Records)), nil
+}
+
+// CountFrom is FractionFrom scaled to a user count estimate.
+func (e *Estimator) CountFrom(src PartialSource, b bitvec.Subset, v bitvec.Vector) (float64, error) {
+	est, err := e.FractionFrom(src, b, v)
+	if err != nil {
+		return 0, err
+	}
+	return est.Count(), nil
+}

@@ -105,6 +105,11 @@ func (n *TreeNode) AcceptingPaths() []bitvec.Conjunction {
 // A tree whose every leaf accepts has fraction exactly 1 and consumes no
 // queries.
 func (e *Estimator) DecisionTreeFraction(tab *sketch.Table, tree *TreeNode) (NumericEstimate, error) {
+	return e.DecisionTreeFractionFrom(e.TableSource(tab), tree)
+}
+
+// DecisionTreeFractionFrom is DecisionTreeFraction over any partial source.
+func (e *Estimator) DecisionTreeFractionFrom(src PartialSource, tree *TreeNode) (NumericEstimate, error) {
 	if err := tree.Validate(); err != nil {
 		return NumericEstimate{}, err
 	}
@@ -115,9 +120,13 @@ func (e *Estimator) DecisionTreeFraction(tab *sketch.Table, tree *TreeNode) (Num
 	for _, path := range paths {
 		if path.Len() == 0 {
 			// The root itself is an accepting leaf: every user satisfies it.
-			return NumericEstimate{Value: 1, Users: tab.Len(), Queries: 0}, nil
+			n, err := src.TotalRecords()
+			if err != nil {
+				return NumericEstimate{}, err
+			}
+			return NumericEstimate{Value: 1, Users: int(n), Queries: 0}, nil
 		}
-		est, err := e.ConjunctionFraction(tab, path)
+		est, err := e.ConjunctionFractionFrom(src, path)
 		if err != nil {
 			return NumericEstimate{}, fmt.Errorf("path %v: %w", path, err)
 		}

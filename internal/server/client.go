@@ -15,13 +15,44 @@ type Client struct {
 	conn net.Conn
 }
 
-// Dial connects to a collection server.
+// Dial connects to a collection server (or a sketchrouter — both speak the
+// same protocol) and performs the version handshake: the hello carries
+// this binary's protocol version, and a peer speaking a different version
+// — or one too old to know the hello opcode — refuses the connection with
+// a clear error instead of failing later with a decode error or a garbage
+// estimate.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conn: conn}
+	if err := wire.ClientHandshake(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	return c, nil
+}
+
+// Ping requests the peer's liveness text: a node reports its version and
+// sketch count, a router reports ring membership, per-node liveness and
+// ownership spans.
+func (c *Client) Ping() (string, error) {
+	if err := wire.WriteFrame(c.conn, wire.TypePing, nil); err != nil {
+		return "", err
+	}
+	msgType, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return "", err
+	}
+	switch msgType {
+	case wire.TypePong:
+		return string(payload), nil
+	case wire.TypeError:
+		return "", fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return "", fmt.Errorf("%w: unexpected reply type %d", ErrRemote, msgType)
+	}
 }
 
 // Close closes the connection.

@@ -11,7 +11,9 @@ import (
 	"net"
 	"sync"
 
+	"sketchprivacy/internal/cluster"
 	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/query"
 	"sketchprivacy/internal/wire"
 )
 
@@ -146,6 +148,30 @@ func (s *Server) handle(conn net.Conn) {
 			if err := wire.WriteFrame(conn, wire.TypeStatsReply, wire.EncodeStats(s.stats())); err != nil {
 				s.writeError(conn, err)
 			}
+		case wire.TypeHello:
+			if err := wire.CheckHello(payload); err != nil {
+				// Fail the handshake loudly and hang up: a mixed-version
+				// peer's subsequent frames would decode as garbage, so the
+				// refusal must end the connection, not just warn.
+				s.writeError(conn, err)
+				return
+			}
+			_ = wire.WriteFrame(conn, wire.TypeHelloAck, wire.EncodeHello())
+		case wire.TypePing:
+			pong := fmt.Sprintf("ok version=%d sketches=%d", wire.ProtocolVersion, s.eng.Sketches())
+			_ = wire.WriteFrame(conn, wire.TypePong, []byte(pong))
+		case wire.TypePartialQuery:
+			pq, err := wire.DecodePartialQuery(payload)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			res, err := s.partial(pq)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypePartialResult, wire.EncodePartialResult(res))
 		default:
 			s.writeError(conn, fmt.Errorf("server: unknown message type %d", msgType))
 		}
@@ -187,6 +213,40 @@ func (s *Server) stats() wire.Stats {
 		rep.Store = ws
 	}
 	return rep
+}
+
+// partial answers one scatter-gather request: it compiles the query's
+// ownership filter (which keeps replicated records out of the cluster-wide
+// sums) and computes the requested raw counters over the owned records.
+func (s *Server) partial(pq wire.PartialQuery) (wire.PartialResult, error) {
+	keep, err := cluster.CompileFilter(pq.Filter)
+	if err != nil {
+		return wire.PartialResult{}, err
+	}
+	switch pq.Kind {
+	case wire.PartialFraction:
+		part, err := s.eng.FractionPartial(pq.Subset, pq.Value, keep)
+		if err != nil {
+			return wire.PartialResult{}, err
+		}
+		return wire.PartialResult{Kind: pq.Kind, Hits: part.Hits, Records: part.Records}, nil
+	case wire.PartialHistogram:
+		subs := make([]query.SubQuery, len(pq.Subs))
+		for i, q := range pq.Subs {
+			subs[i] = query.SubQuery{Subset: q.Subset, Value: q.Value}
+		}
+		hp, err := s.eng.HistogramPartial(subs, keep)
+		if err != nil {
+			return wire.PartialResult{}, err
+		}
+		return wire.PartialResult{Kind: pq.Kind, Users: hp.Users, Hist: hp.Hist}, nil
+	case wire.PartialSubsetRecords:
+		return wire.PartialResult{Kind: pq.Kind, Records: s.eng.SubsetRecords(pq.Subset, keep)}, nil
+	case wire.PartialTotalRecords:
+		return wire.PartialResult{Kind: pq.Kind, Records: s.eng.TotalRecords(keep)}, nil
+	default:
+		return wire.PartialResult{}, fmt.Errorf("server: unknown partial query kind %d", pq.Kind)
+	}
 }
 
 func (s *Server) writeError(conn net.Conn, err error) {

@@ -209,13 +209,20 @@ func TestServerReportsErrors(t *testing.T) {
 	if !errors.Is(err, ErrRemote) {
 		t.Errorf("expected remote error, got %v", err)
 	}
-	// Duplicate publish is refused but the connection stays usable.
+	// Re-publishing the identical sketch is an idempotent ack (replicated
+	// publish retries depend on it); a conflicting sketch for the same
+	// (user, subset) is refused but the connection stays usable.
 	pub := sketch.Published{ID: 1, Subset: bitvec.MustSubset(0), S: sketch.Sketch{Key: 1, Length: 8}}
 	if err := cli.Publish(pub); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Publish(pub); !errors.Is(err, ErrRemote) {
-		t.Errorf("duplicate publish err = %v", err)
+	if err := cli.Publish(pub); err != nil {
+		t.Errorf("identical re-publish err = %v, want idempotent ack", err)
+	}
+	conflict := pub
+	conflict.S.Key = 2
+	if err := cli.Publish(conflict); !errors.Is(err, ErrRemote) {
+		t.Errorf("conflicting publish err = %v", err)
 	}
 	if err := cli.Publish(sketch.Published{ID: 2, Subset: bitvec.MustSubset(0), S: sketch.Sketch{Key: 2, Length: 8}}); err != nil {
 		t.Errorf("connection unusable after error: %v", err)

@@ -1,0 +1,396 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sketchprivacy/internal/bitvec"
+)
+
+// ProtocolVersion is the wire protocol generation.  A peer speaking a
+// different version fails the hello handshake loudly instead of producing a
+// decode panic or a silently wrong estimate.  Bump it whenever a frame
+// encoding changes incompatibly.
+const ProtocolVersion byte = 1
+
+// Cluster message types (the scatter-gather data plane between a
+// sketchrouter and its nodes, plus the hello/ping control frames every
+// client uses).
+const (
+	// TypeHello opens a connection: the payload is the sender's protocol
+	// version byte.  The receiver answers TypeHelloAck with its own version
+	// or TypeError on a mismatch.
+	TypeHello byte = 8
+	// TypeHelloAck acknowledges a hello; the payload is the receiver's
+	// protocol version byte.
+	TypeHelloAck byte = 9
+	// TypePing requests a liveness report; the payload is empty.
+	TypePing byte = 10
+	// TypePong answers a ping with a short human-readable status text
+	// (nodes report "ok version=V sketches=N"; a router reports its ring,
+	// per-node liveness and ownership spans).
+	TypePong byte = 11
+	// TypePartialQuery asks a node for the raw Algorithm 2 counters of one
+	// evaluation, restricted to the records the node owns under the query's
+	// ownership filter (see Filter).
+	TypePartialQuery byte = 12
+	// TypePartialResult carries the counters back.
+	TypePartialResult byte = 13
+)
+
+// Partial query kinds.
+const (
+	// PartialFraction asks for the Algorithm 2 raw counters of one
+	// (subset, value) evaluation: match count and record count.
+	PartialFraction byte = 1
+	// PartialHistogram asks for the Appendix F match histogram over the
+	// node's users that sketched every sub-query subset.
+	PartialHistogram byte = 2
+	// PartialSubsetRecords asks how many records the node owns for one
+	// subset (the distributed tab.CountForSubset).
+	PartialSubsetRecords byte = 3
+	// PartialTotalRecords asks how many records the node owns in total
+	// (the distributed tab.Len).
+	PartialTotalRecords byte = 4
+)
+
+// Decode guards: a hostile count field must not drive a giant allocation
+// before the payload length check catches it.
+const (
+	maxFilterNodes = 1 << 12
+	maxSubQueries  = 1 << 8
+	maxHistBins    = maxSubQueries + 1
+)
+
+// EncodeHello returns the hello payload for this binary's version.
+func EncodeHello() []byte { return []byte{ProtocolVersion} }
+
+// DecodeHello parses a hello (or hello-ack) payload into the peer's
+// version.
+func DecodeHello(b []byte) (byte, error) {
+	if len(b) != 1 {
+		return 0, fmt.Errorf("%w: hello payload must be exactly the version byte, got %d bytes", ErrCorrupt, len(b))
+	}
+	return b[0], nil
+}
+
+// CheckHello validates an incoming hello payload against this binary's
+// version, returning the error the server should refuse the connection
+// with.  Serving side: after sending the refusal, close the connection —
+// an incompatible peer's subsequent frames would decode as garbage.
+func CheckHello(payload []byte) error {
+	v, err := DecodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if v != ProtocolVersion {
+		return fmt.Errorf("wire: protocol version mismatch: peer speaks v%d, this binary speaks v%d", v, ProtocolVersion)
+	}
+	return nil
+}
+
+// ClientHandshake performs the dialing side of the version handshake on a
+// fresh connection: send the hello, require a matching hello-ack.  A peer
+// speaking a different version — or one too old to know the hello opcode,
+// which answers with its unknown-message error — fails loudly here
+// instead of producing a decode error or a garbage estimate later.  The
+// server daemon, the cluster router and the command-line client all share
+// this one implementation.
+func ClientHandshake(rw io.ReadWriter) error {
+	if err := WriteFrame(rw, TypeHello, EncodeHello()); err != nil {
+		return fmt.Errorf("wire: sending hello: %w", err)
+	}
+	msgType, payload, err := ReadFrame(rw)
+	if err != nil {
+		return fmt.Errorf("wire: reading hello reply: %w", err)
+	}
+	switch msgType {
+	case TypeHelloAck:
+		v, err := DecodeHello(payload)
+		if err != nil {
+			return err
+		}
+		if v != ProtocolVersion {
+			return fmt.Errorf("wire: protocol version mismatch: peer speaks v%d, this binary speaks v%d", v, ProtocolVersion)
+		}
+		return nil
+	case TypeError:
+		return fmt.Errorf("wire: handshake refused: %s", payload)
+	default:
+		return fmt.Errorf("wire: hello answered with message type %d — peer speaks an incompatible wire protocol version", msgType)
+	}
+}
+
+// Filter restricts a partial query to the records its target node owns, so
+// replicated records are counted exactly once across a fan-out.  The node
+// rebuilds the cluster's consistent-hash ring from Nodes and VNodes and
+// includes a record only when it is the first *live* node on the record's
+// preference walk — with every acknowledged record on RF replicas and at
+// most RF−1 nodes down, exactly one live node answers for each record.
+type Filter struct {
+	// Nodes is the full ring membership (placement depends on it, not on
+	// the live set).
+	Nodes []string
+	// VNodes is the virtual-node count per member.
+	VNodes uint32
+	// Self names the node this query is addressed to.
+	Self string
+	// Live lists the members the router currently considers alive.
+	Live []string
+}
+
+// PartialQuery is one scatter-gather request: which counters to compute and
+// the ownership filter to compute them under (nil filter: all records).
+type PartialQuery struct {
+	Kind   byte
+	Filter *Filter
+	// Subset and Value describe a PartialFraction; Subset alone describes a
+	// PartialSubsetRecords.
+	Subset bitvec.Subset
+	Value  bitvec.Vector
+	// Subs describes a PartialHistogram.
+	Subs []Query
+}
+
+// PartialResult carries the raw counters back.  Integers merge exactly:
+// summing Hits/Records (or Hist/Users bin-wise) over disjoint record sets
+// reproduces the counters a single node holding the union would compute.
+type PartialResult struct {
+	Kind    byte
+	Hits    uint64
+	Records uint64
+	Users   uint64
+	Hist    []uint64
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte { return appendBytes(dst, []byte(s)) }
+
+// readString consumes a length-prefixed string.
+func readString(src []byte) (string, []byte, error) {
+	b, rest, err := readBytes(src)
+	return string(b), rest, err
+}
+
+// appendFilter appends a presence byte and, when present, the filter.
+func appendFilter(dst []byte, f *Filter) []byte {
+	if f == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.BigEndian.AppendUint32(dst, f.VNodes)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Nodes)))
+	for _, n := range f.Nodes {
+		dst = appendString(dst, n)
+	}
+	dst = appendString(dst, f.Self)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Live)))
+	for _, n := range f.Live {
+		dst = appendString(dst, n)
+	}
+	return dst
+}
+
+// readFilter reverses appendFilter.
+func readFilter(src []byte) (*Filter, []byte, error) {
+	if len(src) < 1 {
+		return nil, nil, ErrCorrupt
+	}
+	present := src[0]
+	src = src[1:]
+	switch present {
+	case 0:
+		return nil, src, nil
+	case 1:
+	default:
+		return nil, nil, fmt.Errorf("%w: filter presence byte %d", ErrCorrupt, present)
+	}
+	if len(src) < 8 {
+		return nil, nil, ErrCorrupt
+	}
+	f := &Filter{VNodes: binary.BigEndian.Uint32(src)}
+	nNodes := binary.BigEndian.Uint32(src[4:])
+	src = src[8:]
+	if nNodes > maxFilterNodes {
+		return nil, nil, fmt.Errorf("%w: filter claims %d ring members", ErrCorrupt, nNodes)
+	}
+	var err error
+	var s string
+	for i := uint32(0); i < nNodes; i++ {
+		if s, src, err = readString(src); err != nil {
+			return nil, nil, err
+		}
+		f.Nodes = append(f.Nodes, s)
+	}
+	if f.Self, src, err = readString(src); err != nil {
+		return nil, nil, err
+	}
+	if len(src) < 4 {
+		return nil, nil, ErrCorrupt
+	}
+	nLive := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	if nLive > maxFilterNodes {
+		return nil, nil, fmt.Errorf("%w: filter claims %d live members", ErrCorrupt, nLive)
+	}
+	for i := uint32(0); i < nLive; i++ {
+		if s, src, err = readString(src); err != nil {
+			return nil, nil, err
+		}
+		f.Live = append(f.Live, s)
+	}
+	return f, src, nil
+}
+
+// EncodePartialQuery serializes a partial query.
+func EncodePartialQuery(q PartialQuery) []byte {
+	out := make([]byte, 0, 128)
+	out = append(out, q.Kind)
+	out = appendFilter(out, q.Filter)
+	switch q.Kind {
+	case PartialFraction:
+		out = appendBytes(out, q.Subset.Tag())
+		out = appendBytes(out, q.Value.Bytes())
+	case PartialHistogram:
+		out = binary.BigEndian.AppendUint32(out, uint32(len(q.Subs)))
+		for _, s := range q.Subs {
+			out = appendBytes(out, s.Subset.Tag())
+			out = appendBytes(out, s.Value.Bytes())
+		}
+	case PartialSubsetRecords:
+		out = appendBytes(out, q.Subset.Tag())
+	case PartialTotalRecords:
+	}
+	return out
+}
+
+// readSubsetValue consumes one (subset tag, value bytes) pair.
+func readSubsetValue(src []byte) (bitvec.Subset, bitvec.Vector, []byte, error) {
+	tag, src, err := readBytes(src)
+	if err != nil {
+		return bitvec.Subset{}, bitvec.Vector{}, nil, err
+	}
+	subset, err := bitvec.ParseTag(tag)
+	if err != nil {
+		return bitvec.Subset{}, bitvec.Vector{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	vb, src, err := readBytes(src)
+	if err != nil {
+		return bitvec.Subset{}, bitvec.Vector{}, nil, err
+	}
+	value, err := bitvec.ParseBytes(vb)
+	if err != nil {
+		return bitvec.Subset{}, bitvec.Vector{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return subset, value, src, nil
+}
+
+// DecodePartialQuery reverses EncodePartialQuery.
+func DecodePartialQuery(b []byte) (PartialQuery, error) {
+	if len(b) < 1 {
+		return PartialQuery{}, ErrCorrupt
+	}
+	q := PartialQuery{Kind: b[0]}
+	rest := b[1:]
+	var err error
+	if q.Filter, rest, err = readFilter(rest); err != nil {
+		return PartialQuery{}, err
+	}
+	switch q.Kind {
+	case PartialFraction:
+		if q.Subset, q.Value, rest, err = readSubsetValue(rest); err != nil {
+			return PartialQuery{}, err
+		}
+	case PartialHistogram:
+		if len(rest) < 4 {
+			return PartialQuery{}, ErrCorrupt
+		}
+		k := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if k > maxSubQueries {
+			return PartialQuery{}, fmt.Errorf("%w: histogram query claims %d sub-queries", ErrCorrupt, k)
+		}
+		for i := uint32(0); i < k; i++ {
+			var sub Query
+			if sub.Subset, sub.Value, rest, err = readSubsetValue(rest); err != nil {
+				return PartialQuery{}, err
+			}
+			q.Subs = append(q.Subs, sub)
+		}
+	case PartialSubsetRecords:
+		var tag []byte
+		if tag, rest, err = readBytes(rest); err != nil {
+			return PartialQuery{}, err
+		}
+		if q.Subset, err = bitvec.ParseTag(tag); err != nil {
+			return PartialQuery{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	case PartialTotalRecords:
+	default:
+		return PartialQuery{}, fmt.Errorf("%w: unknown partial query kind %d", ErrCorrupt, q.Kind)
+	}
+	if len(rest) != 0 {
+		return PartialQuery{}, ErrCorrupt
+	}
+	return q, nil
+}
+
+// EncodePartialResult serializes a partial result.
+func EncodePartialResult(r PartialResult) []byte {
+	out := make([]byte, 0, 32+8*len(r.Hist))
+	out = append(out, r.Kind)
+	switch r.Kind {
+	case PartialFraction:
+		out = binary.BigEndian.AppendUint64(out, r.Hits)
+		out = binary.BigEndian.AppendUint64(out, r.Records)
+	case PartialHistogram:
+		out = binary.BigEndian.AppendUint64(out, r.Users)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(r.Hist)))
+		for _, c := range r.Hist {
+			out = binary.BigEndian.AppendUint64(out, c)
+		}
+	case PartialSubsetRecords, PartialTotalRecords:
+		out = binary.BigEndian.AppendUint64(out, r.Records)
+	}
+	return out
+}
+
+// DecodePartialResult reverses EncodePartialResult.
+func DecodePartialResult(b []byte) (PartialResult, error) {
+	if len(b) < 1 {
+		return PartialResult{}, ErrCorrupt
+	}
+	r := PartialResult{Kind: b[0]}
+	rest := b[1:]
+	switch r.Kind {
+	case PartialFraction:
+		if len(rest) != 16 {
+			return PartialResult{}, ErrCorrupt
+		}
+		r.Hits = binary.BigEndian.Uint64(rest)
+		r.Records = binary.BigEndian.Uint64(rest[8:])
+	case PartialHistogram:
+		if len(rest) < 12 {
+			return PartialResult{}, ErrCorrupt
+		}
+		r.Users = binary.BigEndian.Uint64(rest)
+		bins := binary.BigEndian.Uint32(rest[8:])
+		rest = rest[12:]
+		if bins > maxHistBins || uint32(len(rest)) != 8*bins {
+			return PartialResult{}, fmt.Errorf("%w: histogram result with %d bins in %d bytes", ErrCorrupt, bins, len(rest))
+		}
+		r.Hist = make([]uint64, bins)
+		for i := range r.Hist {
+			r.Hist[i] = binary.BigEndian.Uint64(rest[8*i:])
+		}
+	case PartialSubsetRecords, PartialTotalRecords:
+		if len(rest) != 8 {
+			return PartialResult{}, ErrCorrupt
+		}
+		r.Records = binary.BigEndian.Uint64(rest)
+	default:
+		return PartialResult{}, fmt.Errorf("%w: unknown partial result kind %d", ErrCorrupt, r.Kind)
+	}
+	return r, nil
+}

@@ -36,6 +36,20 @@ func FuzzDecode(f *testing.F) {
 	f.Add(append(append(make([]byte, 8), encodeLenPrefixed(tornTag)...), encodeLenPrefixed([]byte{10, 0, 1})...))
 	wrapVec := binary.BigEndian.AppendUint64(nil, ^uint64(62))
 	f.Add(append(encodeLenPrefixed(binary.BigEndian.AppendUint64(nil, 0)), encodeLenPrefixed(wrapVec)...))
+	// Cluster frames: a filtered partial query and a histogram result.
+	f.Add(EncodePartialQuery(PartialQuery{
+		Kind: PartialFraction,
+		Filter: &Filter{
+			Nodes:  []string{"a:1", "b:1"},
+			VNodes: 8,
+			Self:   "a:1",
+			Live:   []string{"a:1", "b:1"},
+		},
+		Subset: bitvec.MustSubset(1, 3),
+		Value:  bitvec.MustFromString("10"),
+	}))
+	f.Add(EncodePartialResult(PartialResult{Kind: PartialHistogram, Users: 10, Hist: []uint64{4, 5, 1}}))
+	f.Add(EncodeHello())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if p, err := DecodePublished(data); err == nil {
@@ -55,8 +69,19 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("DecodeResult accepted non-canonical input:\n in %x\nout %x", data, got)
 			}
 		}
+		if q, err := DecodePartialQuery(data); err == nil {
+			if got := EncodePartialQuery(q); !bytes.Equal(got, data) {
+				t.Fatalf("DecodePartialQuery accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		if r, err := DecodePartialResult(data); err == nil {
+			if got := EncodePartialResult(r); !bytes.Equal(got, data) {
+				t.Fatalf("DecodePartialResult accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
 		// Stats is JSON: no canonical-form guarantee, but still no panic.
 		_, _ = DecodeStats(data)
+		_, _ = DecodeHello(data)
 		// And the frame reader itself must tolerate arbitrary streams.
 		_, _, _ = ReadFrame(bytes.NewReader(data))
 	})
