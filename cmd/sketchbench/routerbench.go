@@ -31,20 +31,15 @@ func routerRecord(id uint64, b bitvec.Subset) sketch.Published {
 	}
 }
 
-// benchCluster brings up 3 in-process nodes behind real TCP servers plus
-// a router at RF=2.  The returned map keys each node's engine by its
-// listen address (the ring member name), so a benchmark can bulk-load
-// records straight into their owners.
-func benchCluster(b *testing.B) (*cluster.Router, map[string]*engine.Engine, func()) {
+// benchNodes brings up n in-process nodes behind real TCP servers,
+// returning their addresses and engines keyed by address.
+func benchNodes(b *testing.B, n int) (addrs []string, engines map[string]*engine.Engine, done func()) {
 	p := 0.3
 	h := prf.NewBiased(benchKey(), prf.MustProb(p))
 	params := sketch.MustParams(p, 10)
-	var (
-		addrs   []string
-		closers []func()
-	)
-	engines := make(map[string]*engine.Engine, routerClusterSize)
-	for i := 0; i < routerClusterSize; i++ {
+	var closers []func()
+	engines = make(map[string]*engine.Engine, n)
+	for i := 0; i < n; i++ {
 		eng, err := engine.New(h, params)
 		if err != nil {
 			b.Fatal(err)
@@ -58,6 +53,20 @@ func benchCluster(b *testing.B) (*cluster.Router, map[string]*engine.Engine, fun
 		engines[addr] = eng
 		closers = append(closers, func() { srv.Close() })
 	}
+	return addrs, engines, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+// benchCluster brings up 3 in-process nodes behind real TCP servers plus
+// a router at RF=2.  The returned map keys each node's engine by its
+// listen address (the ring member name), so a benchmark can bulk-load
+// records straight into their owners.
+func benchCluster(b *testing.B) (*cluster.Router, map[string]*engine.Engine, func()) {
+	addrs, engines, closeNodes := benchNodes(b, routerClusterSize)
+	h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
 	r, err := cluster.NewRouter(h, cluster.Config{
 		Nodes:        addrs,
 		Replication:  2,
@@ -69,10 +78,47 @@ func benchCluster(b *testing.B) (*cluster.Router, map[string]*engine.Engine, fun
 	}
 	return r, engines, func() {
 		r.Close()
-		for _, c := range closers {
-			c()
+		closeNodes()
+	}
+}
+
+// benchRebalance sets up a 2-node RF=2 cluster pre-loaded with records
+// plus a spare 3rd node, and returns a function running one full
+// join→drain membership cycle (two rebalance streams and two ring
+// cutovers).  The spare keeps its transferred records between iterations,
+// so steady-state iterations measure the scan/stream/cutover machinery
+// with idempotent pushes — exactly the operational re-run path.
+func benchRebalance(b *testing.B, records int) (cycle func() error, done func()) {
+	addrs, engines, closeNodes := benchNodes(b, 3)
+	h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
+	r, err := cluster.NewRouter(h, cluster.Config{
+		Nodes:        addrs[:2],
+		Replication:  2,
+		VNodes:       64,
+		PingInterval: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subset := bitvec.Range(0, 4)
+	for id := uint64(1); id <= uint64(records); id++ {
+		rec := routerRecord(id, subset)
+		for _, addr := range r.Ring().Owners(rec.ID, 2) {
+			if err := engines[addr].Ingest(rec); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	spare := addrs[2]
+	return func() error {
+			if err := r.Join(spare); err != nil {
+				return err
+			}
+			return r.Drain(spare)
+		}, func() {
+			r.Close()
+			closeNodes()
+		}
 }
 
 // routerBenchmarks measures the networked cluster path: replicated
@@ -99,6 +145,35 @@ func routerBenchmarks(quick bool) []struct {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := r.Publish(routerRecord(uint64(i+1), subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"rebalance-stream", func(b *testing.B) {
+			// One op = a full join→drain cycle over the loaded cluster:
+			// two rebalance streams scanning every record plus two
+			// cutovers.  Divide ns/op by 2×records for a per-record
+			// streaming figure.
+			cycle, done := benchRebalance(b, queryN)
+			defer done()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := cycle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"rebalance-cutover", func(b *testing.B) {
+			// The same cycle over an empty cluster: pure control plane —
+			// membership validation, empty snapshot streams, epoch
+			// cutovers and the post-cutover sweep.
+			cycle, done := benchRebalance(b, 0)
+			defer done()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := cycle(); err != nil {
 					b.Fatal(err)
 				}
 			}

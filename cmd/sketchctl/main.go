@@ -17,6 +17,13 @@
 //	# ring, per-node liveness and ownership spans
 //	sketchctl -addr 127.0.0.1:7080 ping
 //
+//	# membership (router targets only): grow, shrink and watch the ring.
+//	# join and drain block until the rebalance streamed and the ring cut
+//	# over; rebalance-status (from another terminal) shows live progress
+//	sketchctl -addr 127.0.0.1:7080 join -node 127.0.0.1:7074
+//	sketchctl -addr 127.0.0.1:7080 drain -node 127.0.0.1:7071
+//	sketchctl -addr 127.0.0.1:7080 rebalance-status
+//
 // Publish and query work unchanged against a sketchrouter — the router
 // speaks the node protocol and replicates/fans out internally.  The
 // -router flag adjusts the operator commands for a router target: `stats`
@@ -76,7 +83,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fail("usage: sketchctl [flags] publish|query|stats|ping [subcommand flags]")
+		fail("usage: sketchctl [flags] publish|query|stats|ping|join|drain|rebalance-status [subcommand flags]")
 	}
 
 	key := make([]byte, prf.MinKeyBytes)
@@ -190,6 +197,44 @@ func main() {
 			fmt.Printf("  shard %04d: wal %7d B / %6d records, %d segments %8d B / %6d records\n",
 				sh.Shard, sh.WALBytes, sh.WALRecords, sh.Segments, sh.SegmentBytes, sh.SegmentRecords)
 		}
+	case "join":
+		fs := flag.NewFlagSet("join", flag.ExitOnError)
+		node := fs.String("node", "", "address of the sketchd to add to the ring")
+		fs.Parse(flag.Args()[1:])
+		if *node == "" {
+			fail("join requires -node")
+		}
+		fmt.Printf("joining %s (streams moved sketches, then cuts the ring over; this can take a while)...\n", *node)
+		if err := cli.Join(*node); err != nil {
+			fail("join failed: %v", err)
+		}
+		status, err := cli.RebalanceStatus()
+		if err != nil {
+			fail("join succeeded but status failed: %v", err)
+		}
+		fmt.Print(status)
+	case "drain":
+		fs := flag.NewFlagSet("drain", flag.ExitOnError)
+		node := fs.String("node", "", "address of the sketchd to retire from the ring")
+		fs.Parse(flag.Args()[1:])
+		if *node == "" {
+			fail("drain requires -node")
+		}
+		fmt.Printf("draining %s (streams its ownership to the remaining nodes, then cuts the ring over)...\n", *node)
+		if err := cli.Drain(*node); err != nil {
+			fail("drain failed: %v", err)
+		}
+		status, err := cli.RebalanceStatus()
+		if err != nil {
+			fail("drain succeeded but status failed: %v", err)
+		}
+		fmt.Print(status)
+	case "rebalance-status":
+		status, err := cli.RebalanceStatus()
+		if err != nil {
+			fail("rebalance-status failed: %v", err)
+		}
+		fmt.Print(status)
 	default:
 		fail("unknown subcommand %q", flag.Arg(0))
 	}

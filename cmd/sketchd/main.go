@@ -17,6 +17,15 @@
 // restart replays the directory — truncating any torn tail a crash left —
 // so the public sketch table survives SIGKILL.  Without -data-dir the
 // table is memory-only, as in earlier versions.
+//
+// As a cluster member behind a sketchrouter, the daemon also serves the
+// rebalance data plane: snapshot reads stream its records in batches
+// (segment-at-a-time from the durable store, never a whole shard at
+// once), transfer pushes ingest moved records idempotently, and the node
+// tracks the cluster's ring epoch — learned from hellos, pings and
+// ownership filters — refusing partial queries built for a superseded
+// ring so a router never merges mixed-ring counters.  See
+// docs/OPERATIONS.md for the join/drain procedures this supports.
 package main
 
 import (

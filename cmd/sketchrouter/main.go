@@ -18,9 +18,24 @@
 // generator key stays on users, analysts and nodes.
 //
 // Nodes are health-checked with periodic pings and marked dead with
-// exponential backoff.  A publish is acknowledged only after every replica
-// acknowledged it, so killing any RF−1 nodes loses no acknowledged sketch;
-// queries fail over to the surviving replicas automatically.
+// exponential backoff.  A publish is acknowledged only after every live
+// replica acknowledged it, so killing any RF−1 nodes loses no acknowledged
+// sketch; queries fail over to the surviving replicas automatically.  With
+// -hinted-handoff (the default), a publish whose replica is briefly down
+// still succeeds: the record is queued and replayed when the replica
+// returns, which rejoins query fan-outs only once it has caught up.
+//
+// The membership is dynamic: `sketchctl join -node <addr>` adds capacity
+// and `sketchctl drain -node <addr>` retires a node, both while the
+// cluster keeps serving.  The router diffs the old and new consistent-hash
+// rings, streams only the moved (user, subset) sketches to their new
+// owners in CRC-framed idempotent batches, dual-writes publishes that
+// arrive mid-migration, and cuts the ring over atomically — every query
+// before, during and after the move returns the same bits a single merged
+// engine would.  Each cutover bumps the ring epoch; nodes refuse partial
+// queries from a superseded epoch, so a racing fan-out retries instead of
+// merging mixed-ring partials.  `sketchctl rebalance-status` reports
+// progress.
 package main
 
 import (
@@ -44,6 +59,9 @@ func main() {
 		vnodes   = flag.Int("vnodes", 64, "virtual nodes per member on the placement ring")
 		pingIvl  = flag.Duration("ping-interval", 2*time.Second, "node health-check period")
 		p        = flag.Float64("p", 0.3, "bias parameter p (must match the nodes)")
+		hints    = flag.Bool("hinted-handoff", true, "queue publishes for briefly-down replicas and replay them on return")
+		maxHints = flag.Int("max-hints", 4096, "hint queue cap per down replica (at the cap, publishes fail loudly)")
+		batch    = flag.Int("transfer-batch", 2048, "records per rebalance snapshot read and transfer push")
 	)
 	flag.Parse()
 
@@ -70,10 +88,13 @@ func main() {
 		os.Exit(2)
 	}
 	router, err := cluster.NewRouter(prf.NewBiased(key, prob), cluster.Config{
-		Nodes:        nodes,
-		Replication:  *rf,
-		VNodes:       *vnodes,
-		PingInterval: *pingIvl,
+		Nodes:           nodes,
+		Replication:     *rf,
+		VNodes:          *vnodes,
+		PingInterval:    *pingIvl,
+		HintedHandoff:   *hints,
+		MaxHintsPerNode: *maxHints,
+		TransferBatch:   *batch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -114,12 +114,15 @@ func TestRouterSIGKILLNodeFailover(t *testing.T) {
 		}
 	}()
 
+	// Hinted handoff off: this test pins the strict mode, where a publish
+	// owned by a dead node must fail loudly rather than queue a hint.
 	routerCmd, routerAddr := startProc(t, routerBin, "sketchrouter listening on ",
 		"-addr", "127.0.0.1:0",
 		"-nodes", strings.Join(nodeAddrs, ","),
 		"-rf", fmt.Sprint(rf),
 		"-p", fmt.Sprint(p),
 		"-ping-interval", "200ms",
+		"-hinted-handoff=false",
 	)
 	defer func() {
 		routerCmd.Process.Signal(os.Interrupt)
@@ -234,4 +237,160 @@ func routerDevKey() []byte {
 		key[i] = byte(0x42 + i)
 	}
 	return key
+}
+
+// TestRouterLiveJoinRebalanceDrainCycle is the process-level membership
+// test the cluster-integration CI step runs: real sketchd nodes behind a
+// real sketchrouter, grown from two nodes to three with `join`, then
+// shrunk with `drain`, with every estimate checked bit-identical to a
+// single merged engine before and after each step.
+func TestRouterLiveJoinRebalanceDrainCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real daemons; skipped in -short")
+	}
+	tmp := t.TempDir()
+	sketchdBin := buildBinary(t, tmp, "sketchprivacy/cmd/sketchd", "sketchd")
+	routerBin := buildBinary(t, tmp, ".", "sketchrouter")
+
+	const (
+		users = 5000
+		p     = 0.3
+		tau   = 1e-6
+		n     = 600
+		rf    = 2
+	)
+	params, err := sketch.ParamsFor(p, users, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.MustSubset(0, 1, 2)
+	value := bitvec.MustFromString("101")
+	record := func(id uint64) sketch.Published {
+		return sketch.Published{
+			ID:     bitvec.UserID(id),
+			Subset: subset,
+			S:      sketch.Sketch{Key: id % (1 << params.Length), Length: params.Length},
+		}
+	}
+
+	nodeArgs := []string{"-addr", "127.0.0.1:0", "-users", fmt.Sprint(users), "-p", fmt.Sprint(p), "-tau", fmt.Sprint(tau)}
+	var (
+		nodeCmds  []*exec.Cmd
+		nodeAddrs []string
+	)
+	startNode := func() (cmd *exec.Cmd, addr string) {
+		cmd, addr = startProc(t, sketchdBin, "sketchd listening on ", nodeArgs...)
+		nodeCmds = append(nodeCmds, cmd)
+		nodeAddrs = append(nodeAddrs, addr)
+		return cmd, addr
+	}
+	startNode()
+	startNode()
+	defer func() {
+		for _, cmd := range nodeCmds {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	routerCmd, routerAddr := startProc(t, routerBin, "sketchrouter listening on ",
+		"-addr", "127.0.0.1:0",
+		"-nodes", strings.Join(nodeAddrs[:2], ","),
+		"-rf", fmt.Sprint(rf),
+		"-p", fmt.Sprint(p),
+		"-ping-interval", "100ms",
+		"-transfer-batch", "128",
+	)
+	defer func() {
+		routerCmd.Process.Signal(os.Interrupt)
+		routerCmd.Wait()
+	}()
+
+	cli, err := server.Dial(routerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for id := uint64(1); id <= n; id++ {
+		if err := cli.Publish(record(id)); err != nil {
+			t.Fatalf("publish %d: %v", id, err)
+		}
+	}
+	h := prf.NewBiased(routerDevKey(), prf.MustProb(p))
+	ref, err := engine.New(h, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= n; id++ {
+		if err := ref.Ingest(record(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Conjunction(subset, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(context string) {
+		t.Helper()
+		got, err := cli.QueryConjunction(subset, value)
+		if err != nil {
+			t.Fatalf("%s: query: %v", context, err)
+		}
+		if got.Users != n || got.Fraction != want.Fraction || got.Raw != want.Raw {
+			t.Fatalf("%s: estimate (%v, %v over %d users) differs from reference (%v, %v over %d)",
+				context, got.Fraction, got.Raw, got.Users, want.Fraction, want.Raw, n)
+		}
+	}
+	check("2-node baseline")
+
+	// Grow: start a third sketchd and join it through the admin opcode.
+	_, addr3 := startNode()
+	if err := cli.Join(addr3); err != nil {
+		t.Fatalf("join %s: %v", addr3, err)
+	}
+	check("after join")
+	status, err := cli.RebalanceStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "join") || !strings.Contains(status, "ok in") || !strings.Contains(status, "epoch=2") {
+		t.Fatalf("rebalance status after join:\n%s", status)
+	}
+	// The joined node serves real ownership: the router status lists it
+	// with a non-trivial sketch count once pings catch up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ping, err := cli.Ping()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(ping, addr3) && strings.Contains(ping, "live=3") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never admitted the joined node:\n%s", ping)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Shrink: drain the first node and re-check.
+	if err := cli.Drain(nodeAddrs[0]); err != nil {
+		t.Fatalf("drain %s: %v", nodeAddrs[0], err)
+	}
+	check("after drain")
+	status, err = cli.RebalanceStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "drain") || !strings.Contains(status, "epoch=3") {
+		t.Fatalf("rebalance status after drain:\n%s", status)
+	}
+	// The drained node is out of the ring: killing it must not cost a
+	// single record.
+	if err := nodeCmds[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	nodeCmds[0].Wait()
+	check("after drained node killed")
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Cluster walkthrough: 3 sketchd nodes + 1 sketchrouter, a replicated
 # workload published through the router, exact scatter-gather queries,
-# and a live node-kill (SIGKILL) failover demo.
+# a live node-kill (SIGKILL) failover demo, and a dynamic-membership
+# demo: a 4th node joined into the live ring (streaming rebalance) and
+# then drained back out — with the query answer unchanged throughout.
 #
 # Run from the repository root:
 #
@@ -84,6 +86,30 @@ echo "== same query after the kill: served by the surviving replicas, same answe
 
 echo "== cluster status after the kill"
 sleep 1 # let the health loop mark the node dead
+"$workdir/sketchctl" -addr "$router" ping
+
+echo "== starting a 4th sketchd and joining it into the live ring"
+start "$workdir/n4.log" "$workdir/sketchd" -addr 127.0.0.1:0
+n4=$addr
+echo "   new node: $n4 (join streams the moved sketches, then cuts the ring over)"
+"$workdir/sketchctl" -addr "$router" join -node "$n4"
+
+echo "== same query after the join: rebalanced, bit-identical answer"
+"$workdir/sketchctl" -addr "$router" query -subset 0,2,4 -value 101
+
+echo "== cluster status after the join (note the epoch bump and the new span)"
+sleep 1
+"$workdir/sketchctl" -addr "$router" ping
+
+echo "== draining the SIGKILLed node ($n1) out of the ring for good"
+echo "   (its records are re-streamed from their surviving replicas)"
+"$workdir/sketchctl" -addr "$router" drain -node "$n1"
+
+echo "== same query after the drain: still the same answer"
+"$workdir/sketchctl" -addr "$router" query -subset 0,2,4 -value 101
+
+echo "== final status: the ring is n2+n3+n4, all live, epoch advanced twice"
+sleep 1
 "$workdir/sketchctl" -addr "$router" ping
 
 echo "== done (cluster torn down)"

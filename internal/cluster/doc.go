@@ -18,7 +18,24 @@
 //
 // The router health-checks nodes with periodic pings, marks failures dead
 // with exponential backoff, retries queries on a recomputed live set when
-// a node dies mid-fan-out, and requires every replica's acknowledgement
-// before acknowledging a publish — so killing any single node at RF=2
-// loses no acknowledged sketch.
+// a node dies mid-fan-out, and requires every live replica's
+// acknowledgement before acknowledging a publish — so killing any single
+// node at RF=2 loses no acknowledged sketch.  With hinted handoff enabled
+// a briefly-down replica does not block publishes: the missed records are
+// queued and replayed when it returns, and the node re-enters query
+// fan-outs only after the replay drains.
+//
+// Membership is dynamic.  Join adds a node to a live cluster and Drain
+// retires one: the rebalance engine (rebalance.go) diffs the old and new
+// rings' ownership, streams only the moved (user, subset) sketches to
+// their new owners in CRC-framed idempotent batches, dual-writes
+// publishes that arrive mid-migration to the owners under both rings, and
+// swaps the ring atomically once every destination acknowledged.  Queries
+// keep their bit-identical guarantee through the whole sequence: before
+// the cutover the old owners hold everything, after it the new owners do,
+// and the swap itself is a single write-locked pointer flip.  Each
+// cutover bumps the ring epoch, which travels in hellos, pings and every
+// ownership filter; a node that has seen epoch E refuses partial queries
+// stamped E−1, so a fan-out racing a cutover retries under a fresh
+// snapshot instead of merging partials computed under different rings.
 package cluster

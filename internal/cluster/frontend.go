@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"sketchprivacy/internal/wire"
@@ -142,6 +143,25 @@ func (f *Frontend) handle(conn net.Conn) {
 			f.writeError(conn, fmt.Errorf("cluster: stats is a per-node report; ping the router for cluster status"))
 		case wire.TypePartialQuery:
 			f.writeError(conn, fmt.Errorf("cluster: partial queries are node-level; send full queries to the router"))
+		case wire.TypeJoin:
+			// Synchronous by design: the ack means the rebalance streamed
+			// and the ring cut over.  Watch TypeRebalanceStatus from
+			// another connection for progress.
+			if err := f.r.Join(strings.TrimSpace(string(payload))); err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+		case wire.TypeDrain:
+			if err := f.r.Drain(strings.TrimSpace(string(payload))); err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+		case wire.TypeRebalanceStatus:
+			_ = wire.WriteFrame(conn, wire.TypePong, []byte(f.r.RebalanceStatus()))
+		case wire.TypeSnapshotRead, wire.TypeTransferPush:
+			f.writeError(conn, fmt.Errorf("cluster: transfer opcodes are node-level; the router originates them during a rebalance"))
 		default:
 			f.writeError(conn, fmt.Errorf("cluster: unknown message type %d", msgType))
 		}

@@ -8,18 +8,23 @@ import (
 	"sync"
 	"time"
 
+	"sketchprivacy/internal/sketch"
 	"sketchprivacy/internal/wire"
 )
 
 // node is the router's view of one cluster member: a small pool of
 // hello-handshaken connections plus the health state the ping loop and the
-// request path both feed.
+// request path both feed, and the hinted-handoff queue of publishes the
+// member missed while it was down.
 type node struct {
 	addr        string
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	// epochFn supplies the router's current ring epoch for the hello
+	// handshake and pings; nil sends the bare forms.
+	epochFn func() uint64
 
 	mu       sync.Mutex
 	idle     []net.Conn
@@ -29,14 +34,64 @@ type node struct {
 	lastOK   time.Time
 	lastErr  string
 	sketches uint64
+	epoch    uint64 // highest epoch the node reported in a pong
 	closed   bool
+	// hints queues records this member missed while down; replayed (and
+	// drained) by the router's sweep when the member returns.  While any
+	// hint is pending the member is excluded from query fan-outs.
+	hints []sketch.Published
 }
 
-// isAlive reports whether the node is currently considered live.
+// isAlive reports whether the node is currently considered live
+// (reachable — it may still be catching up on hints).
 func (n *node) isAlive() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.alive
+}
+
+// queryLive reports whether the node may serve query fan-outs: alive and
+// holding every record it ever acknowledged or was hinted — a node mid
+// hint-replay would undercount.
+func (n *node) queryLive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive && len(n.hints) == 0
+}
+
+// addHint queues a record the node missed, refusing past the cap.
+func (n *node) addHint(p sketch.Published, max int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.hints) >= max {
+		return false
+	}
+	n.hints = append(n.hints, p)
+	return true
+}
+
+// takeHints removes and returns up to max queued hints.
+func (n *node) takeHints(max int) []sketch.Published {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.hints) == 0 {
+		return nil
+	}
+	k := min(max, len(n.hints))
+	out := make([]sketch.Published, k)
+	copy(out, n.hints[:k])
+	n.hints = append(n.hints[:0], n.hints[k:]...)
+	if len(n.hints) == 0 {
+		n.hints = nil
+	}
+	return out
+}
+
+// requeueHints puts hints back after a failed replay.
+func (n *node) requeueHints(hs []sketch.Published) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hints = append(hs, n.hints...)
 }
 
 // probeDue reports whether a dead node's backoff has elapsed, so the ping
@@ -95,7 +150,12 @@ func (n *node) get() (c net.Conn, pooled bool, err error) {
 		return nil, false, fmt.Errorf("cluster: node %s: %w", n.addr, err)
 	}
 	c.SetDeadline(time.Now().Add(n.reqTimeout))
-	if err := wire.ClientHandshake(c); err != nil {
+	if n.epochFn != nil {
+		err = wire.ClientHandshakeEpoch(c, n.epochFn())
+	} else {
+		err = wire.ClientHandshake(c)
+	}
+	if err != nil {
 		c.Close()
 		return nil, false, fmt.Errorf("cluster: node %s: %w", n.addr, err)
 	}
@@ -162,9 +222,14 @@ func (n *node) roundTrip(msgType byte, payload []byte) (byte, []byte, error) {
 	}
 }
 
-// ping probes the node and records its reported sketch count.
+// ping probes the node, announcing the router's ring epoch and recording
+// the node's reported sketch count and observed epoch.
 func (n *node) ping() error {
-	replyType, payload, err := n.roundTrip(wire.TypePing, nil)
+	var payload []byte
+	if n.epochFn != nil {
+		payload = wire.EncodePingEpoch(n.epochFn())
+	}
+	replyType, reply, err := n.roundTrip(wire.TypePing, payload)
 	if err != nil {
 		return err
 	}
@@ -173,13 +238,20 @@ func (n *node) ping() error {
 		n.markFailed(err)
 		return err
 	}
-	// The pong text is "ok version=V sketches=N"; the sketch count feeds
+	// The pong text is "ok version=V sketches=N epoch=E"; the counts feed
 	// the router status report.
-	for _, tok := range strings.Fields(string(payload)) {
+	for _, tok := range strings.Fields(string(reply)) {
 		if rest, ok := strings.CutPrefix(tok, "sketches="); ok {
 			if v, perr := strconv.ParseUint(rest, 10, 64); perr == nil {
 				n.mu.Lock()
 				n.sketches = v
+				n.mu.Unlock()
+			}
+		}
+		if rest, ok := strings.CutPrefix(tok, "epoch="); ok {
+			if v, perr := strconv.ParseUint(rest, 10, 64); perr == nil {
+				n.mu.Lock()
+				n.epoch = v
 				n.mu.Unlock()
 			}
 		}

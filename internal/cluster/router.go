@@ -3,9 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sketchprivacy/internal/bitvec"
@@ -17,12 +19,32 @@ import (
 
 // Config parameterizes a Router.
 type Config struct {
-	// Nodes is the cluster membership (sketchd addresses).
+	// Nodes is the initial cluster membership (sketchd addresses).  The
+	// membership is dynamic after startup: Join and Drain change it live.
 	Nodes []string
 	// Replication is the number of nodes each record is stored on (RF).
 	Replication int
 	// VNodes is the virtual-node count per member (default 64).
 	VNodes int
+	// HintedHandoff, when true, lets a publish succeed while a replica is
+	// briefly down: the record is acknowledged by every live owner and
+	// queued as a hint for the dead one, replayed when it returns.  Until
+	// the replay drains, the returned node is excluded from query fan-outs
+	// (its record set is incomplete), so estimates stay exact.  Off, any
+	// dead owner fails the publish — the strict PR 3 behavior.
+	HintedHandoff bool
+	// MaxHintsPerNode bounds the hint queue per down node (default 4096).
+	// At the cap, publishes that would need another hint fail instead —
+	// bounded memory, and the all-live-owner guarantee degrades loudly.
+	MaxHintsPerNode int
+	// TransferBatch is the record count per rebalance snapshot read and
+	// transfer push (default 2048).
+	TransferBatch int
+	// OnTransferBatch, when set, runs after the rebalance engine finishes
+	// processing each snapshot batch.  Tests use it to freeze a precise
+	// mid-transfer moment (kill a node, run a query); metrics hooks can
+	// use it for progress.
+	OnTransferBatch func()
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
 	// RequestTimeout bounds one request/response exchange (default 10s).
@@ -42,6 +64,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VNodes == 0 {
 		c.VNodes = 64
+	}
+	if c.MaxHintsPerNode == 0 {
+		c.MaxHintsPerNode = 4096
+	}
+	if c.TransferBatch <= 0 {
+		c.TransferBatch = 2048
+	}
+	if c.TransferBatch > wire.MaxTransferBatch {
+		// Larger batches would exceed the nodes' clamp and the frame
+		// limit; a misconfigured flag must not break every rebalance.
+		c.TransferBatch = wire.MaxTransferBatch
 	}
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 2 * time.Second
@@ -67,12 +100,41 @@ func (c Config) withDefaults() Config {
 // internal/query — Algorithm 2 fractions, the Section 4.1 numeric and
 // interval decompositions, decision trees and the Appendix F combinations
 // — runs over a cluster unchanged and bit-identically.
+//
+// Membership is dynamic: Join streams the moved ownership onto a new node
+// and Drain streams a retiring node's ownership away, both while the
+// cluster keeps serving publishes and exact queries (see rebalance.go).
+// Each membership change bumps the ring epoch; every fan-out is built from
+// one (ring, live set, epoch) snapshot, and nodes refuse partial queries
+// carrying a superseded epoch, so partials from different ring generations
+// are never merged.
 type Router struct {
-	cfg   Config
+	cfg Config
+	est *query.Estimator
+
+	// mu guards the routing state below; fan-outs and publishes take one
+	// consistent snapshot under RLock, membership changes swap it under
+	// the write lock (the cutover — the only moment queries switch rings).
+	// Publish holds the read lock across its sends: installing a migration
+	// takes the write lock, so once it is installed no acknowledged record
+	// can have been routed by the pre-migration ring alone — every later
+	// ack is either dual-written or already on disk for the snapshot
+	// stream to find.
+	mu    sync.RWMutex
 	ring  *Ring
-	est   *query.Estimator
 	order []string // canonical membership order
 	nodes map[string]*node
+	mig   *migration
+
+	// epoch is the ring generation, read lock-free (the node dial path
+	// embeds it in the hello while request locks are held) and advanced
+	// only under mu at cutover.
+	epoch atomic.Uint64
+
+	// adminMu serializes membership changes: a join racing a drain would
+	// otherwise interleave two rebalance streams over inconsistent rings.
+	adminMu sync.Mutex
+	lastReb string // human-readable summary of the last completed rebalance
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -106,20 +168,31 @@ func NewRouter(h prf.BitSource, cfg Config) (*Router, error) {
 		nodes: make(map[string]*node, len(cfg.Nodes)),
 		stop:  make(chan struct{}),
 	}
+	r.epoch.Store(1)
 	for _, addr := range r.order {
-		r.nodes[addr] = &node{
-			addr:        addr,
-			dialTimeout: cfg.DialTimeout,
-			reqTimeout:  cfg.RequestTimeout,
-			backoffBase: cfg.BackoffBase,
-			backoffMax:  cfg.BackoffMax,
-		}
+		r.nodes[addr] = r.newNode(addr)
 	}
 	r.sweep()
 	r.wg.Add(1)
 	go r.pingLoop()
 	return r, nil
 }
+
+// newNode builds a member handle wired to the router's timeouts and epoch.
+func (r *Router) newNode(addr string) *node {
+	return &node{
+		addr:        addr,
+		dialTimeout: r.cfg.DialTimeout,
+		reqTimeout:  r.cfg.RequestTimeout,
+		backoffBase: r.cfg.BackoffBase,
+		backoffMax:  r.cfg.BackoffMax,
+		epochFn:     r.Epoch,
+	}
+}
+
+// Epoch returns the current ring epoch (1 at startup, bumped by every
+// completed membership change).
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
 
 // pingLoop health-checks the membership until Close.
 func (r *Router) pingLoop() {
@@ -136,38 +209,117 @@ func (r *Router) pingLoop() {
 	}
 }
 
-// sweep pings every live node and every dead node whose backoff elapsed.
+// handles returns a snapshot of every member handle (including a joining
+// node mid-migration).
+func (r *Router) handles() []*node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// handle returns the member handle for addr, if present.
+func (r *Router) handle(addr string) (*node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n, ok := r.nodes[addr]
+	return n, ok
+}
+
+// sweep pings every live node and every dead node whose backoff elapsed,
+// then replays pending hints to nodes that came back.
 func (r *Router) sweep() {
 	now := time.Now()
 	var wg sync.WaitGroup
-	for _, n := range r.nodes {
+	for _, n := range r.handles() {
 		if !n.probeDue(now) {
 			continue
 		}
 		wg.Add(1)
 		go func(n *node) {
 			defer wg.Done()
-			_ = n.ping()
+			if err := n.ping(); err != nil {
+				return
+			}
+			r.replayHints(n)
 		}(n)
 	}
 	wg.Wait()
 }
 
+// replayHints pushes a returned node's queued publishes back to it in
+// transfer batches.  Until the queue drains the node stays out of query
+// fan-outs (queryLive is false), so an estimate never runs over its
+// incomplete record set; the replay itself is idempotent, like every
+// transfer.
+func (r *Router) replayHints(n *node) {
+	for {
+		hints := n.takeHints(r.cfg.TransferBatch)
+		if len(hints) == 0 {
+			return
+		}
+		if err := r.pushTransfer(n, hints); err != nil {
+			n.requeueHints(hints)
+			return
+		}
+	}
+}
+
+// pushTransfer delivers one idempotent record batch to a node under the
+// current epoch.
+func (r *Router) pushTransfer(n *node, records []sketch.Published) error {
+	payload := wire.EncodeTransferPush(wire.TransferPush{Epoch: r.Epoch(), Records: records})
+	replyType, reply, err := n.roundTrip(wire.TypeTransferPush, payload)
+	if err != nil {
+		return err
+	}
+	switch replyType {
+	case wire.TypeTransferAck:
+		_, err := wire.DecodeTransferAck(reply)
+		return err
+	case wire.TypeError:
+		return fmt.Errorf("cluster: node %s refused transfer: %s", n.addr, reply)
+	default:
+		return fmt.Errorf("cluster: node %s: unexpected transfer reply type %d", n.addr, replyType)
+	}
+}
+
 // Estimator returns the estimator the router reduces partials with.
 func (r *Router) Estimator() *query.Estimator { return r.est }
 
-// Ring returns the placement ring.
-func (r *Router) Ring() *Ring { return r.ring }
+// Ring returns the current placement ring.
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
 
-// LiveNodes returns the members currently considered alive, in canonical
-// order.
+// Members returns the current ring membership in canonical order.
+func (r *Router) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// LiveNodes returns the members a query fan-out may use, in canonical
+// order: alive and with no pending hints (a node whose hint replay has not
+// drained is missing acknowledged records, so letting it answer would
+// undercount).
 func (r *Router) LiveNodes() []string {
-	live := make([]string, 0, len(r.order))
-	for _, addr := range r.order {
-		if r.nodes[addr].isAlive() {
+	r.mu.RLock()
+	order, nodes := r.order, r.nodes
+	live := make([]string, 0, len(order))
+	for _, addr := range order {
+		if nodes[addr].queryLive() {
 			live = append(live, addr)
 		}
 	}
+	r.mu.RUnlock()
 	return live
 }
 
@@ -175,7 +327,7 @@ func (r *Router) LiveNodes() []string {
 func (r *Router) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.stop)
-		for _, n := range r.nodes {
+		for _, n := range r.handles() {
 			n.close()
 		}
 	})
@@ -184,25 +336,78 @@ func (r *Router) Close() error {
 }
 
 // Publish routes one record to its owner and RF−1 replicas and waits for
-// every one of them to acknowledge.  All-replica acknowledgement is what
-// makes the loss guarantee hold: an acked record survives any RF−1 node
-// deaths, because some live replica holds it and the ownership filter
-// assigns it to exactly one of them at query time.  If any owner is down
-// the publish fails — the record may exist on a subset of replicas, but it
-// was never acknowledged, so nothing durable was promised; the client
-// retries once the cluster heals (nodes acknowledge an identical
-// re-publish idempotently, so retries converge).
+// every live one of them to acknowledge.  All-replica acknowledgement is
+// what makes the loss guarantee hold: an acked record survives any RF−1
+// node deaths, because some live replica holds it and the ownership filter
+// assigns it to exactly one of them at query time.
+//
+// With hinted handoff enabled, a dead replica does not fail the publish:
+// every live owner must still acknowledge, and the record is queued as a
+// hint replayed when the dead replica returns (the returned node rejoins
+// query fan-outs only after the replay drains).  With it disabled — and
+// always while a rebalance is migrating ownership — any dead owner fails
+// the publish; the record may exist on a subset of replicas, but it was
+// never acknowledged, so nothing durable was promised and the client
+// retries once the cluster heals (identical re-publishes are idempotent,
+// so retries converge).
+//
+// During a rebalance the record is dual-written: it goes to its owners
+// under both the current and the target ring, so a record published while
+// the migration streams is already in place when the ring cuts over.
 func (r *Router) Publish(p sketch.Published) error {
+	// The read lock is held across the sends, not just the owner
+	// computation: a migration install (write lock) thereby waits out any
+	// publish routed by the pre-migration ring, closing the window where a
+	// record could be acknowledged after the snapshot stream passed its
+	// position yet without the dual-write.  Reads share the lock, so
+	// publishes and queries still run concurrently.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	owners := r.ring.Owners(p.ID, r.cfg.Replication)
-	for _, addr := range owners {
-		if !r.nodes[addr].isAlive() {
-			return fmt.Errorf("cluster: replica %s is down; publish of user %v needs all %d owners", addr, p.ID, len(owners))
+	migrating := r.mig != nil
+	if migrating {
+		next := r.mig.next
+		nextRF := min(r.cfg.Replication, len(next.Nodes()))
+		for _, addr := range next.Owners(p.ID, nextRF) {
+			if !slices.Contains(owners, addr) {
+				owners = append(owners, addr)
+			}
 		}
 	}
-	payload := wire.EncodePublished(p)
-	errs := make([]error, len(owners))
-	var wg sync.WaitGroup
+	handles := make([]*node, len(owners))
 	for i, addr := range owners {
+		handles[i] = r.nodes[addr]
+	}
+
+	sendTo := handles[:0:0]
+	var hintTo []*node
+	for _, n := range handles {
+		if n.isAlive() {
+			sendTo = append(sendTo, n)
+			continue
+		}
+		if !r.cfg.HintedHandoff || migrating {
+			return fmt.Errorf("cluster: replica %s is down; publish of user %v needs all %d owners", n.addr, p.ID, len(owners))
+		}
+		hintTo = append(hintTo, n)
+	}
+	if len(sendTo) == 0 {
+		return fmt.Errorf("cluster: no live replica for user %v; refusing to acknowledge a publish nothing holds", p.ID)
+	}
+	// Queue hints before the sends: if a send then fails the publish is
+	// NACKed and the stray hint replays an identical record later — an
+	// idempotent no-op — whereas hinting after the sends could lose the
+	// hint to a crash between ack and enqueue.
+	for _, n := range hintTo {
+		if !n.addHint(p, r.cfg.MaxHintsPerNode) {
+			return fmt.Errorf("cluster: hint queue for down replica %s is full (%d records); refusing publish", n.addr, r.cfg.MaxHintsPerNode)
+		}
+	}
+
+	payload := wire.EncodePublished(p)
+	errs := make([]error, len(sendTo))
+	var wg sync.WaitGroup
+	for i, n := range sendTo {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
@@ -218,7 +423,7 @@ func (r *Router) Publish(p sketch.Published) error {
 			default:
 				errs[i] = fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, replyType)
 			}
-		}(i, r.nodes[addr])
+		}(i, n)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -237,28 +442,50 @@ func (r *Router) PublishAll(ps []sketch.Published) error {
 // errNodeFailed marks transport-level fan-out failures, which are retried
 // on a recomputed live set; semantic errors (a node answering TypeError)
 // abort the query immediately, since every retry would fail the same way.
+// The one retried TypeError is the stale-epoch refusal: it means the ring
+// cut over mid-fan-out, and the retry's fresh snapshot carries the new
+// epoch.
 type errNodeFailed struct{ err error }
 
 func (e errNodeFailed) Error() string { return e.err.Error() }
 func (e errNodeFailed) Unwrap() error { return e.err }
 
 // fanout scatter-gathers one partial query across all live nodes.  Each
-// node receives the same query under its own ownership filter, built from
-// a single live-set snapshot so the filters partition the records exactly.
-// If a node fails mid-fan-out it is marked dead (roundTrip already did)
-// and the whole fan-out retries on the recomputed live set — the failed
-// node's records are answered by their surviving replicas.
+// attempt takes one consistent (ring, epoch, live set) snapshot, so every
+// node receives the same query under its own ownership filter and the
+// filters partition the records exactly.  If a node fails mid-fan-out it
+// is marked dead (roundTrip already did) and the whole fan-out retries on
+// a fresh snapshot — the failed node's records are answered by their
+// surviving replicas, and a ring cutover racing the fan-out is absorbed
+// the same way (the superseded attempt is refused by the nodes'
+// stale-epoch check, never partially merged).
 func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.PartialResult, error) {
 	var lastErr error
-	for attempt := 0; attempt <= len(r.order); attempt++ {
-		live := r.LiveNodes()
+	maxAttempts := len(r.Members()) + 2
+	for attempt := 0; attempt <= maxAttempts; attempt++ {
+		r.mu.RLock()
+		order, epoch := r.order, r.epoch.Load()
+		handles := make([]*node, len(order))
+		for i, addr := range order {
+			handles[i] = r.nodes[addr]
+		}
+		r.mu.RUnlock()
+
+		live := make([]string, 0, len(order))
+		liveHandles := make([]*node, 0, len(order))
+		for i, addr := range order {
+			if handles[i].queryLive() {
+				live = append(live, addr)
+				liveHandles = append(liveHandles, handles[i])
+			}
+		}
 		// Coverage is only guaranteed while fewer than RF nodes are down:
 		// beyond that an acknowledged record may have no live replica, and
 		// a merge over the survivors would be a confidently wrong estimate.
 		// Fail loudly instead of answering over a silently truncated
 		// record set.
-		if dead := len(r.order) - len(live); dead >= r.cfg.Replication {
-			err := fmt.Errorf("cluster: %d of %d nodes down at rf=%d — acknowledged records may be unreachable, refusing a partial answer", dead, len(r.order), r.cfg.Replication)
+		if dead := len(order) - len(live); dead >= r.cfg.Replication {
+			err := fmt.Errorf("cluster: %d of %d nodes down at rf=%d — acknowledged records may be unreachable, refusing a partial answer", dead, len(order), r.cfg.Replication)
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last node error: %v)", err, lastErr)
 			}
@@ -267,12 +494,13 @@ func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.
 		results := make([]wire.PartialResult, len(live))
 		errs := make([]error, len(live))
 		var wg sync.WaitGroup
-		for i, addr := range live {
+		for i := range live {
 			wg.Add(1)
 			go func(i int, n *node) {
 				defer wg.Done()
 				pq := mk(&wire.Filter{
-					Nodes:  r.order,
+					Epoch:  epoch,
+					Nodes:  order,
 					VNodes: uint32(r.cfg.VNodes),
 					Self:   n.addr,
 					Live:   live,
@@ -289,13 +517,21 @@ func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.
 						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: %w", n.addr, err)}
 						return
 					}
+					if res.Epoch != epoch {
+						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s answered for ring epoch %d, fan-out ran at %d", n.addr, res.Epoch, epoch)}
+						return
+					}
 					results[i] = res
 				case wire.TypeError:
+					if wire.IsStaleEpoch(string(reply)) {
+						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: %s", n.addr, reply)}
+						return
+					}
 					errs[i] = fmt.Errorf("cluster: node %s: %s", n.addr, reply)
 				default:
 					errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, replyType)}
 				}
-			}(i, r.nodes[addr])
+			}(i, liveHandles[i])
 		}
 		wg.Wait()
 		failed := false
@@ -427,31 +663,67 @@ func (r *Router) DecisionTree(tree *query.TreeNode) (query.NumericEstimate, erro
 	return r.est.DecisionTreeFractionFrom(r, tree)
 }
 
-// Status renders the router's view of the cluster: ring shape, per-node
-// liveness, sketch counts and ownership spans.  It is the payload the
-// router answers pings with.
+// Status renders the router's view of the cluster: ring shape, epoch,
+// per-node liveness, sketch counts, pending hints and ownership spans.  It
+// is the payload the router answers pings with.
 func (r *Router) Status() string {
-	spans := r.ring.Spans()
+	r.mu.RLock()
+	ring, order, epoch, mig := r.ring, r.order, r.epoch.Load(), r.mig
+	handles := make(map[string]*node, len(r.nodes))
+	for addr, n := range r.nodes {
+		handles[addr] = n
+	}
+	r.mu.RUnlock()
+
+	spans := ring.Spans()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "router ok version=%d nodes=%d rf=%d vnodes=%d live=%d\n",
-		wire.ProtocolVersion, len(r.order), r.cfg.Replication, r.cfg.VNodes, len(r.LiveNodes()))
-	addrs := make([]string, len(r.order))
-	copy(addrs, r.order)
+	fmt.Fprintf(&sb, "router ok version=%d epoch=%d nodes=%d rf=%d vnodes=%d live=%d\n",
+		wire.ProtocolVersion, epoch, len(order), r.cfg.Replication, r.cfg.VNodes, len(r.LiveNodes()))
+	if mig != nil {
+		fmt.Fprintf(&sb, "rebalance %s\n", mig.progress())
+	}
+	addrs := make([]string, len(order))
+	copy(addrs, order)
+	if mig != nil && !slices.Contains(addrs, mig.target) {
+		addrs = append(addrs, mig.target)
+	}
 	sort.Strings(addrs)
 	now := time.Now()
 	for _, addr := range addrs {
-		n := r.nodes[addr]
+		n := handles[addr]
+		if n == nil {
+			continue
+		}
 		n.mu.Lock()
 		state := "alive"
 		detail := fmt.Sprintf("sketches=%d", n.sketches)
 		if !n.alive {
 			state = "dead"
 			detail = fmt.Sprintf("retry-in=%s err=%q", time.Until(n.retryAt).Round(time.Millisecond), n.lastErr)
-		} else if !n.lastOK.IsZero() {
-			detail += fmt.Sprintf(" last-ok=%s", now.Sub(n.lastOK).Round(time.Millisecond))
+		} else {
+			if n.epoch != 0 && n.epoch != epoch {
+				// The node has not yet heard of the current ring epoch (it
+				// learns it on the next ping or filtered query); worth
+				// seeing while a cutover propagates.
+				detail += fmt.Sprintf(" epoch=%d", n.epoch)
+			}
+			if !n.lastOK.IsZero() {
+				detail += fmt.Sprintf(" last-ok=%s", now.Sub(n.lastOK).Round(time.Millisecond))
+			}
+		}
+		if h := len(n.hints); h > 0 {
+			if n.alive {
+				state = "restoring" // reachable, but catching up on hints
+			}
+			detail += fmt.Sprintf(" pending-hints=%d", h)
 		}
 		n.mu.Unlock()
-		fmt.Fprintf(&sb, "node %-24s %-5s span=%5.1f%% %s\n", addr, state, 100*spans[addr], detail)
+		span := spans[addr]
+		role := ""
+		if !slices.Contains(order, addr) {
+			role = " (joining)"
+		}
+		fmt.Fprintf(&sb, "node %-24s %-9s span=%5.1f%% %s%s\n", addr, state, 100*span, detail, role)
 	}
 	return sb.String()
 }

@@ -131,22 +131,29 @@ func (e *Engine) Estimator() *query.Estimator { return e.est }
 // (each extra sketch would spend more of the user's privacy budget,
 // Corollary 3.4).
 func (e *Engine) Ingest(p sketch.Published) error {
+	_, err := e.IngestNew(p)
+	return err
+}
+
+// IngestNew is Ingest reporting whether the record was newly stored; an
+// idempotent identical re-publish returns (false, nil).  The transfer path
+// uses the distinction to report how many pushed records actually moved.
+func (e *Engine) IngestNew(p sketch.Published) (bool, error) {
 	if e.st == nil {
-		_, err := e.add(p)
-		return err
+		return e.add(p)
 	}
 	mu := &e.ingestMu[uint64(p.ID)%uint64(len(e.ingestMu))]
 	mu.Lock()
 	defer mu.Unlock()
 	added, err := e.add(p)
 	if err != nil || !added {
-		return err
+		return false, err
 	}
 	if err := e.st.Append(p); err != nil {
 		e.table.Remove(p.ID, p.Subset)
-		return err
+		return false, err
 	}
-	return nil
+	return true, nil
 }
 
 // add inserts p into the table, reporting whether it was newly added.  An
@@ -160,6 +167,45 @@ func (e *Engine) add(p sketch.Published) (bool, error) {
 		return false, err
 	}
 	return true, nil
+}
+
+// SnapshotBatch streams the engine's stored records in bounded batches for
+// the cluster rebalance path: pass cursor zero to start and the returned
+// next cursor thereafter, until done.  A store that implements
+// store.BatchReader serves the stream segment-at-a-time from disk metadata
+// without materialising a whole shard; a memory-only engine streams its
+// table.  Both paths share the contract rebalancing relies on: every
+// record present when the stream started is returned at least once
+// (duplicates possible under concurrent ingestion — consumers are
+// idempotent), and records published mid-stream may be omitted (the
+// router's migration dual-write covers them).
+func (e *Engine) SnapshotBatch(cursor uint64, max int) ([]sketch.Published, uint64, bool, error) {
+	if max <= 0 {
+		max = 2048
+	}
+	if e.st != nil {
+		if br, ok := e.st.(store.BatchReader); ok {
+			return br.ReadBatch(cursor, max)
+		}
+	}
+	// Table path.  The cursor packs (subset index, record offset) over the
+	// sorted subset list; both only grow under ingestion (the memory-only
+	// engine never removes), so a concurrent insert can shift a position
+	// right — causing a re-read — but never left past unread records.
+	subsets := e.table.Subsets()
+	si, off := int(cursor>>32), int(cursor&0xFFFFFFFF)
+	var out []sketch.Published
+	for si < len(subsets) && len(out) < max {
+		snap := e.table.Snapshot(subsets[si])
+		if off >= len(snap) {
+			si, off = si+1, 0
+			continue
+		}
+		take := min(max-len(out), len(snap)-off)
+		out = append(out, snap[off:off+take]...)
+		off += take
+	}
+	return out, uint64(si)<<32 | uint64(off), si >= len(subsets), nil
 }
 
 // IngestBatch stores a batch of published sketches, stopping at the first

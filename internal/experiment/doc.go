@@ -1,0 +1,24 @@
+// Package experiment is the reproduction harness: runners E1–E16 that
+// regenerate every quantitative claim of Mishra & Sandler (PODS 2006)
+// from this repository's own implementation, printing the result tables
+// `cmd/sketchbench` renders.
+//
+// Each runner is a pure function of a Config (population size, seed,
+// sweep scale), so results are deterministic and diffable across PRs:
+//
+//   - E1–E5 pin the mechanism itself: indicator-vector equivalence
+//     (Figure 1), the Lemma 3.1 sketch-length bound, Algorithm 1 running
+//     time, the Lemma 3.2 published biases, and the Lemma 3.3 /
+//     Corollary 3.4 privacy-ratio audit.
+//   - E6–E12 pin the estimators: conjunctive-query error against M and
+//     k (Lemma 4.1), the randomized-response comparisons, Appendix F
+//     combination and conditioning, the Section 4.1 numeric, interval
+//     and decision-tree queries, and the Appendix E sum thresholds.
+//   - E13–E16 pin the deployment trade-offs: Appendix A trusted-party
+//     modes, Appendix B bit flipping, the partial-knowledge attack on
+//     retention replacement, and published bytes per user.
+//
+// The experiment index mapping each id to its paper claim lives in
+// DESIGN.md; docs/CONCORDANCE.md maps the claims to the implementing
+// symbols.
+package experiment

@@ -58,6 +58,58 @@ func (c *Client) Ping() (string, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Join asks a sketchrouter to add node to the live cluster.  The call is
+// synchronous: it returns after the router has streamed the moved
+// ownership onto the node and cut the ring over (watch RebalanceStatus
+// from another connection for progress).
+func (c *Client) Join(node string) error {
+	return c.admin(wire.TypeJoin, node)
+}
+
+// Drain asks a sketchrouter to move node's ownership away and retire it
+// from the ring.  Synchronous, like Join.
+func (c *Client) Drain(node string) error {
+	return c.admin(wire.TypeDrain, node)
+}
+
+// admin runs one address-carrying admin exchange.
+func (c *Client) admin(msgType byte, node string) error {
+	if err := wire.WriteFrame(c.conn, msgType, []byte(node)); err != nil {
+		return err
+	}
+	replyType, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	switch replyType {
+	case wire.TypeAck:
+		return nil
+	case wire.TypeError:
+		return fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return fmt.Errorf("%w: unexpected reply type %d", ErrRemote, replyType)
+	}
+}
+
+// RebalanceStatus asks a sketchrouter for its membership-change state.
+func (c *Client) RebalanceStatus() (string, error) {
+	if err := wire.WriteFrame(c.conn, wire.TypeRebalanceStatus, nil); err != nil {
+		return "", err
+	}
+	replyType, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return "", err
+	}
+	switch replyType {
+	case wire.TypePong:
+		return string(payload), nil
+	case wire.TypeError:
+		return "", fmt.Errorf("%w: %s", ErrRemote, payload)
+	default:
+		return "", fmt.Errorf("%w: unexpected reply type %d", ErrRemote, replyType)
+	}
+}
+
 // Publish sends one published sketch and waits for the acknowledgement.
 func (c *Client) Publish(p sketch.Published) error {
 	if err := wire.WriteFrame(c.conn, wire.TypePublish, wire.EncodePublished(p)); err != nil {

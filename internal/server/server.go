@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"sketchprivacy/internal/cluster"
 	"sketchprivacy/internal/engine"
@@ -21,6 +22,13 @@ import (
 // engine.
 type Server struct {
 	eng *engine.Engine
+
+	// epoch is the highest ring epoch this node has observed, learned from
+	// hello handshakes, pings, ownership filters and transfer pushes.  A
+	// partial query built for an older epoch is refused (wire.StaleEpochError)
+	// so results computed under a superseded ring are never merged into an
+	// estimate — the router retries under a fresh ring snapshot instead.
+	epoch atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -156,9 +164,16 @@ func (s *Server) handle(conn net.Conn) {
 				s.writeError(conn, err)
 				return
 			}
+			if _, epoch, has, err := wire.ParseHello(payload); err == nil && has {
+				s.observeEpoch(epoch)
+			}
 			_ = wire.WriteFrame(conn, wire.TypeHelloAck, wire.EncodeHello())
 		case wire.TypePing:
-			pong := fmt.Sprintf("ok version=%d sketches=%d", wire.ProtocolVersion, s.eng.Sketches())
+			if epoch, has, err := wire.ParsePing(payload); err == nil && has {
+				s.observeEpoch(epoch)
+			}
+			pong := fmt.Sprintf("ok version=%d sketches=%d epoch=%d",
+				wire.ProtocolVersion, s.eng.Sketches(), s.epoch.Load())
 			_ = wire.WriteFrame(conn, wire.TypePong, []byte(pong))
 		case wire.TypePartialQuery:
 			pq, err := wire.DecodePartialQuery(payload)
@@ -172,6 +187,41 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			_ = wire.WriteFrame(conn, wire.TypePartialResult, wire.EncodePartialResult(res))
+		case wire.TypeSnapshotRead:
+			req, err := wire.DecodeSnapshotRead(payload)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			// Clamp the peer's limit: an oversized Max would materialise
+			// the whole store in one reply (and overflow the frame limit
+			// anyway).
+			max := int(req.Max)
+			if max <= 0 || max > wire.MaxTransferBatch {
+				max = wire.MaxTransferBatch
+			}
+			records, next, done, err := s.eng.SnapshotBatch(req.Cursor, max)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			batch := wire.SnapshotBatch{Next: next, Done: done, Records: records}
+			if err := wire.WriteFrame(conn, wire.TypeSnapshotBatch, wire.EncodeSnapshotBatch(batch)); err != nil {
+				s.writeError(conn, err)
+			}
+		case wire.TypeTransferPush:
+			tp, err := wire.DecodeTransferPush(payload)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			s.observeEpoch(tp.Epoch)
+			applied, err := s.applyTransfer(tp)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypeTransferAck, wire.EncodeTransferAck(wire.TransferAck{Applied: applied}))
 		default:
 			s.writeError(conn, fmt.Errorf("server: unknown message type %d", msgType))
 		}
@@ -215,10 +265,55 @@ func (s *Server) stats() wire.Stats {
 	return rep
 }
 
+// observeEpoch advances the node's view of the ring generation (it never
+// goes backwards).
+func (s *Server) observeEpoch(epoch uint64) {
+	for {
+		cur := s.epoch.Load()
+		if epoch <= cur || s.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// Epoch returns the highest ring epoch this server has observed.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// applyTransfer ingests a pushed batch through the engine's idempotent
+// republish path, reporting how many records were newly stored.  A
+// conflicting sketch — a different published object for a (user, subset)
+// pair this node already holds — aborts the batch: it means two clusters
+// disagree about a user's public record, which rebalancing must surface,
+// never paper over.
+func (s *Server) applyTransfer(tp wire.TransferPush) (uint64, error) {
+	var applied uint64
+	for _, p := range tp.Records {
+		added, err := s.eng.IngestNew(p)
+		if err != nil {
+			return applied, fmt.Errorf("server: transfer of user %v: %w", p.ID, err)
+		}
+		if added {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
 // partial answers one scatter-gather request: it compiles the query's
 // ownership filter (which keeps replicated records out of the cluster-wide
 // sums) and computes the requested raw counters over the owned records.
+// A filter built for a superseded ring epoch is refused: merging one
+// node's old-ring partial with another's new-ring partial would silently
+// double-count or drop the records that moved between them.
 func (s *Server) partial(pq wire.PartialQuery) (wire.PartialResult, error) {
+	var epoch uint64
+	if pq.Filter != nil && pq.Filter.Epoch != 0 {
+		epoch = pq.Filter.Epoch
+		if cur := s.epoch.Load(); epoch < cur {
+			return wire.PartialResult{}, wire.StaleEpochError(epoch, cur)
+		}
+		s.observeEpoch(epoch)
+	}
 	keep, err := cluster.CompileFilter(pq.Filter)
 	if err != nil {
 		return wire.PartialResult{}, err
@@ -229,7 +324,7 @@ func (s *Server) partial(pq wire.PartialQuery) (wire.PartialResult, error) {
 		if err != nil {
 			return wire.PartialResult{}, err
 		}
-		return wire.PartialResult{Kind: pq.Kind, Hits: part.Hits, Records: part.Records}, nil
+		return wire.PartialResult{Kind: pq.Kind, Epoch: epoch, Hits: part.Hits, Records: part.Records}, nil
 	case wire.PartialHistogram:
 		subs := make([]query.SubQuery, len(pq.Subs))
 		for i, q := range pq.Subs {
@@ -239,11 +334,11 @@ func (s *Server) partial(pq wire.PartialQuery) (wire.PartialResult, error) {
 		if err != nil {
 			return wire.PartialResult{}, err
 		}
-		return wire.PartialResult{Kind: pq.Kind, Users: hp.Users, Hist: hp.Hist}, nil
+		return wire.PartialResult{Kind: pq.Kind, Epoch: epoch, Users: hp.Users, Hist: hp.Hist}, nil
 	case wire.PartialSubsetRecords:
-		return wire.PartialResult{Kind: pq.Kind, Records: s.eng.SubsetRecords(pq.Subset, keep)}, nil
+		return wire.PartialResult{Kind: pq.Kind, Epoch: epoch, Records: s.eng.SubsetRecords(pq.Subset, keep)}, nil
 	case wire.PartialTotalRecords:
-		return wire.PartialResult{Kind: pq.Kind, Records: s.eng.TotalRecords(keep)}, nil
+		return wire.PartialResult{Kind: pq.Kind, Epoch: epoch, Records: s.eng.TotalRecords(keep)}, nil
 	default:
 		return wire.PartialResult{}, fmt.Errorf("server: unknown partial query kind %d", pq.Kind)
 	}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// dialRaw opens a handshaken wire connection for opcode-level tests.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := wire.ClientHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// roundTripRaw runs one request/response exchange.
+func roundTripRaw(t *testing.T, conn net.Conn, msgType byte, payload []byte) (byte, []byte) {
+	t.Helper()
+	if err := wire.WriteFrame(conn, msgType, payload); err != nil {
+		t.Fatal(err)
+	}
+	replyType, reply, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replyType, reply
+}
+
+// TestSnapshotReadAndTransferPush drives the rebalance data plane at the
+// node level: records pushed in a transfer batch become queryable, a
+// re-push is idempotent (zero newly applied), the snapshot stream returns
+// exactly the stored records, and a conflicting transfer is refused.
+func TestSnapshotReadAndTransferPush(t *testing.T) {
+	srv, addr, _, _ := startTestServer(t, 0.3, 10)
+	conn := dialRaw(t, addr)
+
+	records := []sketch.Published{
+		{ID: 1, Subset: bitvec.MustSubset(0, 2), S: sketch.Sketch{Key: 7, Length: 10}},
+		{ID: 2, Subset: bitvec.MustSubset(0, 2), S: sketch.Sketch{Key: 8, Length: 10}},
+		{ID: 2, Subset: bitvec.MustSubset(1), S: sketch.Sketch{Key: 9, Length: 10}},
+	}
+	push := wire.EncodeTransferPush(wire.TransferPush{Epoch: 5, Records: records})
+	replyType, reply := roundTripRaw(t, conn, wire.TypeTransferPush, push)
+	if replyType != wire.TypeTransferAck {
+		t.Fatalf("transfer push answered with type %d: %s", replyType, reply)
+	}
+	ack, err := wire.DecodeTransferAck(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied != 3 {
+		t.Fatalf("push applied %d records, want 3", ack.Applied)
+	}
+	if srv.Epoch() != 5 {
+		t.Fatalf("push did not advance the node epoch: %d", srv.Epoch())
+	}
+
+	// Idempotent re-push: acknowledged, nothing newly applied.
+	replyType, reply = roundTripRaw(t, conn, wire.TypeTransferPush, push)
+	if replyType != wire.TypeTransferAck {
+		t.Fatalf("re-push answered with type %d: %s", replyType, reply)
+	}
+	if ack, err = wire.DecodeTransferAck(reply); err != nil || ack.Applied != 0 {
+		t.Fatalf("re-push applied %d records (%v), want 0", ack.Applied, err)
+	}
+
+	// Snapshot stream returns exactly the stored records.
+	var streamed []sketch.Published
+	cursor := uint64(0)
+	for {
+		req := wire.EncodeSnapshotRead(wire.SnapshotRead{Cursor: cursor, Max: 2})
+		replyType, reply = roundTripRaw(t, conn, wire.TypeSnapshotRead, req)
+		if replyType != wire.TypeSnapshotBatch {
+			t.Fatalf("snapshot read answered with type %d: %s", replyType, reply)
+		}
+		batch, err := wire.DecodeSnapshotBatch(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, batch.Records...)
+		if batch.Done {
+			break
+		}
+		cursor = batch.Next
+	}
+	if len(streamed) != len(records) {
+		t.Fatalf("snapshot streamed %d records, want %d", len(streamed), len(records))
+	}
+	for _, want := range records {
+		found := false
+		for _, got := range streamed {
+			if got.ID == want.ID && got.Subset.Key() == want.Subset.Key() && got.S == want.S {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("record %+v missing from snapshot stream", want)
+		}
+	}
+
+	// A conflicting sketch for an existing (user, subset) is refused.
+	conflict := records[0]
+	conflict.S.Key ^= 1
+	bad := wire.EncodeTransferPush(wire.TransferPush{Epoch: 5, Records: []sketch.Published{conflict}})
+	replyType, reply = roundTripRaw(t, conn, wire.TypeTransferPush, bad)
+	if replyType != wire.TypeError {
+		t.Fatalf("conflicting transfer answered with type %d, want TypeError", replyType)
+	}
+}
+
+// TestPartialQueryStaleEpoch pins the node-side guard: once the node has
+// observed epoch E, a partial query whose filter was built for an older
+// epoch is refused with the recognisable marker, while the current epoch
+// keeps working.
+func TestPartialQueryStaleEpoch(t *testing.T) {
+	srv, addr, _, _ := startTestServer(t, 0.3, 10)
+	conn := dialRaw(t, addr)
+
+	self := addr
+	mkQuery := func(epoch uint64) []byte {
+		return wire.EncodePartialQuery(wire.PartialQuery{
+			Kind: wire.PartialTotalRecords,
+			Filter: &wire.Filter{
+				Epoch:  epoch,
+				Nodes:  []string{self},
+				VNodes: 8,
+				Self:   self,
+				Live:   []string{self},
+			},
+		})
+	}
+	// Epoch 4 accepted and observed.
+	replyType, reply := roundTripRaw(t, conn, wire.TypePartialQuery, mkQuery(4))
+	if replyType != wire.TypePartialResult {
+		t.Fatalf("epoch-4 partial answered with type %d: %s", replyType, reply)
+	}
+	res, err := wire.DecodePartialResult(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 4 {
+		t.Fatalf("partial result echoes epoch %d, want 4", res.Epoch)
+	}
+	if srv.Epoch() != 4 {
+		t.Fatalf("node observed epoch %d, want 4", srv.Epoch())
+	}
+	// Epoch 3 now stale.
+	replyType, reply = roundTripRaw(t, conn, wire.TypePartialQuery, mkQuery(3))
+	if replyType != wire.TypeError || !wire.IsStaleEpoch(string(reply)) {
+		t.Fatalf("stale partial answered with type %d: %s", replyType, reply)
+	}
+	// Epoch 0 (no epoch — single-node tooling) still accepted.
+	replyType, _ = roundTripRaw(t, conn, wire.TypePartialQuery, mkQuery(0))
+	if replyType != wire.TypePartialResult {
+		t.Fatalf("epoch-less partial answered with type %d", replyType)
+	}
+	// Ping also exchanges the epoch.
+	replyType, reply = roundTripRaw(t, conn, wire.TypePing, wire.EncodePingEpoch(9))
+	if replyType != wire.TypePong {
+		t.Fatalf("ping answered with type %d", replyType)
+	}
+	if srv.Epoch() != 9 {
+		t.Fatalf("ping did not advance the epoch: %d", srv.Epoch())
+	}
+}

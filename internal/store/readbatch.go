@@ -1,0 +1,192 @@
+package store
+
+import (
+	"fmt"
+	"os"
+
+	"sketchprivacy/internal/sketch"
+)
+
+// BatchReader is implemented by stores that can stream their contents in
+// bounded batches without materialising a whole shard in memory.  The
+// cluster rebalance engine reads a node's records through it: the node
+// serves each read from at most one segment file (or the WAL mirror), so
+// streaming a multi-gigabyte shard never loads more than one segment at a
+// time.
+//
+// The cursor is opaque: pass zero to start a stream and the returned next
+// cursor thereafter.  The stream is stateless on the store side, so it
+// tolerates concurrent appends, rolls and compactions with a one-sided
+// guarantee: a record present when the stream started is returned at least
+// once (possibly more than once if a roll or compaction moved it), and a
+// record appended after the stream started may or may not appear.
+// Consumers must therefore be idempotent — the transfer path is, via the
+// engine's identical-republish ingestion.
+type BatchReader interface {
+	// ReadBatch returns up to max records starting at cursor, the cursor
+	// for the next call, and whether the stream is exhausted.
+	ReadBatch(cursor uint64, max int) (records []sketch.Published, next uint64, done bool, err error)
+}
+
+// ReadBatch implements BatchReader for the in-memory store.  The cursor is
+// an index into the first-append order, which only grows (overwrites
+// replace values in place), so the no-skip guarantee is trivial.
+func (m *Mem) ReadBatch(cursor uint64, max int) ([]sketch.Published, uint64, bool, error) {
+	if max <= 0 {
+		max = defaultBatchMax
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cursor >= uint64(len(m.order)) {
+		return nil, cursor, true, nil
+	}
+	end := cursor + uint64(max)
+	if end > uint64(len(m.order)) {
+		end = uint64(len(m.order))
+	}
+	out := make([]sketch.Published, 0, end-cursor)
+	for _, k := range m.order[cursor:end] {
+		out = append(out, m.records[k])
+	}
+	return out, end, end == uint64(len(m.order)), nil
+}
+
+// defaultBatchMax is the record count used when a caller passes max <= 0.
+const defaultBatchMax = 2048
+
+// The durable store's cursor packs a position into 64 bits:
+//
+//	[16 bits shard][2 bits phase][23 bits segment seq][23 bits offset]
+//
+// Per shard the WAL mirror streams first, then the segments in ascending
+// sequence order.  That order is what makes the stream skip-free under
+// concurrency: a roll moves WAL records into a segment with a sequence
+// higher than any existing one (still unread, because segments come after
+// the WAL), and a compaction merges segments into one with a higher
+// sequence than all of its inputs (so records from an unread input are
+// re-encountered, never lost).  Both events can cause re-reads, which the
+// idempotent consumer absorbs.
+const (
+	curPhaseWAL  = 0 // streaming the WAL mirror at offset
+	curPhaseSeek = 1 // finding the smallest segment seq greater than seq
+	curPhaseSeg  = 2 // streaming segment seq at offset
+
+	curSeqBits = 23
+	curOffBits = 23
+	curSeqMax  = 1<<curSeqBits - 1
+	curOffMax  = 1<<curOffBits - 1
+)
+
+type batchCursor struct {
+	shard int
+	phase uint64
+	seq   uint64
+	off   uint64
+}
+
+func packCursor(c batchCursor) uint64 {
+	return uint64(c.shard)<<48 | c.phase<<46 | c.seq<<curOffBits | c.off
+}
+
+func unpackCursor(v uint64) batchCursor {
+	return batchCursor{
+		shard: int(v >> 48),
+		phase: v >> 46 & 3,
+		seq:   v >> curOffBits & curSeqMax,
+		off:   v & curOffMax,
+	}
+}
+
+// ReadBatch implements BatchReader for the durable store.  Each call reads
+// from at most one segment file; the shard lock is held only to snapshot
+// the WAL mirror or the segment list, never across file IO.
+func (d *Durable) ReadBatch(cursor uint64, max int) ([]sketch.Published, uint64, bool, error) {
+	if max <= 0 {
+		max = defaultBatchMax
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, cursor, false, ErrClosed
+	}
+	c := unpackCursor(cursor)
+	var out []sketch.Published
+	for len(out) < max && c.shard < len(d.shards) {
+		sh := d.shards[c.shard]
+		switch c.phase {
+		case curPhaseWAL:
+			sh.mu.Lock()
+			pending := sh.wal.pending
+			if c.off >= uint64(len(pending)) {
+				// WAL exhausted (or truncated by a roll — the rolled
+				// records reappear in a not-yet-read segment).
+				c.phase, c.seq, c.off = curPhaseSeek, 0, 0
+				sh.mu.Unlock()
+				continue
+			}
+			take := min(max-len(out), len(pending)-int(c.off))
+			out = append(out, pending[c.off:int(c.off)+take]...)
+			c.off += uint64(take)
+			sh.mu.Unlock()
+		case curPhaseSeek:
+			sh.mu.Lock()
+			var next segmentMeta
+			found := false
+			for _, seg := range sh.segs {
+				if seg.seq > c.seq && (!found || seg.seq < next.seq) {
+					next, found = seg, true
+				}
+			}
+			sh.mu.Unlock()
+			if !found {
+				c = batchCursor{shard: c.shard + 1}
+				continue
+			}
+			if next.seq > curSeqMax {
+				return nil, 0, false, fmt.Errorf("store: shard %d segment seq %d exceeds the streaming cursor range", sh.id, next.seq)
+			}
+			c.phase, c.seq, c.off = curPhaseSeg, next.seq, 0
+		case curPhaseSeg:
+			sh.mu.Lock()
+			path := ""
+			for _, seg := range sh.segs {
+				if seg.seq == c.seq {
+					path = seg.path
+					break
+				}
+			}
+			sh.mu.Unlock()
+			if path == "" {
+				// Compacted away mid-stream; its records live in a
+				// higher-seq segment now.
+				c.phase = curPhaseSeek
+				continue
+			}
+			records, err := readSegment(path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Compacted away between the path lookup and the read;
+					// its records live in a higher-seq segment now.
+					c.phase = curPhaseSeek
+					continue
+				}
+				return nil, cursor, false, err
+			}
+			if c.off >= uint64(len(records)) {
+				c.phase = curPhaseSeek
+				continue
+			}
+			if uint64(len(records)) > curOffMax {
+				return nil, 0, false, fmt.Errorf("store: shard %d segment %d holds %d records, exceeding the streaming cursor range", sh.id, c.seq, len(records))
+			}
+			take := min(max-len(out), len(records)-int(c.off))
+			out = append(out, records[c.off:int(c.off)+take]...)
+			c.off += uint64(take)
+			if c.off >= uint64(len(records)) {
+				c.phase = curPhaseSeek
+			}
+		}
+	}
+	return out, packCursor(c), c.shard >= len(d.shards), nil
+}

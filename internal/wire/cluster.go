@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 
 	"sketchprivacy/internal/bitvec"
 )
@@ -12,7 +13,10 @@ import (
 // different version fails the hello handshake loudly instead of producing a
 // decode panic or a silently wrong estimate.  Bump it whenever a frame
 // encoding changes incompatibly.
-const ProtocolVersion byte = 1
+//
+// v2 added ring epochs to Filter and PartialResult plus the rebalance
+// transfer opcodes, all of which change router↔node frame layouts.
+const ProtocolVersion byte = 2
 
 // Cluster message types (the scatter-gather data plane between a
 // sketchrouter and its nodes, plus the hello/ping control frames every
@@ -63,17 +67,74 @@ const (
 	maxHistBins    = maxSubQueries + 1
 )
 
-// EncodeHello returns the hello payload for this binary's version.
+// EncodeHello returns the bare hello payload for this binary's version.
 func EncodeHello() []byte { return []byte{ProtocolVersion} }
 
-// DecodeHello parses a hello (or hello-ack) payload into the peer's
-// version.
-func DecodeHello(b []byte) (byte, error) {
-	if len(b) != 1 {
-		return 0, fmt.Errorf("%w: hello payload must be exactly the version byte, got %d bytes", ErrCorrupt, len(b))
-	}
-	return b[0], nil
+// EncodeHelloEpoch returns a hello payload carrying a ring epoch alongside
+// the version byte.  A router announces its current epoch this way on every
+// fresh connection, so a node learns the cluster generation at handshake
+// time rather than only from the first filtered query.
+func EncodeHelloEpoch(epoch uint64) []byte {
+	out := make([]byte, 9)
+	out[0] = ProtocolVersion
+	binary.BigEndian.PutUint64(out[1:], epoch)
+	return out
 }
+
+// DecodeHello parses a hello (or hello-ack) payload into the peer's
+// version.  Both the bare one-byte form and the nine-byte epoch-carrying
+// form are accepted.
+func DecodeHello(b []byte) (byte, error) {
+	v, _, _, err := ParseHello(b)
+	return v, err
+}
+
+// ParseHello parses a hello payload into the peer's version and, when the
+// nine-byte form was sent, its ring epoch.
+func ParseHello(b []byte) (version byte, epoch uint64, hasEpoch bool, err error) {
+	switch len(b) {
+	case 1:
+		return b[0], 0, false, nil
+	case 9:
+		return b[0], binary.BigEndian.Uint64(b[1:]), true, nil
+	default:
+		return 0, 0, false, fmt.Errorf("%w: hello payload must be the version byte or version byte + 8-byte epoch, got %d bytes", ErrCorrupt, len(b))
+	}
+}
+
+// EncodePingEpoch returns a ping payload carrying the sender's ring epoch.
+// A bare (empty) ping remains valid: epoch exchange is an extension, not a
+// requirement, so pre-cluster tools keep working.
+func EncodePingEpoch(epoch uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, epoch)
+}
+
+// ParsePing parses a ping payload: empty pings carry no epoch.
+func ParsePing(b []byte) (epoch uint64, hasEpoch bool, err error) {
+	switch len(b) {
+	case 0:
+		return 0, false, nil
+	case 8:
+		return binary.BigEndian.Uint64(b), true, nil
+	default:
+		return 0, false, fmt.Errorf("%w: ping payload must be empty or an 8-byte epoch, got %d bytes", ErrCorrupt, len(b))
+	}
+}
+
+// StaleEpochMarker is the substring every stale-epoch refusal carries, so
+// the router can recognise the refusal and retry the fan-out under a fresh
+// ring snapshot instead of aborting the query.
+const StaleEpochMarker = "stale ring epoch"
+
+// StaleEpochError renders the refusal a node answers an outdated partial
+// query with.
+func StaleEpochError(queryEpoch, nodeEpoch uint64) error {
+	return fmt.Errorf("wire: %s: query was built for ring epoch %d but this node has observed epoch %d — refusing to contribute a partial computed under a superseded ring", StaleEpochMarker, queryEpoch, nodeEpoch)
+}
+
+// IsStaleEpoch reports whether an error message carries the stale-epoch
+// refusal marker.
+func IsStaleEpoch(msg string) bool { return strings.Contains(msg, StaleEpochMarker) }
 
 // CheckHello validates an incoming hello payload against this binary's
 // version, returning the error the server should refuse the connection
@@ -98,7 +159,18 @@ func CheckHello(payload []byte) error {
 // server daemon, the cluster router and the command-line client all share
 // this one implementation.
 func ClientHandshake(rw io.ReadWriter) error {
-	if err := WriteFrame(rw, TypeHello, EncodeHello()); err != nil {
+	return clientHandshake(rw, EncodeHello())
+}
+
+// ClientHandshakeEpoch is ClientHandshake with the sender's ring epoch in
+// the hello payload; the cluster router uses it so every node it connects
+// to learns the current ring generation before the first query arrives.
+func ClientHandshakeEpoch(rw io.ReadWriter, epoch uint64) error {
+	return clientHandshake(rw, EncodeHelloEpoch(epoch))
+}
+
+func clientHandshake(rw io.ReadWriter, hello []byte) error {
+	if err := WriteFrame(rw, TypeHello, hello); err != nil {
 		return fmt.Errorf("wire: sending hello: %w", err)
 	}
 	msgType, payload, err := ReadFrame(rw)
@@ -129,6 +201,11 @@ func ClientHandshake(rw io.ReadWriter) error {
 // preference walk — with every acknowledged record on RF replicas and at
 // most RF−1 nodes down, exactly one live node answers for each record.
 type Filter struct {
+	// Epoch is the ring generation this filter was built from.  A node
+	// that has observed a newer epoch refuses the query (StaleEpochError)
+	// instead of contributing a partial computed under a superseded ring;
+	// zero means "no epoch" and disables the check (single-node tools).
+	Epoch uint64
 	// Nodes is the full ring membership (placement depends on it, not on
 	// the live set).
 	Nodes []string
@@ -157,7 +234,10 @@ type PartialQuery struct {
 // summing Hits/Records (or Hist/Users bin-wise) over disjoint record sets
 // reproduces the counters a single node holding the union would compute.
 type PartialResult struct {
-	Kind    byte
+	Kind byte
+	// Epoch echoes the query filter's ring epoch, so the router can refuse
+	// to merge partials computed under different ring generations.
+	Epoch   uint64
 	Hits    uint64
 	Records uint64
 	Users   uint64
@@ -179,6 +259,7 @@ func appendFilter(dst []byte, f *Filter) []byte {
 		return append(dst, 0)
 	}
 	dst = append(dst, 1)
+	dst = binary.BigEndian.AppendUint64(dst, f.Epoch)
 	dst = binary.BigEndian.AppendUint32(dst, f.VNodes)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Nodes)))
 	for _, n := range f.Nodes {
@@ -206,12 +287,12 @@ func readFilter(src []byte) (*Filter, []byte, error) {
 	default:
 		return nil, nil, fmt.Errorf("%w: filter presence byte %d", ErrCorrupt, present)
 	}
-	if len(src) < 8 {
+	if len(src) < 16 {
 		return nil, nil, ErrCorrupt
 	}
-	f := &Filter{VNodes: binary.BigEndian.Uint32(src)}
-	nNodes := binary.BigEndian.Uint32(src[4:])
-	src = src[8:]
+	f := &Filter{Epoch: binary.BigEndian.Uint64(src), VNodes: binary.BigEndian.Uint32(src[8:])}
+	nNodes := binary.BigEndian.Uint32(src[12:])
+	src = src[16:]
 	if nNodes > maxFilterNodes {
 		return nil, nil, fmt.Errorf("%w: filter claims %d ring members", ErrCorrupt, nNodes)
 	}
@@ -338,8 +419,9 @@ func DecodePartialQuery(b []byte) (PartialQuery, error) {
 
 // EncodePartialResult serializes a partial result.
 func EncodePartialResult(r PartialResult) []byte {
-	out := make([]byte, 0, 32+8*len(r.Hist))
+	out := make([]byte, 0, 40+8*len(r.Hist))
 	out = append(out, r.Kind)
+	out = binary.BigEndian.AppendUint64(out, r.Epoch)
 	switch r.Kind {
 	case PartialFraction:
 		out = binary.BigEndian.AppendUint64(out, r.Hits)
@@ -358,11 +440,11 @@ func EncodePartialResult(r PartialResult) []byte {
 
 // DecodePartialResult reverses EncodePartialResult.
 func DecodePartialResult(b []byte) (PartialResult, error) {
-	if len(b) < 1 {
+	if len(b) < 9 {
 		return PartialResult{}, ErrCorrupt
 	}
-	r := PartialResult{Kind: b[0]}
-	rest := b[1:]
+	r := PartialResult{Kind: b[0], Epoch: binary.BigEndian.Uint64(b[1:])}
+	rest := b[9:]
 	switch r.Kind {
 	case PartialFraction:
 		if len(rest) != 16 {

@@ -93,3 +93,66 @@ func encodeLenPrefixed(b []byte) []byte {
 	out := binary.BigEndian.AppendUint32(nil, uint32(len(b)))
 	return append(out, b...)
 }
+
+// FuzzTransferDecode drives the rebalance transfer decoders — snapshot
+// reads/batches, transfer pushes/acks and the epoch-carrying hello and
+// ping payloads — with arbitrary bytes.  Same contract as FuzzDecode:
+// malformed input errors (never panics), and accepted input is canonical
+// (re-encoding reproduces it bit for bit).  The CRC trailer makes the
+// canonical property trivial for the framed batches, but the fuzzer still
+// guards the count fields and record sub-decoders.
+func FuzzTransferDecode(f *testing.F) {
+	records := []sketch.Published{
+		{ID: 9, Subset: bitvec.MustSubset(0, 3), S: sketch.Sketch{Key: 4, Length: 10}},
+		{ID: 10, Subset: bitvec.MustSubset(1), S: sketch.Sketch{Key: 0, Length: 12}},
+	}
+	f.Add(EncodeSnapshotRead(SnapshotRead{Cursor: 7, Max: 256}))
+	f.Add(EncodeSnapshotBatch(SnapshotBatch{Next: 8, Done: true, Records: records}))
+	f.Add(EncodeTransferPush(TransferPush{Epoch: 3, Records: records}))
+	f.Add(EncodeTransferAck(TransferAck{Applied: 2}))
+	f.Add(EncodeHelloEpoch(12))
+	f.Add(EncodePingEpoch(12))
+	// A batch whose count field promises far more records than the payload
+	// holds, wrapped in a valid CRC so the count guard (not the checksum)
+	// is what must catch it.
+	hostile := binary.BigEndian.AppendUint64(nil, 0)
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF)
+	f.Add(appendCRC(hostile))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA5}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeSnapshotRead(data); err == nil {
+			if got := EncodeSnapshotRead(r); !bytes.Equal(got, data) {
+				t.Fatalf("DecodeSnapshotRead accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		if sb, err := DecodeSnapshotBatch(data); err == nil {
+			if got := EncodeSnapshotBatch(sb); !bytes.Equal(got, data) {
+				t.Fatalf("DecodeSnapshotBatch accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		if tp, err := DecodeTransferPush(data); err == nil {
+			if got := EncodeTransferPush(tp); !bytes.Equal(got, data) {
+				t.Fatalf("DecodeTransferPush accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		if a, err := DecodeTransferAck(data); err == nil {
+			if got := EncodeTransferAck(a); !bytes.Equal(got, data) {
+				t.Fatalf("DecodeTransferAck accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		// The extended hello/ping payload parsers must never panic; their
+		// encodings are canonical per form (bare vs epoch-carrying).
+		if v, epoch, has, err := ParseHello(data); err == nil && has {
+			if got := EncodeHelloEpoch(epoch); v == ProtocolVersion && !bytes.Equal(got, data) {
+				t.Fatalf("ParseHello accepted non-canonical epoch hello: in %x out %x", data, got)
+			}
+		}
+		if epoch, has, err := ParsePing(data); err == nil && has {
+			if got := EncodePingEpoch(epoch); !bytes.Equal(got, data) {
+				t.Fatalf("ParsePing accepted non-canonical epoch ping: in %x out %x", data, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+func transferRecords() []sketch.Published {
+	return []sketch.Published{
+		{ID: 1, Subset: bitvec.MustSubset(0, 2, 5), S: sketch.Sketch{Key: 9, Length: 10}},
+		{ID: 2, Subset: bitvec.MustSubset(1), S: sketch.Sketch{Key: 0, Length: 12}},
+		{ID: 1 << 40, Subset: bitvec.MustSubset(7), S: sketch.Sketch{Key: 3, Length: 10}},
+	}
+}
+
+func TestHelloEpochRoundTrip(t *testing.T) {
+	v, epoch, has, err := ParseHello(EncodeHelloEpoch(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ProtocolVersion || epoch != 42 || !has {
+		t.Fatalf("epoch hello parsed as (v=%d epoch=%d has=%v)", v, epoch, has)
+	}
+	// The bare form still parses, without an epoch.
+	v, _, has, err = ParseHello(EncodeHello())
+	if err != nil || v != ProtocolVersion || has {
+		t.Fatalf("bare hello parsed as (v=%d has=%v err=%v)", v, has, err)
+	}
+	// CheckHello accepts both forms from a same-version peer.
+	if err := CheckHello(EncodeHelloEpoch(7)); err != nil {
+		t.Fatalf("CheckHello refused an epoch hello: %v", err)
+	}
+}
+
+func TestPingEpochRoundTrip(t *testing.T) {
+	epoch, has, err := ParsePing(EncodePingEpoch(17))
+	if err != nil || !has || epoch != 17 {
+		t.Fatalf("ParsePing(epoch ping) = (%d, %v, %v)", epoch, has, err)
+	}
+	if _, has, err := ParsePing(nil); err != nil || has {
+		t.Fatalf("bare ping parsed as (has=%v err=%v)", has, err)
+	}
+	if _, _, err := ParsePing([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ParsePing accepted a 3-byte payload")
+	}
+}
+
+func TestStaleEpochMarker(t *testing.T) {
+	err := StaleEpochError(3, 5)
+	if !IsStaleEpoch(err.Error()) {
+		t.Fatalf("stale-epoch refusal not recognisable: %v", err)
+	}
+	if IsStaleEpoch("cluster: node down") {
+		t.Fatal("IsStaleEpoch matched an unrelated error")
+	}
+}
+
+func TestSnapshotReadRoundTrip(t *testing.T) {
+	r := SnapshotRead{Cursor: 1<<40 | 7, Max: 512}
+	got, err := DecodeSnapshotRead(EncodeSnapshotRead(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: got %+v want %+v", got, r)
+	}
+	if _, err := DecodeSnapshotRead([]byte{1, 2}); err == nil {
+		t.Fatal("DecodeSnapshotRead accepted a short payload")
+	}
+}
+
+func TestSnapshotBatchRoundTrip(t *testing.T) {
+	for _, sb := range []SnapshotBatch{
+		{Next: 99, Done: false, Records: transferRecords()},
+		{Next: 0, Done: true},
+	} {
+		enc := EncodeSnapshotBatch(sb)
+		got, err := DecodeSnapshotBatch(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Next != sb.Next || got.Done != sb.Done || !reflect.DeepEqual(got.Records, sb.Records) {
+			t.Fatalf("round trip: got %+v want %+v", got, sb)
+		}
+		// Canonical: re-encoding reproduces the bytes.
+		if !bytes.Equal(EncodeSnapshotBatch(got), enc) {
+			t.Fatal("snapshot batch encoding is not canonical")
+		}
+	}
+}
+
+func TestTransferPushRoundTrip(t *testing.T) {
+	tp := TransferPush{Epoch: 5, Records: transferRecords()}
+	enc := EncodeTransferPush(tp)
+	got, err := DecodeTransferPush(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != tp.Epoch || !reflect.DeepEqual(got.Records, tp.Records) {
+		t.Fatalf("round trip: got %+v want %+v", got, tp)
+	}
+	a, err := DecodeTransferAck(EncodeTransferAck(TransferAck{Applied: 3}))
+	if err != nil || a.Applied != 3 {
+		t.Fatalf("transfer ack round trip: %+v, %v", a, err)
+	}
+}
+
+func TestTransferCRCDetectsCorruption(t *testing.T) {
+	enc := EncodeTransferPush(TransferPush{Epoch: 1, Records: transferRecords()})
+	for _, flip := range []int{0, 8, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[flip] ^= 0x40
+		if _, err := DecodeTransferPush(bad); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", flip)
+		}
+	}
+	enc = EncodeSnapshotBatch(SnapshotBatch{Next: 4, Records: transferRecords()})
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := DecodeSnapshotBatch(bad); err == nil {
+		t.Fatal("snapshot batch corruption went undetected")
+	}
+}
+
+func TestTransferDecodeRejectsHostileCounts(t *testing.T) {
+	// A batch claiming 2^32-1 records must fail on the count guard, not
+	// allocate first.
+	body := []byte{0, 0, 0, 0, 0, 0, 0, 9} // epoch
+	body = append(body, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeTransferPush(appendCRC(body)); err == nil {
+		t.Fatal("hostile record count accepted")
+	}
+}
