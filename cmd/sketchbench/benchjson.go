@@ -151,6 +151,7 @@ func writeBenchJSON(path string, quick bool) error {
 	benches := kernelBenchmarks()
 	benches = append(benches, storeBenchmarks(quick)...)
 	benches = append(benches, routerBenchmarks(quick)...)
+	benches = append(benches, planBenchmarks(quick)...)
 	for _, kb := range benches {
 		r := testing.Benchmark(kb.fn)
 		file.Kernels = append(file.Kernels, KernelResult{

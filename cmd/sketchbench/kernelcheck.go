@@ -1,0 +1,72 @@
+package main
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// expectedKernels is the committed list of kernel names BENCH.json must
+// carry.  It is a ratchet in both directions: a kernel dropped from the
+// code (or renamed) no longer satisfies its line, and a kernel added to
+// the code without a line here is flagged as uncovered — so the artifact
+// CI uploads can neither lose nor silently omit benchmarks.
+//
+//go:embed kernels.txt
+var expectedKernels string
+
+// checkKernels verifies the BENCH.json at path against kernels.txt.
+func checkKernels(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file BenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	present := make(map[string]bool, len(file.Kernels))
+	for _, k := range file.Kernels {
+		if present[k.Name] {
+			return fmt.Errorf("%s lists kernel %q twice", path, k.Name)
+		}
+		present[k.Name] = true
+	}
+	covered := make(map[string]bool)
+	var missing []string
+	for _, line := range strings.Split(expectedKernels, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		matched := false
+		for _, alt := range strings.Split(line, "|") {
+			if present[alt] {
+				covered[alt] = true
+				matched = true
+			}
+		}
+		if !matched {
+			missing = append(missing, line)
+		}
+	}
+	var unexpected []string
+	for name := range present {
+		if !covered[name] {
+			unexpected = append(unexpected, name)
+		}
+	}
+	if len(missing) > 0 || len(unexpected) > 0 {
+		msg := fmt.Sprintf("kernel names in %s diverge from cmd/sketchbench/kernels.txt", path)
+		if len(missing) > 0 {
+			msg += fmt.Sprintf("\n  missing from artifact: %s", strings.Join(missing, ", "))
+		}
+		if len(unexpected) > 0 {
+			msg += fmt.Sprintf("\n  not in kernels.txt (add them): %s", strings.Join(unexpected, ", "))
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

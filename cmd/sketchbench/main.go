@@ -36,8 +36,18 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override the random seed")
 		listOnly  = flag.Bool("list", false, "list experiments and exit")
 		benchJSON = flag.String("benchjson", "", "measure the kernel benchmarks and write JSON results to this path, then exit")
+		checkOnly = flag.String("checkkernels", "", "verify the BENCH.json at this path carries every kernel named in kernels.txt, then exit")
 	)
 	flag.Parse()
+
+	if *checkOnly != "" {
+		if err := checkKernels(*checkOnly); err != nil {
+			fmt.Fprintf(os.Stderr, "checkkernels: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("kernel names match cmd/sketchbench/kernels.txt")
+		return
+	}
 
 	if *listOnly {
 		for _, r := range experiment.All() {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+)
+
+// planIntervalRecords sizes the interval-query kernels; quick shrinks the
+// networked variant the same way the router kernels shrink.
+const (
+	planIntervalRecords      = 10_000
+	planIntervalRecordsQuick = 5_000
+)
+
+// planField is the 8-bit attribute the interval kernels query.
+func planField() bitvec.IntField { return bitvec.MustIntField(0, 8) }
+
+// loadPlanTable fabricates n records per subset (the executors do not care
+// how keys were produced, exactly like the router kernels).
+func loadPlanTable(b *testing.B, tab *sketch.Table, subsets []bitvec.Subset, n int) {
+	for _, subset := range subsets {
+		for id := uint64(1); id <= uint64(n); id++ {
+			rec := routerRecord(id, subset)
+			if err := tab.Add(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// planBenchmarks measures the plan executor: the one-pass local interval
+// query (every prefix evaluation in a single sharded table scan), the same
+// decomposition pushed to a 3-node cluster in one planQuery fan-out, and
+// the warm-cache repeat of the conjunctive-query-10k workload, where the
+// engine's generation-versioned bitmap cache reduces the whole query to a
+// popcount.
+func planBenchmarks(quick bool) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	routerN := planIntervalRecords
+	if quick {
+		routerN = planIntervalRecordsQuick
+	}
+	f := planField()
+	// 181 = 10110101: five prefix terms plus the ≤-completion equality —
+	// a representative multi-entry interval plan.
+	const c = 181
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"plan-interval-local", func(b *testing.B) {
+			h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
+			est, err := query.NewEstimator(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab := sketch.NewTable()
+			loadPlanTable(b, tab, query.FieldPrefixSubsets(f), planIntervalRecords)
+			src := est.TableSource(tab)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.FieldAtMostFrom(src, f, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"plan-interval-router-3node", func(b *testing.B) {
+			r, engines, done := benchCluster(b)
+			defer done()
+			for _, subset := range query.FieldPrefixSubsets(f) {
+				for id := uint64(1); id <= uint64(routerN); id++ {
+					rec := routerRecord(id, subset)
+					for _, addr := range r.Ring().Owners(rec.ID, 2) {
+						if err := engines[addr].Ingest(rec); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.FieldAtMost(f, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"plan-warm-cache", func(b *testing.B) {
+			// The conjunctive-query-10k workload behind the engine's
+			// bitmap cache: after the warm-up query outside the timer,
+			// each op is a cache-hit popcount.  The acceptance bar is
+			// ns/op ≥ 5× below the cold conjunctive-query-10k kernel.
+			pq := 0.25
+			hq := prf.NewBiased(benchKey(), prf.MustProb(pq))
+			eng, err := engine.New(hq, sketch.MustParams(pq, 10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			subset := bitvec.Range(0, 4)
+			for id := uint64(1); id <= 10_000; id++ {
+				if err := eng.Ingest(routerRecord(id, subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			v := bitvec.MustFromString("1010")
+			if _, err := eng.Conjunction(subset, v); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Conjunction(subset, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

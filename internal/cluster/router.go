@@ -40,6 +40,11 @@ type Config struct {
 	// TransferBatch is the record count per rebalance snapshot read and
 	// transfer push (default 2048).
 	TransferBatch int
+	// PublishConcurrency bounds how many replicated publishes PublishAll
+	// keeps in flight at once (default 16).  Each in-flight publish still
+	// runs the full all-live-owner protocol; the pipeline only overlaps
+	// independent records' round trips.
+	PublishConcurrency int
 	// OnTransferBatch, when set, runs after the rebalance engine finishes
 	// processing each snapshot batch.  Tests use it to freeze a precise
 	// mid-transfer moment (kill a node, run a query); metrics hooks can
@@ -75,6 +80,9 @@ func (c Config) withDefaults() Config {
 		// Larger batches would exceed the nodes' clamp and the frame
 		// limit; a misconfigured flag must not break every rebalance.
 		c.TransferBatch = wire.MaxTransferBatch
+	}
+	if c.PublishConcurrency <= 0 {
+		c.PublishConcurrency = 16
 	}
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 2 * time.Second
@@ -429,10 +437,51 @@ func (r *Router) Publish(p sketch.Published) error {
 	return errors.Join(errs...)
 }
 
-// PublishAll publishes a batch, stopping at the first error.
+// PublishAll publishes a batch through a bounded pipeline: up to
+// PublishConcurrency records are in flight at once, each running the full
+// replicated Publish protocol (all-live-owner acknowledgement, dual-write
+// under a migration, hinted handoff) — Publish is already safe under
+// concurrent callers, the pipeline only overlaps independent records'
+// round trips instead of paying one sequential RTT per record.  On an
+// error, no further records are launched (in-flight ones complete) and the
+// earliest failed record's error — by batch position, not completion
+// order — is returned.  Records of a batch are routed independently, so a
+// batch containing two conflicting sketches for the same (user, subset)
+// pair has no deterministic winner; batches are expected to carry distinct
+// pairs, as every generator here does.
 func (r *Router) PublishAll(ps []sketch.Published) error {
-	for _, p := range ps {
-		if err := r.Publish(p); err != nil {
+	if len(ps) <= 1 || r.cfg.PublishConcurrency == 1 {
+		for _, p := range ps {
+			if err := r.Publish(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(ps))
+	sem := make(chan struct{}, r.cfg.PublishConcurrency)
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+	)
+	for i, p := range ps {
+		if failed.Load() {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, p sketch.Published) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := r.Publish(p); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
@@ -450,16 +499,22 @@ type errNodeFailed struct{ err error }
 func (e errNodeFailed) Error() string { return e.err.Error() }
 func (e errNodeFailed) Unwrap() error { return e.err }
 
-// fanout scatter-gathers one partial query across all live nodes.  Each
-// attempt takes one consistent (ring, epoch, live set) snapshot, so every
-// node receives the same query under its own ownership filter and the
-// filters partition the records exactly.  If a node fails mid-fan-out it
-// is marked dead (roundTrip already did) and the whole fan-out retries on
-// a fresh snapshot — the failed node's records are answered by their
-// surviving replicas, and a ring cutover racing the fan-out is absorbed
-// the same way (the superseded attempt is refused by the nodes'
-// stale-epoch check, never partially merged).
-func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.PartialResult, error) {
+// scatterGather runs one request across all live nodes and collects the
+// decoded replies — the shared retry engine behind both the v2 per-partial
+// fan-out and the v3 plan push-down.  Each attempt takes one consistent
+// (ring, epoch, live set) snapshot, so every node receives the same query
+// under its own ownership filter and the filters partition the records
+// exactly.  If a node fails mid-fan-out it is marked dead (roundTrip
+// already did) and the whole fan-out retries on a fresh snapshot — the
+// failed node's records are answered by their surviving replicas, and a
+// ring cutover racing the fan-out is absorbed the same way (the superseded
+// attempt is refused by the nodes' stale-epoch check, never partially
+// merged).
+//
+// encode builds one payload from the per-node ownership filter; decode
+// parses a reply of replyType and must report the epoch the node computed
+// under, so replies from different ring generations are never mixed.
+func scatterGather[T any](r *Router, msgType, replyType byte, encode func(*wire.Filter) []byte, decode func([]byte) (T, uint64, error)) ([]T, error) {
 	var lastErr error
 	maxAttempts := len(r.Members()) + 2
 	for attempt := 0; attempt <= maxAttempts; attempt++ {
@@ -491,34 +546,34 @@ func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.
 			}
 			return nil, err
 		}
-		results := make([]wire.PartialResult, len(live))
+		results := make([]T, len(live))
 		errs := make([]error, len(live))
 		var wg sync.WaitGroup
 		for i := range live {
 			wg.Add(1)
 			go func(i int, n *node) {
 				defer wg.Done()
-				pq := mk(&wire.Filter{
+				payload := encode(&wire.Filter{
 					Epoch:  epoch,
 					Nodes:  order,
 					VNodes: uint32(r.cfg.VNodes),
 					Self:   n.addr,
 					Live:   live,
 				})
-				replyType, reply, err := n.roundTrip(wire.TypePartialQuery, wire.EncodePartialQuery(pq))
+				gotType, reply, err := n.roundTrip(msgType, payload)
 				if err != nil {
 					errs[i] = errNodeFailed{err}
 					return
 				}
-				switch replyType {
-				case wire.TypePartialResult:
-					res, err := wire.DecodePartialResult(reply)
+				switch gotType {
+				case replyType:
+					res, resEpoch, err := decode(reply)
 					if err != nil {
 						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: %w", n.addr, err)}
 						return
 					}
-					if res.Epoch != epoch {
-						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s answered for ring epoch %d, fan-out ran at %d", n.addr, res.Epoch, epoch)}
+					if resEpoch != epoch {
+						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s answered for ring epoch %d, fan-out ran at %d", n.addr, resEpoch, epoch)}
 						return
 					}
 					results[i] = res
@@ -529,7 +584,7 @@ func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.
 					}
 					errs[i] = fmt.Errorf("cluster: node %s: %s", n.addr, reply)
 				default:
-					errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, replyType)}
+					errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, gotType)}
 				}
 			}(i, liveHandles[i])
 		}
@@ -552,6 +607,97 @@ func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.
 		}
 	}
 	return nil, fmt.Errorf("cluster: fan-out failed after retries: %w", lastErr)
+}
+
+// fanout scatter-gathers one v2 partial query across all live nodes.
+func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.PartialResult, error) {
+	return scatterGather(r, wire.TypePartialQuery, wire.TypePartialResult,
+		func(f *wire.Filter) []byte { return wire.EncodePartialQuery(mk(f)) },
+		func(reply []byte) (wire.PartialResult, uint64, error) {
+			res, err := wire.DecodePartialResult(reply)
+			return res, res.Epoch, err
+		})
+}
+
+// Execute implements query.PartialSource's batched entry point: the whole
+// plan is pushed to every live node in one planQuery fan-out and the
+// per-entry counters are merged exactly, so an estimator needing dozens of
+// evaluations (interval prefixes, decision-tree paths, inner products)
+// costs one round trip instead of one per evaluation.  The merge is
+// bit-identical to the per-call path by construction: each node answers
+// every entry over the records its ownership filter assigns it, the
+// filters partition the user space, and integer counters sum exactly.
+func (r *Router) Execute(p *query.Plan) (*query.Results, error) {
+	fracs := p.Fractions()
+	hists := p.Histograms()
+	counts := p.CountSubsets()
+	merged := &query.Results{
+		Fractions: make([]query.Partial, len(fracs)),
+		Hists:     make([]query.HistPartial, len(hists)),
+		Counts:    make([]uint64, len(counts)),
+	}
+	if p.Empty() {
+		// Nothing to evaluate (e.g. an interval query with an all-zero
+		// constant): the per-call path would touch no node either.
+		return merged, nil
+	}
+	if len(fracs) > wire.MaxPlanFractions || len(hists) > wire.MaxPlanHists || len(counts) > wire.MaxPlanCounts {
+		return nil, fmt.Errorf("cluster: plan with %d fraction, %d histogram and %d count entries exceeds the one-fan-out limits (%d/%d/%d); split the query into smaller plans",
+			len(fracs), len(hists), len(counts), wire.MaxPlanFractions, wire.MaxPlanHists, wire.MaxPlanCounts)
+	}
+	for _, h := range hists {
+		if len(h.Subs) > wire.MaxPlanHistSubQueries {
+			return nil, fmt.Errorf("cluster: plan histogram with %d sub-queries exceeds the wire limit %d", len(h.Subs), wire.MaxPlanHistSubQueries)
+		}
+	}
+	wf := make([]wire.Query, len(fracs))
+	for i, f := range fracs {
+		wf[i] = wire.Query{Subset: f.Subset, Value: f.Value}
+	}
+	wh := make([]wire.PlanHistQuery, len(hists))
+	for i, h := range hists {
+		subs := make([]wire.Query, len(h.Subs))
+		for j, s := range h.Subs {
+			subs[j] = wire.Query{Subset: s.Subset, Value: s.Value}
+		}
+		wh[i] = wire.PlanHistQuery{Subs: subs, Guard: uint32(h.Guard), HasGuard: h.GuardValid}
+	}
+	results, err := scatterGather(r, wire.TypePlanQuery, wire.TypePlanResult,
+		func(f *wire.Filter) []byte {
+			return wire.EncodePlanQuery(wire.PlanQuery{
+				Filter:    f,
+				Fractions: wf,
+				Hists:     wh,
+				Counts:    counts,
+				Total:     p.NeedsTotal(),
+			})
+		},
+		func(reply []byte) (wire.PlanResult, uint64, error) {
+			res, err := wire.DecodePlanResult(reply)
+			return res, res.Epoch, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		if len(res.Fractions) != len(fracs) || len(res.Hists) != len(hists) || len(res.Counts) != len(counts) {
+			return nil, fmt.Errorf("cluster: node answered a %d/%d/%d-entry plan with %d/%d/%d results",
+				len(fracs), len(hists), len(counts), len(res.Fractions), len(res.Hists), len(res.Counts))
+		}
+		for i, f := range res.Fractions {
+			merged.Fractions[i] = merged.Fractions[i].Merge(query.Partial{Hits: f.Hits, Records: f.Records})
+		}
+		for i, h := range res.Hists {
+			if merged.Hists[i], err = merged.Hists[i].Merge(query.HistPartial{Hist: h.Hist, Users: h.Users}); err != nil {
+				return nil, err
+			}
+		}
+		for i, c := range res.Counts {
+			merged.Counts[i] += c
+		}
+		merged.Total += res.Total
+	}
+	return merged, nil
 }
 
 // FractionPartial implements query.PartialSource: the exact cluster-wide
@@ -649,6 +795,12 @@ func (r *Router) ExactlyOfK(subs []query.SubQuery, l int) (query.Estimate, error
 // FieldMean answers the Section 4.1 mean query over the cluster.
 func (r *Router) FieldMean(f bitvec.IntField) (query.NumericEstimate, error) {
 	return r.est.FieldMeanFrom(r, f)
+}
+
+// FieldLessThan answers the Section 4.1 interval query value < c over the
+// cluster: the whole prefix decomposition rides one plan fan-out.
+func (r *Router) FieldLessThan(f bitvec.IntField, c uint64) (query.NumericEstimate, error) {
+	return r.est.FieldLessThanFrom(r, f, c)
 }
 
 // FieldAtMost answers the Section 4.1 interval query value ≤ c over the

@@ -38,6 +38,10 @@ type Engine struct {
 	// leaving the sketch in neither table nor store while both callers
 	// saw an error.  Queries never touch these locks.
 	ingestMu [64]sync.Mutex
+	// cache holds per-(subset, value) evaluation bitmaps for the plan
+	// executor, versioned by table write generation so ingests invalidate
+	// them implicitly.
+	cache *planCache
 }
 
 // New creates an engine around a public p-biased function and parameters.
@@ -52,7 +56,7 @@ func New(h prf.BitSource, params sketch.Params) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{params: params, est: est, table: sketch.NewTable()}, nil
+	return &Engine{params: params, est: est, table: sketch.NewTable(), cache: newPlanCache()}, nil
 }
 
 // NewWithStore creates an engine whose table is rehydrated from st and
@@ -227,12 +231,13 @@ func (e *Engine) Subsets() []bitvec.Subset { return e.table.Subsets() }
 
 // Conjunction answers the basic Algorithm 2 query.
 func (e *Engine) Conjunction(b bitvec.Subset, v bitvec.Vector) (query.Estimate, error) {
-	return e.est.Fraction(e.table, b, v)
+	return e.est.FractionFrom(e.Source(), b, v)
 }
 
-// Source returns the engine's local partial source: the table-backed
-// counter supplier every estimator runs on.
-func (e *Engine) Source() query.PartialSource { return e.est.TableSource(e.table) }
+// Source returns the engine's local partial source: per-call counters over
+// the table, with plan execution routed through the engine's one-pass
+// batch executor and bitmap cache.
+func (e *Engine) Source() query.PartialSource { return engineSource{e} }
 
 // FractionPartial returns the raw Algorithm 2 counters for one
 // (subset, value) evaluation over the records whose user passes keep
@@ -265,33 +270,33 @@ func (e *Engine) TotalRecords(keep query.UserFilter) uint64 {
 // ConjunctionLiterals answers a conjunction given as literals, using exact
 // subsets when available and Appendix F gluing otherwise.
 func (e *Engine) ConjunctionLiterals(c bitvec.Conjunction) (query.Estimate, error) {
-	return e.est.ConjunctionFraction(e.table, c)
+	return e.est.ConjunctionFractionFrom(e.Source(), c)
 }
 
 // UnionConjunction answers a conjunction over the union of several sketched
 // subsets (Appendix F).
 func (e *Engine) UnionConjunction(subs []query.SubQuery) (query.Estimate, error) {
-	return e.est.UnionConjunction(e.table, subs)
+	return e.est.UnionConjunctionFrom(e.Source(), subs)
 }
 
 // ExactlyOfK answers "exactly l of these k sub-queries hold".
 func (e *Engine) ExactlyOfK(subs []query.SubQuery, l int) (query.Estimate, error) {
-	return e.est.ExactlyOfK(e.table, subs, l)
+	return e.est.ExactlyOfKFrom(e.Source(), subs, l)
 }
 
 // FieldMean answers the Section 4.1 mean query for an integer field.
 func (e *Engine) FieldMean(f bitvec.IntField) (query.NumericEstimate, error) {
-	return e.est.FieldMean(e.table, f)
+	return e.est.FieldMeanFrom(e.Source(), f)
 }
 
 // FieldAtMost answers the Section 4.1 interval query value ≤ c.
 func (e *Engine) FieldAtMost(f bitvec.IntField, c uint64) (query.NumericEstimate, error) {
-	return e.est.FieldAtMost(e.table, f, c)
+	return e.est.FieldAtMostFrom(e.Source(), f, c)
 }
 
 // DecisionTree answers the Section 4.1 decision-tree query.
 func (e *Engine) DecisionTree(tree *query.TreeNode) (query.NumericEstimate, error) {
-	return e.est.DecisionTreeFraction(e.table, tree)
+	return e.est.DecisionTreeFractionFrom(e.Source(), tree)
 }
 
 // SumLessThanPow2 answers the Appendix E query a + b < 2^r.

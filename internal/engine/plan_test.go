@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// planEngine builds an engine pre-loaded with sketches of subset and the
+// field's single-bit subsets.
+func planEngine(t *testing.T, users int) (*Engine, bitvec.Subset, bitvec.IntField) {
+	t.Helper()
+	const p = 0.3
+	h := prf.NewBiased(bytes.Repeat([]byte{0x77}, prf.MinKeyBytes), prf.MustProb(p))
+	eng, err := New(h, sketch.MustParams(p, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := sketch.NewSketcher(h, eng.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 4)
+	field := bitvec.MustIntField(0, 3)
+	subsets := append([]bitvec.Subset{subset}, query.FieldBitSubsets(field)...)
+	rng := stats.NewRNG(19)
+	for id := 1; id <= users; id++ {
+		profile := bitvec.Profile{ID: bitvec.UserID(id), Data: bitvec.FromUint(uint64(id)%16, 4)}
+		pubs, err := sk.SketchAll(rng, profile, subsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.IngestBatch(pubs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, subset, field
+}
+
+// TestEnginePlanCacheWarmRepeat proves the bitmap cache serves repeated
+// queries bit-identically and is invalidated by ingest: the warm answer
+// equals the cold one, and a post-ingest answer reflects the new record
+// rather than the stale bitmap.
+func TestEnginePlanCacheWarmRepeat(t *testing.T) {
+	eng, subset, field := planEngine(t, 500)
+	v := bitvec.MustFromString("1010")
+
+	cold, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.cache.m); got == 0 {
+		t.Fatal("cold query left the bitmap cache empty")
+	}
+	warm, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Fatalf("warm repeat differs: cold %+v warm %+v", cold, warm)
+	}
+	// The serial per-call path must agree with the cached answer.
+	serial, err := eng.Estimator().FractionFrom(query.SerialSource{Src: eng.Source()}, subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != warm {
+		t.Fatalf("cached answer differs from per-call: %+v vs %+v", warm, serial)
+	}
+
+	// An interval-style estimator shares the cache across overlapping
+	// queries and stays identical to the serial path too.
+	m1, err := eng.FieldMean(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := eng.FieldMean(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("warm FieldMean differs: %+v vs %+v", m1, m2)
+	}
+
+	// Ingest invalidates: the next query must count the new record.
+	h := eng.Estimator().Source()
+	sk, err := sketch.NewSketcher(h, eng.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(23)
+	s, err := sk.Sketch(rng, bitvec.Profile{ID: 9001, Data: bitvec.MustFromString("1010")}, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(sketch.Published{ID: 9001, Subset: subset, S: s}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Conjunction(subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Users != cold.Users+1 {
+		t.Fatalf("post-ingest query served a stale cache: %d users, want %d", after.Users, cold.Users+1)
+	}
+	serialAfter, err := eng.Estimator().FractionFrom(query.SerialSource{Src: eng.Source()}, subset, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != serialAfter {
+		t.Fatalf("post-ingest cached answer differs from per-call: %+v vs %+v", after, serialAfter)
+	}
+}
+
+// TestEnginePlanCacheEviction bounds the cache: overflowing it must evict
+// rather than grow without limit, and answers stay correct afterwards.
+func TestEnginePlanCacheEviction(t *testing.T) {
+	eng, subset, _ := planEngine(t, 64)
+	for i := 0; i < maxPlanCacheEntries+64; i++ {
+		v := bitvec.FromUint(uint64(i)%16, 4)
+		if _, err := eng.Conjunction(subset, v); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct keys beyond the 16 possible values: synthesize entries
+		// directly, as real queries over a 4-bit subset cannot exceed 16.
+		eng.cache.Put(string(rune(i))+"synthetic", 1, 64, []uint64{0})
+	}
+	if got := len(eng.cache.m); got > maxPlanCacheEntries {
+		t.Fatalf("cache grew past its bound: %d entries", got)
+	}
+	want, err := eng.Estimator().FractionFrom(query.SerialSource{Src: eng.Source()}, subset, bitvec.MustFromString("0101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Conjunction(subset, bitvec.MustFromString("0101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("post-eviction answer differs from per-call: %+v vs %+v", got, want)
+	}
+}

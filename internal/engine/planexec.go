@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/query"
+)
+
+// maxPlanCacheEntries bounds the bitmap cache; past it, roughly half the
+// entries are evicted so a pathological query mix cannot grow memory
+// without bound.  At the default ten-bit sketches a full cache of 10k-record
+// bitmaps is ~5 MB.
+const maxPlanCacheEntries = 4096
+
+// planCache is the engine's query.BitmapCache: per-(subset, value)
+// evaluation bitmaps versioned by the table's per-subset write generation.
+// An ingest into a subset bumps the generation (see Table.SnapshotGen), so
+// every cached bitmap for that subset goes stale implicitly — the epoch
+// check at Get is the invalidation.  Within a generation, a repeated or
+// overlapping evaluation (interval prefixes share entries across queries)
+// reduces to a popcount of the cached bitmap.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[string]planCacheEntry
+}
+
+// planCacheEntry pairs a bitmap with the generation and record count it
+// was computed at.
+type planCacheEntry struct {
+	gen     uint64
+	records int
+	words   []uint64
+}
+
+// newPlanCache returns an empty cache.
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[string]planCacheEntry)}
+}
+
+// Get implements query.BitmapCache.
+func (c *planCache) Get(key string, gen uint64, records int) ([]uint64, bool) {
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if !ok || e.gen != gen || e.records != records {
+		return nil, false
+	}
+	return e.words, true
+}
+
+// Put implements query.BitmapCache.  The stored words are shared and must
+// not be mutated afterwards (the executor never does).
+func (c *planCache) Put(key string, gen uint64, records int, words []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= maxPlanCacheEntries {
+		for k := range c.m {
+			delete(c.m, k)
+			if len(c.m) <= maxPlanCacheEntries/2 {
+				break
+			}
+		}
+	}
+	c.m[key] = planCacheEntry{gen: gen, records: records, words: words}
+}
+
+// ExecutePlan runs an entire compiled query plan in one parallel sharded
+// pass over the engine's table, evaluating every plan entry against each
+// record's once-encoded PRF tuple parts and serving repeated evaluations
+// from the generation-versioned bitmap cache.  keep restricts the counters
+// to records whose user passes the filter (nil: all records) — the cluster
+// node path — without bypassing the cache, since bitmaps are computed over
+// the full snapshot and filtered at counting time.  The counters are
+// bit-identical to executing the plan entry-at-a-time.
+func (e *Engine) ExecutePlan(p *query.Plan, keep query.UserFilter) (*query.Results, error) {
+	return e.est.ExecutePlanOver(e.table, p, keep, e.cache)
+}
+
+// engineSource is the engine's query.PartialSource: per-call methods over
+// the table, batched execution through the cached plan executor.
+type engineSource struct{ e *Engine }
+
+// FractionPartial implements query.PartialSource.
+func (s engineSource) FractionPartial(b bitvec.Subset, v bitvec.Vector) (query.Partial, error) {
+	return s.e.FractionPartial(b, v, nil)
+}
+
+// HistogramPartial implements query.PartialSource.
+func (s engineSource) HistogramPartial(subs []query.SubQuery) (query.HistPartial, error) {
+	return s.e.HistogramPartial(subs, nil)
+}
+
+// SubsetRecords implements query.PartialSource.
+func (s engineSource) SubsetRecords(b bitvec.Subset) (uint64, error) {
+	return s.e.SubsetRecords(b, nil), nil
+}
+
+// TotalRecords implements query.PartialSource.
+func (s engineSource) TotalRecords() (uint64, error) {
+	return s.e.TotalRecords(nil), nil
+}
+
+// Execute implements query.PartialSource via the cached batch executor.
+func (s engineSource) Execute(p *query.Plan) (*query.Results, error) {
+	return s.e.ExecutePlan(p, nil)
+}

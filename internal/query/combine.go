@@ -72,34 +72,6 @@ func errMissingSubset(id bitvec.UserID, b bitvec.Subset) error {
 	return fmt.Errorf("%w: user %v missing subset %v", ErrNoSketches, id, b)
 }
 
-// matchCountDistributionFrom computes, over the users that sketched every
-// sub-query's subset, the observed distribution y where y[l'] is the
-// fraction of those users for whom exactly l' of the k sub-query
-// evaluations H(id, B_i, v_i, s_i) are 1.  It also reports the users used.
-// The raw histogram comes from the partial source — locally the per-user
-// evaluation loop is sharded across workers (see matchHistogram); over a
-// cluster it is the exact bin-wise sum of the per-node histograms.
-func (e *Estimator) matchCountDistributionFrom(src PartialSource, subs []SubQuery) ([]float64, int, error) {
-	if err := validateSubQueries(subs); err != nil {
-		return nil, 0, err
-	}
-	hp, err := src.HistogramPartial(subs)
-	if err != nil {
-		return nil, 0, err
-	}
-	if hp.Users == 0 {
-		return nil, 0, fmt.Errorf("%w: no user sketched all %d subsets", ErrNoSketches, len(subs))
-	}
-	if len(hp.Hist) != len(subs)+1 {
-		return nil, 0, fmt.Errorf("%w: histogram has %d bins for %d sub-queries", ErrMismatch, len(hp.Hist), len(subs))
-	}
-	y := make([]float64, len(hp.Hist))
-	for i, c := range hp.Hist {
-		y[i] = float64(c) / float64(hp.Users)
-	}
-	return y, int(hp.Users), nil
-}
-
 // MatchDistribution estimates the distribution over the number of
 // sub-queries a user truly satisfies: x[l] is the estimated fraction of
 // users whose profile satisfies exactly l of the k sub-queries.  It solves
@@ -109,18 +81,21 @@ func (e *Estimator) MatchDistribution(tab *sketch.Table, subs []SubQuery) ([]flo
 	return e.MatchDistributionFrom(e.TableSource(tab), subs)
 }
 
-// MatchDistributionFrom is MatchDistribution over any partial source.
+// MatchDistributionFrom is MatchDistribution over any partial source.  The
+// raw histogram comes from a one-entry plan — locally the per-user
+// evaluation loop is sharded across workers (see matchHistogram); over a
+// cluster it is the exact bin-wise sum of the per-node histograms.
 func (e *Estimator) MatchDistributionFrom(src PartialSource, subs []SubQuery) ([]float64, int, error) {
-	y, users, err := e.matchCountDistributionFrom(src, subs)
+	p := NewPlan()
+	fin, err := e.planMatchDistribution(p, subs)
 	if err != nil {
 		return nil, 0, err
 	}
-	v := PerturbationMatrix(len(subs), e.p)
-	x, err := linalg.Solve(v, y)
+	res, err := src.Execute(p)
 	if err != nil {
-		return nil, 0, fmt.Errorf("query: perturbation matrix for k=%d, p=%v: %w", len(subs), e.p, err)
+		return nil, 0, err
 	}
-	return x, users, nil
+	return fin(res)
 }
 
 // UnionConjunction estimates the fraction of users satisfying every
@@ -132,16 +107,9 @@ func (e *Estimator) UnionConjunction(tab *sketch.Table, subs []SubQuery) (Estima
 
 // UnionConjunctionFrom is UnionConjunction over any partial source.
 func (e *Estimator) UnionConjunctionFrom(src PartialSource, subs []SubQuery) (Estimate, error) {
-	if len(subs) == 1 {
-		// A single sub-query is an ordinary Algorithm 2 query; skip the
-		// matrix machinery and its conditioning penalty.
-		return e.FractionFrom(src, subs[0].Subset, subs[0].Value)
-	}
-	x, users, err := e.MatchDistributionFrom(src, subs)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return e.estimateFromRaw(x[len(subs)], users), nil
+	return runEstimate(src, func(p *Plan) (EstimateFinisher, error) {
+		return e.PlanUnionConjunction(p, subs)
+	})
 }
 
 // NoneOf estimates the fraction of users satisfying none of the sub-queries,
@@ -153,14 +121,9 @@ func (e *Estimator) NoneOf(tab *sketch.Table, subs []SubQuery) (Estimate, error)
 
 // NoneOfFrom is NoneOf over any partial source.
 func (e *Estimator) NoneOfFrom(src PartialSource, subs []SubQuery) (Estimate, error) {
-	if err := validateSubQueries(subs); err != nil {
-		return Estimate{}, err
-	}
-	x, users, err := e.MatchDistributionFrom(src, subs)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return e.estimateFromRaw(x[0], users), nil
+	return runEstimate(src, func(p *Plan) (EstimateFinisher, error) {
+		return e.PlanNoneOf(p, subs)
+	})
 }
 
 // ExactlyOfK estimates the fraction of users satisfying exactly l of the k
@@ -172,14 +135,9 @@ func (e *Estimator) ExactlyOfK(tab *sketch.Table, subs []SubQuery, l int) (Estim
 
 // ExactlyOfKFrom is ExactlyOfK over any partial source.
 func (e *Estimator) ExactlyOfKFrom(src PartialSource, subs []SubQuery, l int) (Estimate, error) {
-	if l < 0 || l > len(subs) {
-		return Estimate{}, fmt.Errorf("%w: exactly-%d-of-%d", ErrMismatch, l, len(subs))
-	}
-	x, users, err := e.MatchDistributionFrom(src, subs)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return e.estimateFromRaw(x[l], users), nil
+	return runEstimate(src, func(p *Plan) (EstimateFinisher, error) {
+		return e.PlanExactlyOfK(p, subs, l)
+	})
 }
 
 // AtLeastOfK estimates the fraction of users satisfying at least l of the k
@@ -190,18 +148,9 @@ func (e *Estimator) AtLeastOfK(tab *sketch.Table, subs []SubQuery, l int) (Estim
 
 // AtLeastOfKFrom is AtLeastOfK over any partial source.
 func (e *Estimator) AtLeastOfKFrom(src PartialSource, subs []SubQuery, l int) (Estimate, error) {
-	if l < 0 || l > len(subs) {
-		return Estimate{}, fmt.Errorf("%w: at-least-%d-of-%d", ErrMismatch, l, len(subs))
-	}
-	x, users, err := e.MatchDistributionFrom(src, subs)
-	if err != nil {
-		return Estimate{}, err
-	}
-	var raw float64
-	for i := l; i < len(x); i++ {
-		raw += x[i]
-	}
-	return e.estimateFromRaw(raw, users), nil
+	return runEstimate(src, func(p *Plan) (EstimateFinisher, error) {
+		return e.PlanAtLeastOfK(p, subs, l)
+	})
 }
 
 // virtualBit is one heterogeneously perturbed bit: the observed (public)

@@ -1,9 +1,6 @@
 package query
 
 import (
-	"errors"
-	"fmt"
-
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/sketch"
 )
@@ -43,26 +40,12 @@ func (e *Estimator) ConjunctionFraction(tab *sketch.Table, c bitvec.Conjunction)
 }
 
 // ConjunctionFractionFrom is ConjunctionFraction over any partial source.
+// Both the exact-subset evaluation and the Appendix F gluing fallback ride
+// one plan execution; the finisher prefers the exact path and falls back
+// only on ErrNoSketches, so no separate HasSubset probe (which over a
+// cluster source would cost a second full fan-out) is ever needed.
 func (e *Estimator) ConjunctionFractionFrom(src PartialSource, c bitvec.Conjunction) (Estimate, error) {
-	if c.Len() == 0 {
-		return Estimate{}, fmt.Errorf("%w: empty conjunction", ErrMismatch)
-	}
-	b, v := c.Split()
-	// Try the exact-subset path directly; ErrNoSketches means no sketches
-	// of this exact subset exist, which is the old HasSubset probe folded
-	// into the evaluation itself — over a cluster source a separate probe
-	// would cost a second full fan-out.
-	est, err := e.FractionFrom(src, b, v)
-	if err == nil || !errors.Is(err, ErrNoSketches) {
-		return est, err
-	}
-	subs := make([]SubQuery, c.Len())
-	for i, lit := range c {
-		val := bitvec.New(1)
-		if lit.Value {
-			val.Set(0, true)
-		}
-		subs[i] = SubQuery{Subset: bitvec.MustSubset(lit.Position), Value: val}
-	}
-	return e.UnionConjunctionFrom(src, subs)
+	return runEstimate(src, func(p *Plan) (EstimateFinisher, error) {
+		return e.PlanConjunctionFraction(p, c)
+	})
 }

@@ -1,12 +1,8 @@
 package query
 
 import (
-	"fmt"
-	"math"
-
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/sketch"
-	"sketchprivacy/internal/stats"
 )
 
 // prefixValue returns the first i bits of c's width-k binary representation
@@ -33,38 +29,13 @@ func (e *Estimator) FieldLessThan(tab *sketch.Table, f bitvec.IntField, c uint64
 	return e.FieldLessThanFrom(e.TableSource(tab), f, c)
 }
 
-// FieldLessThanFrom is FieldLessThan over any partial source.
+// FieldLessThanFrom is FieldLessThan over any partial source.  The whole
+// popcount(c)-term prefix decomposition compiles into one plan, so it
+// costs one table pass locally and one fan-out over a cluster.
 func (e *Estimator) FieldLessThanFrom(src PartialSource, f bitvec.IntField, c uint64) (NumericEstimate, error) {
-	if c > f.Max() {
-		// Every representable value is below c.
-		n, err := src.SubsetRecords(f.BitSubset(1))
-		if err != nil {
-			return NumericEstimate{}, err
-		}
-		return NumericEstimate{Value: 1, Users: int(n), Queries: 0}, nil
-	}
-	cBits := bitvec.FromUint(c, f.Width)
-	var raw float64
-	users := math.MaxInt64
-	queries := 0
-	for i := 1; i <= f.Width; i++ {
-		if !cBits.Get(i - 1) {
-			continue
-		}
-		est, err := e.FractionFrom(src, f.PrefixSubset(i), prefixValue(c, f.Width, i))
-		if err != nil {
-			return NumericEstimate{}, fmt.Errorf("prefix %d: %w", i, err)
-		}
-		raw += est.Raw
-		queries++
-		if est.Users < users {
-			users = est.Users
-		}
-	}
-	if users == math.MaxInt64 {
-		users = 0
-	}
-	return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanFieldLessThan(p, f, c)
+	})
 }
 
 // FieldAtMost estimates the fraction of users with field value ≤ c.  It is
@@ -77,30 +48,9 @@ func (e *Estimator) FieldAtMost(tab *sketch.Table, f bitvec.IntField, c uint64) 
 
 // FieldAtMostFrom is FieldAtMost over any partial source.
 func (e *Estimator) FieldAtMostFrom(src PartialSource, f bitvec.IntField, c uint64) (NumericEstimate, error) {
-	if c >= f.Max() {
-		n, err := src.SubsetRecords(f.FullSubset())
-		if err != nil {
-			return NumericEstimate{}, err
-		}
-		return NumericEstimate{Value: 1, Users: int(n), Queries: 0}, nil
-	}
-	less, err := e.FieldLessThanFrom(src, f, c)
-	if err != nil {
-		return NumericEstimate{}, err
-	}
-	eq, err := e.FractionFrom(src, f.FullSubset(), bitvec.FromUint(c, f.Width))
-	if err != nil {
-		return NumericEstimate{}, fmt.Errorf("equality term: %w", err)
-	}
-	users := less.Users
-	if less.Queries == 0 || eq.Users < users {
-		users = eq.Users
-	}
-	return NumericEstimate{
-		Value:   stats.Clamp01(less.Value + eq.Raw),
-		Users:   users,
-		Queries: less.Queries + 1,
-	}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanFieldAtMost(p, f, c)
+	})
 }
 
 // EqualAndLessThan estimates the fraction of users satisfying a = c and
@@ -114,33 +64,9 @@ func (e *Estimator) EqualAndLessThan(tab *sketch.Table, a bitvec.IntField, c uin
 
 // EqualAndLessThanFrom is EqualAndLessThan over any partial source.
 func (e *Estimator) EqualAndLessThanFrom(src PartialSource, a bitvec.IntField, c uint64, b bitvec.IntField, d uint64) (NumericEstimate, error) {
-	if c > a.Max() {
-		return NumericEstimate{}, fmt.Errorf("%w: constant %d does not fit in field of width %d", ErrMismatch, c, a.Width)
-	}
-	dBits := bitvec.FromUint(d, b.Width)
-	aQuery := SubQuery{Subset: a.FullSubset(), Value: bitvec.FromUint(c, a.Width)}
-	var raw float64
-	users := math.MaxInt64
-	queries := 0
-	for i := 1; i <= b.Width; i++ {
-		if !dBits.Get(i - 1) {
-			continue
-		}
-		subs := []SubQuery{aQuery, {Subset: b.PrefixSubset(i), Value: prefixValue(d, b.Width, i)}}
-		est, err := e.UnionConjunctionFrom(src, subs)
-		if err != nil {
-			return NumericEstimate{}, fmt.Errorf("prefix %d: %w", i, err)
-		}
-		raw += est.Raw
-		queries++
-		if est.Users < users {
-			users = est.Users
-		}
-	}
-	if users == math.MaxInt64 {
-		users = 0
-	}
-	return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanEqualAndLessThan(p, a, c, b, d)
+	})
 }
 
 // ConditionalSumGivenLessThan estimates (1/M)·Σ_u b_u·1[a_u < c] — the
@@ -155,35 +81,9 @@ func (e *Estimator) ConditionalSumGivenLessThan(tab *sketch.Table, b bitvec.IntF
 // ConditionalSumGivenLessThanFrom is ConditionalSumGivenLessThan over any
 // partial source.
 func (e *Estimator) ConditionalSumGivenLessThanFrom(src PartialSource, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
-	cBits := bitvec.FromUint(c, a.Width)
-	var total float64
-	users := math.MaxInt64
-	queries := 0
-	for j := 1; j <= a.Width; j++ {
-		if !cBits.Get(j - 1) {
-			continue
-		}
-		prefixQuery := SubQuery{Subset: a.PrefixSubset(j), Value: prefixValue(c, a.Width, j)}
-		for i := 1; i <= b.Width; i++ {
-			subs := []SubQuery{prefixQuery, {Subset: b.BitSubset(i), Value: oneBit()}}
-			est, err := e.UnionConjunctionFrom(src, subs)
-			if err != nil {
-				return NumericEstimate{}, fmt.Errorf("prefix %d, bit %d: %w", j, i, err)
-			}
-			total += math.Pow(2, float64(b.Width-i)) * est.Raw
-			queries++
-			if est.Users < users {
-				users = est.Users
-			}
-		}
-	}
-	if users == math.MaxInt64 {
-		users = 0
-	}
-	if total < 0 {
-		total = 0
-	}
-	return NumericEstimate{Value: total, Users: users, Queries: queries}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanConditionalSumGivenLessThan(p, b, a, c)
+	})
 }
 
 // ConditionalMeanGivenLessThan estimates E[b | a < c]: the conditional sum
@@ -193,22 +93,9 @@ func (e *Estimator) ConditionalMeanGivenLessThan(tab *sketch.Table, b bitvec.Int
 }
 
 // ConditionalMeanGivenLessThanFrom is ConditionalMeanGivenLessThan over any
-// partial source.
+// partial source; numerator and denominator share one plan execution.
 func (e *Estimator) ConditionalMeanGivenLessThanFrom(src PartialSource, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericEstimate, error) {
-	num, err := e.ConditionalSumGivenLessThanFrom(src, b, a, c)
-	if err != nil {
-		return NumericEstimate{}, err
-	}
-	den, err := e.FieldLessThanFrom(src, a, c)
-	if err != nil {
-		return NumericEstimate{}, err
-	}
-	if den.Value <= 0 {
-		return NumericEstimate{}, fmt.Errorf("query: estimated condition frequency is zero; conditional mean undefined")
-	}
-	val := num.Value / den.Value
-	if max := float64(b.Max()); val > max {
-		val = max
-	}
-	return NumericEstimate{Value: val, Users: num.Users, Queries: num.Queries + den.Queries}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanConditionalMeanGivenLessThan(p, b, a, c)
+	})
 }

@@ -1,9 +1,6 @@
 package query
 
 import (
-	"fmt"
-	"math"
-
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/sketch"
 )
@@ -30,30 +27,12 @@ func (e *Estimator) FieldMean(tab *sketch.Table, f bitvec.IntField) (NumericEsti
 	return e.FieldMeanFrom(e.TableSource(tab), f)
 }
 
-// FieldMeanFrom is FieldMean over any partial source.
+// FieldMeanFrom is FieldMean over any partial source: the whole per-bit
+// decomposition compiles into one plan, so it costs one batched execution.
 func (e *Estimator) FieldMeanFrom(src PartialSource, f bitvec.IntField) (NumericEstimate, error) {
-	var mean float64
-	users := math.MaxInt64
-	for i := 1; i <= f.Width; i++ {
-		est, err := e.FractionFrom(src, f.BitSubset(i), oneBit())
-		if err != nil {
-			return NumericEstimate{}, fmt.Errorf("bit %d of field: %w", i, err)
-		}
-		weight := math.Pow(2, float64(f.Width-i))
-		// Use the unclamped estimate so the linear combination stays
-		// unbiased; the final mean is clamped to the representable range.
-		mean += weight * est.Raw
-		if est.Users < users {
-			users = est.Users
-		}
-	}
-	if mean < 0 {
-		mean = 0
-	}
-	if max := float64(f.Max()); mean > max {
-		mean = max
-	}
-	return NumericEstimate{Value: mean, Users: users, Queries: f.Width}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanFieldMean(p, f)
+	})
 }
 
 // FieldSum estimates the population sum of a field: mean × users.
@@ -63,12 +42,9 @@ func (e *Estimator) FieldSum(tab *sketch.Table, f bitvec.IntField) (NumericEstim
 
 // FieldSumFrom is FieldSum over any partial source.
 func (e *Estimator) FieldSumFrom(src PartialSource, f bitvec.IntField) (NumericEstimate, error) {
-	est, err := e.FieldMeanFrom(src, f)
-	if err != nil {
-		return NumericEstimate{}, err
-	}
-	est.Value *= float64(est.Users)
-	return est, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanFieldSum(p, f)
+	})
 }
 
 // InnerProductMean estimates the population mean of the product a·b of two
@@ -81,33 +57,12 @@ func (e *Estimator) InnerProductMean(tab *sketch.Table, a, b bitvec.IntField) (N
 	return e.InnerProductMeanFrom(e.TableSource(tab), a, b)
 }
 
-// InnerProductMeanFrom is InnerProductMean over any partial source.
+// InnerProductMeanFrom is InnerProductMean over any partial source: all k²
+// two-bit combinations ride one plan execution.
 func (e *Estimator) InnerProductMeanFrom(src PartialSource, a, b bitvec.IntField) (NumericEstimate, error) {
-	var total float64
-	users := math.MaxInt64
-	queries := 0
-	for i := 1; i <= a.Width; i++ {
-		for j := 1; j <= b.Width; j++ {
-			subs := []SubQuery{
-				{Subset: a.BitSubset(i), Value: oneBit()},
-				{Subset: b.BitSubset(j), Value: oneBit()},
-			}
-			est, err := e.UnionConjunctionFrom(src, subs)
-			if err != nil {
-				return NumericEstimate{}, fmt.Errorf("bits (%d,%d): %w", i, j, err)
-			}
-			weight := math.Pow(2, float64(a.Width-i)+float64(b.Width-j))
-			total += weight * est.Raw
-			queries++
-			if est.Users < users {
-				users = est.Users
-			}
-		}
-	}
-	if total < 0 {
-		total = 0
-	}
-	return NumericEstimate{Value: total, Users: users, Queries: queries}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanInnerProductMean(p, a, b)
+	})
 }
 
 // FieldBitSubsets returns the single-bit subsets every numeric estimator in

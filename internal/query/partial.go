@@ -60,11 +60,15 @@ func (h HistPartial) Merge(o HistPartial) (HistPartial, error) {
 type UserFilter func(bitvec.UserID) bool
 
 // PartialSource supplies the raw counters the estimators reduce over.  Two
-// implementations exist: the local sketch table (TableSource) and the
-// cluster router, which fans each request out to all live nodes and merges
+// primary implementations exist: the local sketch table (TableSource) and
+// the cluster router, which fans requests out to all live nodes and merges
 // their partials exactly.  Every derived estimator (numeric, interval,
-// tree, Appendix F combinations) is written against this interface, so the
-// whole query surface works unchanged over a cluster.
+// tree, Appendix F combinations) compiles its needs into a Plan and runs
+// it through Execute in one batch, so the whole query surface works
+// unchanged — and equally batched — over a table or a cluster.  The
+// per-call methods remain the reference semantics Execute must match bit
+// for bit; ExecuteSerial (or the SerialSource wrapper) derives a correct
+// Execute from them for sources without a native batch path.
 type PartialSource interface {
 	// FractionPartial returns the Algorithm 2 counters for one
 	// (subset, value) evaluation.  A source with no records for the subset
@@ -77,6 +81,11 @@ type PartialSource interface {
 	SubsetRecords(b bitvec.Subset) (uint64, error)
 	// TotalRecords returns how many records exist across all subsets.
 	TotalRecords() (uint64, error)
+	// Execute runs every evaluation of a plan in one batch — one parallel
+	// table pass locally, one scatter-gather fan-out over a cluster — and
+	// must return counters bit-identical to running the plan entry-at-a-
+	// time through the methods above.
+	Execute(p *Plan) (*Results, error)
 }
 
 // tableSource adapts a local sketch table to PartialSource.
@@ -105,6 +114,12 @@ func (s tableSource) SubsetRecords(b bitvec.Subset) (uint64, error) {
 
 func (s tableSource) TotalRecords() (uint64, error) {
 	return TotalRecordsOf(s.tab, nil), nil
+}
+
+// Execute runs the plan in one batched table pass (no cross-query cache;
+// the engine's source adds one).
+func (s tableSource) Execute(p *Plan) (*Results, error) {
+	return s.e.ExecutePlanOver(s.tab, p, nil, nil)
 }
 
 // FractionPartialOf computes the Algorithm 2 raw counters over the table's
@@ -210,18 +225,9 @@ func validateFractionShape(b bitvec.Subset, v bitvec.Vector) error {
 // integers a single node holding the union of the records would compute,
 // so the estimate is bit-identical.
 func (e *Estimator) FractionFrom(src PartialSource, b bitvec.Subset, v bitvec.Vector) (Estimate, error) {
-	if err := validateFractionShape(b, v); err != nil {
-		return Estimate{}, err
-	}
-	part, err := src.FractionPartial(b, v)
-	if err != nil {
-		return Estimate{}, err
-	}
-	if part.Records == 0 {
-		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSketches, b)
-	}
-	observed := float64(part.Hits) / float64(part.Records)
-	return e.newEstimate(observed, int(part.Records)), nil
+	return runEstimate(src, func(p *Plan) (EstimateFinisher, error) {
+		return e.PlanFraction(p, b, v)
+	})
 }
 
 // CountFrom is FractionFrom scaled to a user count estimate.

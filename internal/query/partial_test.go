@@ -59,6 +59,10 @@ func (m mergedSource) TotalRecords() (uint64, error) {
 	return n, nil
 }
 
+// Execute runs the plan entry-at-a-time over the merged shards — the
+// serial reference path.
+func (m mergedSource) Execute(p *Plan) (*Results, error) { return ExecuteSerial(m, p) }
+
 // sameEstimate compares estimates bit for bit (Observed is NaN for the
 // combination estimators, so == alone cannot be used).
 func sameEstimate(a, b Estimate) bool {

@@ -1,0 +1,230 @@
+package query
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/stats"
+)
+
+// fuzzFixture caches the table the fuzzer executes every random plan
+// against; building it once keeps iterations fast enough for CI fuzzing.
+var fuzzFixture struct {
+	once sync.Once
+	tab  *sketch.Table
+	est  *Estimator
+	err  error
+}
+
+// fuzzSubsets are the subsets random plans draw from.  The last two are
+// deliberately never sketched, so plans routinely contain empty-record
+// evaluations — a case the executors must agree on exactly.
+func fuzzSubsets() []bitvec.Subset {
+	return []bitvec.Subset{
+		bitvec.MustSubset(0), bitvec.MustSubset(1), bitvec.MustSubset(2),
+		bitvec.MustSubset(3), bitvec.MustSubset(4), bitvec.MustSubset(5),
+		bitvec.Range(0, 2), bitvec.Range(0, 3), bitvec.Range(2, 5),
+		bitvec.Range(0, 6), bitvec.MustSubset(7, 9),
+	}
+}
+
+// fuzzTable lazily builds the shared fixture: 400 six-bit profiles
+// sketched over every subset except the last two of fuzzSubsets.
+func fuzzTable() (*sketch.Table, *Estimator, error) {
+	fuzzFixture.once.Do(func() {
+		const p = 0.3
+		h := testSource(p)
+		sk, err := sketch.NewSketcher(h, sketch.MustParams(p, 10))
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		est, err := NewEstimator(h)
+		if err != nil {
+			fuzzFixture.err = err
+			return
+		}
+		subsets := fuzzSubsets()
+		subsets = subsets[:len(subsets)-2]
+		pop := dataset.UniformBinary(99, 400, 6, 0.5)
+		tab := sketch.NewTable()
+		rng := stats.NewRNG(77)
+		for _, profile := range pop.Profiles {
+			pubs, err := sk.SketchAll(rng, profile, subsets)
+			if err != nil {
+				fuzzFixture.err = err
+				return
+			}
+			if err := tab.AddAll(pubs); err != nil {
+				fuzzFixture.err = err
+				return
+			}
+		}
+		fuzzFixture.tab, fuzzFixture.est = tab, est
+	})
+	return fuzzFixture.tab, fuzzFixture.est, fuzzFixture.err
+}
+
+// mapCache is a minimal BitmapCache for the fuzzer's warm-execution leg.
+type mapCache struct {
+	m map[string]struct {
+		gen     uint64
+		records int
+		words   []uint64
+	}
+}
+
+func (c *mapCache) Get(key string, gen uint64, records int) ([]uint64, bool) {
+	e, ok := c.m[key]
+	if !ok || e.gen != gen || e.records != records {
+		return nil, false
+	}
+	return e.words, true
+}
+
+func (c *mapCache) Put(key string, gen uint64, records int, words []uint64) {
+	c.m[key] = struct {
+		gen     uint64
+		records int
+		words   []uint64
+	}{gen, records, words}
+}
+
+// FuzzPlanEquivalence drives random plans — arbitrary mixes of fraction
+// entries (including never-sketched subsets), histograms, record counts
+// and ownership filters — through the one-pass batched executor, cold and
+// cache-warmed, and asserts the counters are bit-for-bit identical to the
+// per-call reference path (ExecuteSerial).  This is the differential
+// guarantee the whole refactor rests on: batching is an execution
+// strategy, never a semantics change.
+func FuzzPlanEquivalence(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 3, 1, 0, 2, 5, 3, 2, 4})
+	f.Add([]byte{2, 2, 1, 0, 1, 1, 0, 9, 1, 1})
+	f.Add([]byte{1, 10, 255, 1, 9, 0, 4, 3, 10, 2})
+	f.Add([]byte{5, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, est, err := fuzzTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		subsets := fuzzSubsets()
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		valueFor := func(b bitvec.Subset) bitvec.Vector {
+			v := bitvec.New(b.Len())
+			for i := 0; i < b.Len(); i++ {
+				if next()&1 == 1 {
+					v.Set(i, true)
+				}
+			}
+			return v
+		}
+		plan := NewPlan()
+		for ops := 0; pos < len(data) && ops < 24; ops++ {
+			switch next() % 6 {
+			case 0, 1:
+				b := subsets[int(next())%len(subsets)]
+				if _, err := plan.AddFraction(b, valueFor(b)); err != nil {
+					t.Fatalf("AddFraction of a well-shaped pair errored: %v", err)
+				}
+			case 2:
+				k := 1 + int(next())%3
+				subs := make([]SubQuery, k)
+				for j := range subs {
+					b := subsets[int(next())%len(subsets)]
+					subs[j] = SubQuery{Subset: b, Value: valueFor(b)}
+				}
+				if fr := plan.Fractions(); len(fr) > 0 && next()&1 == 1 {
+					// Guarded form: skippable when the guard finds records.
+					if _, err := plan.AddHistogramGuarded(subs, FracRef(int(next())%len(fr))); err != nil {
+						t.Fatalf("AddHistogramGuarded with a valid guard errored: %v", err)
+					}
+				} else if _, err := plan.AddHistogram(subs); err != nil {
+					t.Fatalf("AddHistogram of well-shaped sub-queries errored: %v", err)
+				}
+			case 3:
+				plan.AddSubsetRecords(subsets[int(next())%len(subsets)])
+			case 4:
+				plan.AddTotalRecords()
+			case 5:
+				// Shape validation must reject an empty subset at build
+				// time on every path.
+				if _, err := plan.AddFraction(bitvec.Subset{}, bitvec.New(0)); err == nil {
+					t.Fatal("AddFraction accepted an empty subset")
+				}
+			}
+		}
+		var keep UserFilter
+		switch next() % 3 {
+		case 1:
+			keep = func(id bitvec.UserID) bool { return uint64(id)%2 == 0 }
+		case 2:
+			keep = func(id bitvec.UserID) bool { return uint64(id)%3 == 1 }
+		}
+
+		want, wantErr := ExecuteSerial(filteredTableSource{est, tab, keep}, plan)
+		got, gotErr := est.ExecutePlanOver(tab, plan, keep, nil)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("serial err %v, batch err %v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("batched execution differs from per-call:\nserial %+v\nbatch  %+v", want, got)
+		}
+		cache := &mapCache{m: make(map[string]struct {
+			gen     uint64
+			records int
+			words   []uint64
+		})}
+		for pass := 0; pass < 2; pass++ {
+			warm, err := est.ExecutePlanOver(tab, plan, keep, cache)
+			if err != nil {
+				t.Fatalf("cached pass %d errored: %v", pass, err)
+			}
+			if !reflect.DeepEqual(want, warm) {
+				t.Fatalf("cached pass %d differs from per-call:\nserial %+v\ncached %+v", pass, want, warm)
+			}
+		}
+	})
+}
+
+// filteredTableSource is the per-call reference path under an ownership
+// filter — exactly what a cluster node computes for each entry.
+type filteredTableSource struct {
+	e    *Estimator
+	tab  *sketch.Table
+	keep UserFilter
+}
+
+func (s filteredTableSource) FractionPartial(b bitvec.Subset, v bitvec.Vector) (Partial, error) {
+	return s.e.FractionPartialOf(s.tab, b, v, s.keep)
+}
+
+func (s filteredTableSource) HistogramPartial(subs []SubQuery) (HistPartial, error) {
+	return s.e.HistogramPartialOf(s.tab, subs, s.keep)
+}
+
+func (s filteredTableSource) SubsetRecords(b bitvec.Subset) (uint64, error) {
+	return SubsetRecordsOf(s.tab, b, s.keep), nil
+}
+
+func (s filteredTableSource) TotalRecords() (uint64, error) {
+	return TotalRecordsOf(s.tab, s.keep), nil
+}
+
+func (s filteredTableSource) Execute(p *Plan) (*Results, error) { return ExecuteSerial(s, p) }

@@ -1,0 +1,322 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/dataset"
+)
+
+// planTestFixture builds one table carrying every subset family the
+// estimators need: a conjunctive subset, single-bit and prefix subsets of
+// two 4-bit fields, and both full-field subsets.
+func planTestFixture(t *testing.T) (*Estimator, PartialSource, PartialSource, bitvec.IntField, bitvec.IntField) {
+	t.Helper()
+	const p, width = 0.3, 8
+	pop := dataset.UniformBinary(21, 2500, width, 0.45)
+	fa := bitvec.MustIntField(0, 4)
+	fb := bitvec.MustIntField(4, 4)
+	subsets := []bitvec.Subset{bitvec.Range(0, 4)}
+	subsets = append(subsets, FieldBitSubsets(fa)...)
+	subsets = append(subsets, FieldPrefixSubsets(fa)...)
+	subsets = append(subsets, FieldBitSubsets(fb)...)
+	subsets = append(subsets, FieldPrefixSubsets(fb)...)
+	subsets = append(subsets, fb.FullSubset())
+	tab, est := buildTable(t, pop, dedupSubsets(subsets), p, 10, 13)
+	batch := est.TableSource(tab)
+	return est, batch, SerialSource{Src: batch}, fa, fb
+}
+
+// dedupSubsets drops duplicate subsets (prefix 1 equals bit 1, the full
+// subset equals the widest prefix) so buildTable never double-sketches.
+func dedupSubsets(subsets []bitvec.Subset) []bitvec.Subset {
+	seen := make(map[string]bool)
+	out := subsets[:0]
+	for _, b := range subsets {
+		if seen[b.Key()] {
+			continue
+		}
+		seen[b.Key()] = true
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestPlanPathBitIdenticalToPerCall is the tentpole's golden test: every
+// estimator answered through the one-pass batched executor equals the
+// per-call partial path bit for bit, numeric edge cases included.
+func TestPlanPathBitIdenticalToPerCall(t *testing.T) {
+	est, batch, serial, fa, fb := planTestFixture(t)
+	conjSubset := bitvec.Range(0, 4)
+	conjValue := bitvec.MustFromString("1010")
+	subs := []SubQuery{
+		{Subset: fa.BitSubset(1), Value: oneBit()},
+		{Subset: fa.BitSubset(2), Value: oneBit()},
+		{Subset: fb.BitSubset(1), Value: oneBit()},
+	}
+	tree := Node(0, Leaf(false), Node(5, Leaf(true), Leaf(true)))
+
+	type estCase struct {
+		name string
+		run  func(src PartialSource) (any, error)
+	}
+	cases := []estCase{
+		{"Fraction", func(s PartialSource) (any, error) { return est.FractionFrom(s, conjSubset, conjValue) }},
+		{"UnionConjunction", func(s PartialSource) (any, error) { return est.UnionConjunctionFrom(s, subs) }},
+		{"UnionConjunction1", func(s PartialSource) (any, error) { return est.UnionConjunctionFrom(s, subs[:1]) }},
+		{"ExactlyOfK", func(s PartialSource) (any, error) { return est.ExactlyOfKFrom(s, subs, 2) }},
+		{"AtLeastOfK", func(s PartialSource) (any, error) { return est.AtLeastOfKFrom(s, subs, 1) }},
+		{"NoneOf", func(s PartialSource) (any, error) { return est.NoneOfFrom(s, subs) }},
+		{"ConjunctionExact", func(s PartialSource) (any, error) {
+			return est.ConjunctionFractionFrom(s, bitvec.MustConjunction(
+				bitvec.Literal{Position: 0, Value: true}, bitvec.Literal{Position: 1, Value: false},
+				bitvec.Literal{Position: 2, Value: true}, bitvec.Literal{Position: 3, Value: false}))
+		}},
+		{"ConjunctionGlued", func(s PartialSource) (any, error) {
+			// {0,5} was never sketched as a subset: exercises the
+			// ErrNoSketches fallback onto Appendix F gluing.
+			return est.ConjunctionFractionFrom(s, bitvec.MustConjunction(
+				bitvec.Literal{Position: 0, Value: true}, bitvec.Literal{Position: 5, Value: true}))
+		}},
+		{"FieldMean", func(s PartialSource) (any, error) { return est.FieldMeanFrom(s, fa) }},
+		{"FieldSum", func(s PartialSource) (any, error) { return est.FieldSumFrom(s, fa) }},
+		{"FieldLessThan", func(s PartialSource) (any, error) { return est.FieldLessThanFrom(s, fa, 11) }},
+		{"FieldLessThanZero", func(s PartialSource) (any, error) { return est.FieldLessThanFrom(s, fa, 0) }},
+		{"FieldLessThanAll", func(s PartialSource) (any, error) { return est.FieldLessThanFrom(s, fa, fa.Max()+1) }},
+		{"FieldAtMost", func(s PartialSource) (any, error) { return est.FieldAtMostFrom(s, fb, 9) }},
+		{"FieldAtMostAll", func(s PartialSource) (any, error) { return est.FieldAtMostFrom(s, fb, fb.Max()) }},
+		{"InnerProductMean", func(s PartialSource) (any, error) { return est.InnerProductMeanFrom(s, fa, fb) }},
+		{"EqualAndLessThan", func(s PartialSource) (any, error) { return est.EqualAndLessThanFrom(s, fb, 6, fa, 13) }},
+		{"ConditionalSum", func(s PartialSource) (any, error) { return est.ConditionalSumGivenLessThanFrom(s, fb, fa, 10) }},
+		{"ConditionalMean", func(s PartialSource) (any, error) { return est.ConditionalMeanGivenLessThanFrom(s, fb, fa, 10) }},
+		{"DecisionTree", func(s PartialSource) (any, error) { return est.DecisionTreeFractionFrom(s, tree) }},
+		{"DecisionTreeAllAccept", func(s PartialSource) (any, error) { return est.DecisionTreeFractionFrom(s, Leaf(true)) }},
+		{"MatchDistribution", func(s PartialSource) (any, error) {
+			x, users, err := est.MatchDistributionFrom(s, subs)
+			return struct {
+				X     []float64
+				Users int
+			}{x, users}, err
+		}},
+	}
+	for _, tc := range cases {
+		want, wantErr := tc.run(serial)
+		got, gotErr := tc.run(batch)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: per-call err %v, plan err %v", tc.name, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s: error text differs:\nper-call %v\nplan     %v", tc.name, wantErr, gotErr)
+			}
+			continue
+		}
+		if !sameResult(want, got) {
+			t.Fatalf("%s: plan path differs from per-call path:\nper-call %+v\nplan     %+v", tc.name, want, got)
+		}
+	}
+}
+
+// sameResult compares estimator outputs bit for bit, tolerating the NaN
+// Observed field the combination estimators report (NaN != NaN under
+// reflect.DeepEqual).
+func sameResult(a, b any) bool {
+	if ea, ok := a.(Estimate); ok {
+		eb, ok := b.(Estimate)
+		return ok && sameEstimate(ea, eb)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestPlanErrorEquivalence pins the error contract of the plan path onto
+// the per-call one, including errors that surface before execution.
+func TestPlanErrorEquivalence(t *testing.T) {
+	est, batch, serial, fa, _ := planTestFixture(t)
+	missing := bitvec.MustIntField(2, 4) // prefix subsets of this field were never sketched
+	cases := []struct {
+		name string
+		run  func(src PartialSource) error
+	}{
+		{"NoSketches", func(s PartialSource) error {
+			_, err := est.FractionFrom(s, bitvec.MustSubset(9), oneBit())
+			return err
+		}},
+		{"ShapeMismatch", func(s PartialSource) error {
+			_, err := est.FractionFrom(s, bitvec.Range(0, 4), oneBit())
+			return err
+		}},
+		{"EmptySubset", func(s PartialSource) error {
+			_, err := est.FractionFrom(s, bitvec.Subset{}, bitvec.New(0))
+			return err
+		}},
+		{"IntervalMissingPrefix", func(s PartialSource) error {
+			_, err := est.FieldLessThanFrom(s, missing, 9)
+			return err
+		}},
+		{"ExactlyBounds", func(s PartialSource) error {
+			_, err := est.ExactlyOfKFrom(s, []SubQuery{{Subset: fa.BitSubset(1), Value: oneBit()}}, 5)
+			return err
+		}},
+		{"NoSubQueries", func(s PartialSource) error {
+			_, err := est.UnionConjunctionFrom(s, nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		wantErr := tc.run(serial)
+		gotErr := tc.run(batch)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("%s: expected errors, got per-call %v, plan %v", tc.name, wantErr, gotErr)
+		}
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: error text differs:\nper-call %v\nplan     %v", tc.name, wantErr, gotErr)
+		}
+	}
+	// ErrNoSketches identity must survive the plan path so callers'
+	// errors.Is checks (and the conjunction fallback) keep working.
+	if _, err := est.FractionFrom(batch, bitvec.MustSubset(9), oneBit()); !errors.Is(err, ErrNoSketches) {
+		t.Fatalf("plan path lost ErrNoSketches identity: %v", err)
+	}
+}
+
+// TestPlanDedup verifies that identical evaluations collapse to one plan
+// entry and re-adding returns the original ref.
+func TestPlanDedup(t *testing.T) {
+	p := NewPlan()
+	b := bitvec.Range(0, 4)
+	v := bitvec.MustFromString("1010")
+	r1, err := p.AddFraction(b, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.AddFraction(bitvec.Range(0, 4), bitvec.MustFromString("1010"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || len(p.Fractions()) != 1 {
+		t.Fatalf("identical fractions not deduped: refs %d,%d over %d entries", r1, r2, len(p.Fractions()))
+	}
+	subs := []SubQuery{{Subset: b, Value: v}, {Subset: bitvec.MustSubset(1), Value: oneBit()}}
+	h1, err := p.AddHistogram(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := p.AddHistogram([]SubQuery{{Subset: b, Value: v}, {Subset: bitvec.MustSubset(1), Value: oneBit()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || len(p.Histograms()) != 1 {
+		t.Fatalf("identical histograms not deduped")
+	}
+	if c1, c2 := p.AddSubsetRecords(b), p.AddSubsetRecords(b); c1 != c2 || len(p.CountSubsets()) != 1 {
+		t.Fatalf("identical counts not deduped")
+	}
+	// An interval query's prefix entries overlap across constants: the
+	// shared prefixes of c=12 (1100) and c=8 (1000) must share an entry.
+	fa := bitvec.MustIntField(0, 4)
+	est, err := NewEstimator(testSource(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewPlan()
+	if _, err := est.PlanFieldLessThan(shared, fa, 12); err != nil {
+		t.Fatal(err)
+	}
+	before := len(shared.Fractions())
+	if _, err := est.PlanFieldLessThan(shared, fa, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(shared.Fractions()); got != before {
+		t.Fatalf("overlapping interval prefixes did not dedup: %d entries grew to %d", before, got)
+	}
+}
+
+// TestPlanFilteredExecutionMatchesSerial checks the ownership-filtered
+// executor path (the cluster node side) against per-call filtering.
+func TestPlanFilteredExecutionMatchesSerial(t *testing.T) {
+	const p, width = 0.3, 6
+	pop := dataset.UniformBinary(5, 1500, width, 0.5)
+	fa := bitvec.MustIntField(0, 4)
+	subsets := append([]bitvec.Subset{bitvec.Range(0, 3)}, FieldBitSubsets(fa)...)
+	tab, est := buildTable(t, pop, dedupSubsets(subsets), p, 10, 3)
+	keep := func(id bitvec.UserID) bool { return uint64(id)%3 != 0 }
+
+	plan := NewPlan()
+	if _, err := est.PlanFieldMean(plan, fa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.AddFraction(bitvec.Range(0, 3), bitvec.MustFromString("101")); err != nil {
+		t.Fatal(err)
+	}
+	plan.AddSubsetRecords(fa.BitSubset(2))
+	plan.AddTotalRecords()
+
+	got, err := est.ExecutePlanOver(tab, plan, keep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Results{Total: TotalRecordsOf(tab, keep)}
+	for _, f := range plan.Fractions() {
+		part, err := est.FractionPartialOf(tab, f.Subset, f.Value, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Fractions = append(want.Fractions, part)
+	}
+	want.Hists = []HistPartial{}
+	got.Hists = got.Hists[:0]
+	for _, b := range plan.CountSubsets() {
+		want.Counts = append(want.Counts, SubsetRecordsOf(tab, b, keep))
+	}
+	if !reflect.DeepEqual(want.Fractions, got.Fractions) || !reflect.DeepEqual(want.Counts, got.Counts) || want.Total != got.Total {
+		t.Fatalf("filtered plan execution differs:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestGuardedHistogramSkipped pins the guarded-fallback optimization: a
+// conjunction whose exact subset is sketched must not pay for its gluing
+// histogram (the entry stays unevaluated), while the answer and the
+// unsketched-fallback behavior stay bit-identical to the per-call path.
+func TestGuardedHistogramSkipped(t *testing.T) {
+	est, src, _, fa, _ := planTestFixture(t)
+	exact := bitvec.MustConjunction(
+		bitvec.Literal{Position: 0, Value: true}, bitvec.Literal{Position: 1, Value: false},
+		bitvec.Literal{Position: 2, Value: true}, bitvec.Literal{Position: 3, Value: false})
+
+	plan := NewPlan()
+	fin, err := est.PlanConjunctionFraction(plan, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hists := plan.Histograms()
+	if len(hists) != 1 || !hists[0].GuardValid {
+		t.Fatalf("exact conjunction should register one guarded fallback histogram, got %+v", hists)
+	}
+	res, err := src.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fractions[hists[0].Guard].Records == 0 {
+		t.Fatal("fixture does not sketch the exact subset; the guard cannot fire")
+	}
+	if hp := res.Hists[0]; hp.Users != 0 || hp.Hist != nil {
+		t.Fatalf("guarded histogram was evaluated despite its guard firing: %+v", hp)
+	}
+	got, err := fin(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := est.ConjunctionFractionFrom(SerialSource{Src: src}, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEstimate(want, got) {
+		t.Fatalf("guarded plan answer %+v differs from per-call %+v", got, want)
+	}
+	// Invalid guard refs are rejected at build time.
+	if _, err := NewPlan().AddHistogramGuarded([]SubQuery{{Subset: fa.BitSubset(1), Value: oneBit()}}, 0); err == nil {
+		t.Fatal("guard pointing at a non-existent fraction entry accepted")
+	}
+}

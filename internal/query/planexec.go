@@ -1,0 +1,228 @@
+package query
+
+import (
+	"math/bits"
+	"sync"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+)
+
+// BitmapCache caches per-(subset, value) evaluation bitmaps across plan
+// executions.  A bitmap is one bit per record of a subset's sorted
+// snapshot; it is valid only for the table generation it was computed at,
+// so implementations key entries by generation and a write to the subset
+// (which bumps the generation) invalidates them implicitly.  The engine
+// provides the durable implementation; a nil cache simply recomputes.
+type BitmapCache interface {
+	// Get returns the cached bitmap for a fraction evaluation key, if one
+	// exists for exactly this generation and record count.
+	Get(key string, gen uint64, records int) ([]uint64, bool)
+	// Put stores a computed bitmap.  The words become shared and immutable.
+	Put(key string, gen uint64, records int, words []uint64)
+}
+
+// ExecutePlanOver runs an entire plan against one table in a single
+// batched pass per touched subset: the record loop is sharded across
+// GOMAXPROCS workers, each record's shared PRF message parts (tuple header,
+// user id, sketch key) are encoded once and reused across every fraction
+// evaluation of the subset, and the per-entry results are bitmaps — one
+// bit per snapshot record — so an attached cache reduces repeated and
+// overlapping evaluations to popcounts.  The counters produced are
+// bit-identical to running the plan entry-at-a-time through the per-call
+// methods (FuzzPlanEquivalence asserts this against ExecuteSerial):
+// evaluation H is deterministic per record, so batching, sharding and
+// caching cannot change any count.
+//
+// keep restricts every counter to records whose user passes the filter,
+// with the same semantics as the per-call methods: bitmaps are computed
+// over the full snapshot (making them cacheable regardless of filter) and
+// the filter is applied at counting time.
+func (e *Estimator) ExecutePlanOver(tab *sketch.Table, p *Plan, keep UserFilter, cache BitmapCache) (*Results, error) {
+	res := newResults(p)
+
+	// Group fraction entries by subset so each subset's snapshot is walked
+	// once for all its pending evaluations.
+	type group struct {
+		subset  bitvec.Subset
+		entries []int
+	}
+	var groups []group
+	byKey := make(map[string]int)
+	for i, f := range p.fractions {
+		k := f.Subset.Key()
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(groups)
+			groups = append(groups, group{subset: f.Subset})
+			byKey[k] = gi
+		}
+		groups[gi].entries = append(groups[gi].entries, i)
+	}
+
+	for _, g := range groups {
+		snap, gen, genOK := tab.SnapshotGen(g.subset)
+		useCache := cache != nil && genOK
+		bitmaps := make([][]uint64, len(g.entries))
+		var missJ []int
+		for j, ei := range g.entries {
+			if useCache {
+				if w, ok := cache.Get(p.fractions[ei].Key(), gen, len(snap)); ok {
+					bitmaps[j] = w
+					continue
+				}
+			}
+			missJ = append(missJ, j)
+		}
+		if len(missJ) > 0 && len(snap) > 0 {
+			missed := make([]FractionEval, len(missJ))
+			for c, j := range missJ {
+				missed[c] = p.fractions[g.entries[j]]
+			}
+			computed := evalBitmaps(e.h, snap, missed)
+			for c, j := range missJ {
+				bitmaps[j] = computed[c]
+				if useCache {
+					cache.Put(p.fractions[g.entries[j]].Key(), gen, len(snap), computed[c])
+				}
+			}
+		}
+
+		// Counting: an unfiltered query popcounts the bitmap directly; a
+		// filtered one popcounts against the subset's keep mask, computed
+		// once and shared by every evaluation of the subset.
+		if keep == nil {
+			for j, ei := range g.entries {
+				if len(snap) == 0 {
+					res.Fractions[ei] = Partial{}
+					continue
+				}
+				res.Fractions[ei] = Partial{Hits: popcount(bitmaps[j]), Records: uint64(len(snap))}
+			}
+			continue
+		}
+		mask := keepMask(snap, keep)
+		kept := popcount(mask)
+		for j, ei := range g.entries {
+			if kept == 0 {
+				res.Fractions[ei] = Partial{}
+				continue
+			}
+			res.Fractions[ei] = Partial{Hits: popcountAnd(bitmaps[j], mask), Records: kept}
+		}
+	}
+
+	// Histograms run over a different record universe (users holding every
+	// sub-query subset), already sharded internally.  Fractions were
+	// computed above, so guards can fire: a histogram whose guard counted
+	// records is the conjunction estimator's unused gluing fallback and is
+	// skipped rather than paid for.
+	for i, h := range p.hists {
+		if h.Skipped(res.Fractions) {
+			continue
+		}
+		hp, err := e.HistogramPartialOf(tab, h.Subs, keep)
+		if err != nil {
+			return nil, err
+		}
+		res.Hists[i] = hp
+	}
+	for i, b := range p.counts {
+		res.Counts[i] = SubsetRecordsOf(tab, b, keep)
+	}
+	if p.total {
+		res.Total = TotalRecordsOf(tab, keep)
+	}
+	return res, nil
+}
+
+// evalBitmaps computes one evaluation bitmap per fraction entry over the
+// snapshot, sharding the record loop across workers on 64-record
+// boundaries so no two workers touch the same output word.  Each worker
+// owns one pooled kernel per entry plus shared prefix/suffix scratch, so
+// a record's id and sketch parts are encoded once for all entries and
+// every evaluation stays on the zero-allocation midstate-cached path.
+func evalBitmaps(h prf.BitSource, records []sketch.Published, evals []FractionEval) [][]uint64 {
+	n := len(records)
+	nw := (n + 63) / 64
+	out := make([][]uint64, len(evals))
+	for j := range out {
+		out[j] = make([]uint64, nw)
+	}
+	workers := workersFor(n * len(evals))
+	// Round the shard size up to a word boundary; workers then never share
+	// an output word, so the bit sets need no synchronisation.
+	chunk := ((n+workers-1)/workers + 63) &^ 63
+	if chunk == 0 {
+		chunk = 64
+	}
+	eval := func(lo, hi int) {
+		kernels := make([]*sketch.Kernel, len(evals))
+		for j, ev := range evals {
+			kernels[j] = sketch.AcquireKernel(h, ev.Subset, ev.Value)
+		}
+		defer func() {
+			for _, k := range kernels {
+				k.Release()
+			}
+		}()
+		var prefix, suffix []byte
+		for i := lo; i < hi; i++ {
+			rec := &records[i]
+			prefix = sketch.AppendRecordPrefix(prefix[:0], rec.ID)
+			suffix = sketch.AppendRecordSuffix(suffix[:0], rec.S)
+			w, bit := i>>6, uint64(1)<<uint(i&63)
+			for j, k := range kernels {
+				if k.EvaluateParts(rec.ID, rec.S, prefix, suffix) {
+					out[j][w] |= bit
+				}
+			}
+		}
+	}
+	if workers <= 1 || chunk >= n {
+		eval(0, n)
+		return out
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			eval(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// keepMask builds the filter bitmap: bit i set iff record i's user passes
+// keep.
+func keepMask(records []sketch.Published, keep UserFilter) []uint64 {
+	mask := make([]uint64, (len(records)+63)/64)
+	for i := range records {
+		if keep(records[i].ID) {
+			mask[i>>6] |= uint64(1) << uint(i&63)
+		}
+	}
+	return mask
+}
+
+// popcount sums the set bits of a bitmap.
+func popcount(words []uint64) uint64 {
+	var n uint64
+	for _, w := range words {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// popcountAnd sums the set bits of the intersection of two bitmaps.
+func popcountAnd(a, b []uint64) uint64 {
+	var n uint64
+	for i := range a {
+		n += uint64(bits.OnesCount64(a[i] & b[i]))
+	}
+	return n
+}

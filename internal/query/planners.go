@@ -1,0 +1,608 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/linalg"
+	"sketchprivacy/internal/stats"
+)
+
+// This file holds the plan-builder form of every estimator.  Each planner
+// registers the raw-counter evaluations its estimator needs on a Plan and
+// returns a finisher that reduces the executed Results into the estimate.
+// The arithmetic inside the finishers is the estimator logic itself — the
+// XxxFrom entry points are now one plan build, one batched Execute and one
+// finish — so the plan path cannot drift from a separate per-call
+// implementation: there is only one implementation, and the execution
+// strategy (serial per-call, one-pass table scan, one-fan-out cluster
+// push-down) is the only variable.  Finishers run in the same order the
+// per-call path evaluated in, so error precedence is preserved exactly.
+
+// EstimateFinisher reduces executed plan results into a frequency
+// estimate.
+type EstimateFinisher func(*Results) (Estimate, error)
+
+// NumericFinisher reduces executed plan results into a numeric estimate.
+type NumericFinisher func(*Results) (NumericEstimate, error)
+
+// runEstimate builds a one-off plan with the planner, executes it on the
+// source and finishes — the shared body of the Estimate-valued XxxFrom
+// entry points.
+func runEstimate(src PartialSource, plan func(*Plan) (EstimateFinisher, error)) (Estimate, error) {
+	p := NewPlan()
+	fin, err := plan(p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	res, err := src.Execute(p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return fin(res)
+}
+
+// runNumeric is runEstimate for NumericEstimate-valued estimators.
+func runNumeric(src PartialSource, plan func(*Plan) (NumericFinisher, error)) (NumericEstimate, error) {
+	p := NewPlan()
+	fin, err := plan(p)
+	if err != nil {
+		return NumericEstimate{}, err
+	}
+	res, err := src.Execute(p)
+	if err != nil {
+		return NumericEstimate{}, err
+	}
+	return fin(res)
+}
+
+// finishFraction is Algorithm 2's reduction of raw counters into the
+// debiased estimate; an empty record set reports ErrNoSketches exactly
+// like the pre-plan path.
+func (e *Estimator) finishFraction(part Partial, b bitvec.Subset) (Estimate, error) {
+	if part.Records == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSketches, b)
+	}
+	observed := float64(part.Hits) / float64(part.Records)
+	return e.newEstimate(observed, int(part.Records)), nil
+}
+
+// PlanFraction registers one Algorithm 2 evaluation.
+func (e *Estimator) PlanFraction(p *Plan, b bitvec.Subset, v bitvec.Vector) (EstimateFinisher, error) {
+	ref, err := p.AddFraction(b, v)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (Estimate, error) {
+		return e.finishFraction(res.Fraction(ref), b)
+	}, nil
+}
+
+// planMatchDistribution registers the Appendix F histogram and returns the
+// x = V⁻¹·y solve as a finisher.
+func (e *Estimator) planMatchDistribution(p *Plan, subs []SubQuery) (func(*Results) ([]float64, int, error), error) {
+	ref, err := p.AddHistogram(subs)
+	if err != nil {
+		return nil, err
+	}
+	return e.matchDistributionFinisher(ref, subs), nil
+}
+
+// matchDistributionFinisher reduces one executed histogram entry into the
+// Appendix F match distribution.
+func (e *Estimator) matchDistributionFinisher(ref HistRef, subs []SubQuery) func(*Results) ([]float64, int, error) {
+	return func(res *Results) ([]float64, int, error) {
+		hp := res.Histogram(ref)
+		if hp.Users == 0 {
+			return nil, 0, fmt.Errorf("%w: no user sketched all %d subsets", ErrNoSketches, len(subs))
+		}
+		if len(hp.Hist) != len(subs)+1 {
+			return nil, 0, fmt.Errorf("%w: histogram has %d bins for %d sub-queries", ErrMismatch, len(hp.Hist), len(subs))
+		}
+		y := make([]float64, len(hp.Hist))
+		for i, c := range hp.Hist {
+			y[i] = float64(c) / float64(hp.Users)
+		}
+		v := PerturbationMatrix(len(subs), e.p)
+		x, err := linalg.Solve(v, y)
+		if err != nil {
+			return nil, 0, fmt.Errorf("query: perturbation matrix for k=%d, p=%v: %w", len(subs), e.p, err)
+		}
+		return x, int(hp.Users), nil
+	}
+}
+
+// PlanUnionConjunction registers an Appendix F conjunction over the union
+// of the sketched subsets; a single sub-query degrades to plain
+// Algorithm 2, skipping the matrix machinery and its conditioning penalty.
+func (e *Estimator) PlanUnionConjunction(p *Plan, subs []SubQuery) (EstimateFinisher, error) {
+	if len(subs) == 1 {
+		return e.PlanFraction(p, subs[0].Subset, subs[0].Value)
+	}
+	fin, err := e.planMatchDistribution(p, subs)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (Estimate, error) {
+		x, users, err := fin(res)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return e.estimateFromRaw(x[len(subs)], users), nil
+	}, nil
+}
+
+// PlanNoneOf registers the none-of-the-sub-queries estimator.
+func (e *Estimator) PlanNoneOf(p *Plan, subs []SubQuery) (EstimateFinisher, error) {
+	if err := validateSubQueries(subs); err != nil {
+		return nil, err
+	}
+	fin, err := e.planMatchDistribution(p, subs)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (Estimate, error) {
+		x, users, err := fin(res)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return e.estimateFromRaw(x[0], users), nil
+	}, nil
+}
+
+// PlanExactlyOfK registers the exactly-l-of-k estimator.
+func (e *Estimator) PlanExactlyOfK(p *Plan, subs []SubQuery, l int) (EstimateFinisher, error) {
+	if l < 0 || l > len(subs) {
+		return nil, fmt.Errorf("%w: exactly-%d-of-%d", ErrMismatch, l, len(subs))
+	}
+	fin, err := e.planMatchDistribution(p, subs)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (Estimate, error) {
+		x, users, err := fin(res)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return e.estimateFromRaw(x[l], users), nil
+	}, nil
+}
+
+// PlanAtLeastOfK registers the at-least-l-of-k estimator.
+func (e *Estimator) PlanAtLeastOfK(p *Plan, subs []SubQuery, l int) (EstimateFinisher, error) {
+	if l < 0 || l > len(subs) {
+		return nil, fmt.Errorf("%w: at-least-%d-of-%d", ErrMismatch, l, len(subs))
+	}
+	fin, err := e.planMatchDistribution(p, subs)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (Estimate, error) {
+		x, users, err := fin(res)
+		if err != nil {
+			return Estimate{}, err
+		}
+		var raw float64
+		for i := l; i < len(x); i++ {
+			raw += x[i]
+		}
+		return e.estimateFromRaw(raw, users), nil
+	}, nil
+}
+
+// PlanConjunctionFraction registers both halves of the conjunction
+// estimator — the exact-subset Algorithm 2 evaluation and the Appendix F
+// single-bit gluing fallback — in one plan.  The finisher prefers the
+// exact path and falls back only on ErrNoSketches, mirroring the
+// decision the per-call path made with a second round trip; with a plan
+// both candidates ride the same table pass and the same fan-out.  The
+// fallback histogram is *guarded* by the exact entry: an executor that
+// finds records for the exact subset skips the histogram's evaluation
+// entirely, so the common exactly-sketched case pays nothing for the
+// speculative fallback.
+func (e *Estimator) PlanConjunctionFraction(p *Plan, c bitvec.Conjunction) (EstimateFinisher, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty conjunction", ErrMismatch)
+	}
+	b, v := c.Split()
+	exactRef, err := p.AddFraction(b, v)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]SubQuery, c.Len())
+	for i, lit := range c {
+		val := bitvec.New(1)
+		if lit.Value {
+			val.Set(0, true)
+		}
+		subs[i] = SubQuery{Subset: bitvec.MustSubset(lit.Position), Value: val}
+	}
+	var glueFin EstimateFinisher
+	if len(subs) == 1 {
+		// A single literal's glue is the same (subset, value) pair as the
+		// exact path; dedup collapses them and no histogram exists.
+		glueFin, err = e.PlanFraction(p, subs[0].Subset, subs[0].Value)
+	} else {
+		var ref HistRef
+		if ref, err = p.AddHistogramGuarded(subs, exactRef); err == nil {
+			distFin := e.matchDistributionFinisher(ref, subs)
+			glueFin = func(res *Results) (Estimate, error) {
+				x, users, err := distFin(res)
+				if err != nil {
+					return Estimate{}, err
+				}
+				return e.estimateFromRaw(x[len(subs)], users), nil
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (Estimate, error) {
+		est, err := e.finishFraction(res.Fraction(exactRef), b)
+		if err == nil || !errors.Is(err, ErrNoSketches) {
+			return est, err
+		}
+		return glueFin(res)
+	}, nil
+}
+
+// PlanFieldMean registers the Section 4.1 decomposition
+// Σᵢ 2^(k−i) · I(Aᵢ, 1): one single-bit evaluation per bit of the field.
+func (e *Estimator) PlanFieldMean(p *Plan, f bitvec.IntField) (NumericFinisher, error) {
+	fins := make([]EstimateFinisher, 0, f.Width)
+	for i := 1; i <= f.Width; i++ {
+		fin, err := e.PlanFraction(p, f.BitSubset(i), oneBit())
+		if err != nil {
+			return nil, fmt.Errorf("bit %d of field: %w", i, err)
+		}
+		fins = append(fins, fin)
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		var mean float64
+		users := math.MaxInt64
+		for i := 1; i <= f.Width; i++ {
+			est, err := fins[i-1](res)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("bit %d of field: %w", i, err)
+			}
+			weight := math.Pow(2, float64(f.Width-i))
+			// Use the unclamped estimate so the linear combination stays
+			// unbiased; the final mean is clamped to the representable range.
+			mean += weight * est.Raw
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+		if mean < 0 {
+			mean = 0
+		}
+		if max := float64(f.Max()); mean > max {
+			mean = max
+		}
+		return NumericEstimate{Value: mean, Users: users, Queries: f.Width}, nil
+	}, nil
+}
+
+// PlanFieldSum registers the field-sum estimator: mean × users.
+func (e *Estimator) PlanFieldSum(p *Plan, f bitvec.IntField) (NumericFinisher, error) {
+	meanFin, err := e.PlanFieldMean(p, f)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		est, err := meanFin(res)
+		if err != nil {
+			return NumericEstimate{}, err
+		}
+		est.Value *= float64(est.Users)
+		return est, nil
+	}, nil
+}
+
+// PlanInnerProductMean registers the k² two-bit Appendix F combinations of
+// the Section 4.1 inner-product decomposition.
+func (e *Estimator) PlanInnerProductMean(p *Plan, a, b bitvec.IntField) (NumericFinisher, error) {
+	type term struct {
+		i, j int
+		fin  EstimateFinisher
+	}
+	var terms []term
+	for i := 1; i <= a.Width; i++ {
+		for j := 1; j <= b.Width; j++ {
+			subs := []SubQuery{
+				{Subset: a.BitSubset(i), Value: oneBit()},
+				{Subset: b.BitSubset(j), Value: oneBit()},
+			}
+			fin, err := e.PlanUnionConjunction(p, subs)
+			if err != nil {
+				return nil, fmt.Errorf("bits (%d,%d): %w", i, j, err)
+			}
+			terms = append(terms, term{i: i, j: j, fin: fin})
+		}
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		var total float64
+		users := math.MaxInt64
+		queries := 0
+		for _, t := range terms {
+			est, err := t.fin(res)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("bits (%d,%d): %w", t.i, t.j, err)
+			}
+			weight := math.Pow(2, float64(a.Width-t.i)+float64(b.Width-t.j))
+			total += weight * est.Raw
+			queries++
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+		if total < 0 {
+			total = 0
+		}
+		return NumericEstimate{Value: total, Users: users, Queries: queries}, nil
+	}, nil
+}
+
+// PlanFieldLessThan registers the Section 4.1 interval decomposition: one
+// prefix evaluation per set bit of c.  The whole decomposition lands in
+// one plan, so an interval query costs one table pass locally and one
+// fan-out over a cluster instead of popcount(c) of each.
+func (e *Estimator) PlanFieldLessThan(p *Plan, f bitvec.IntField, c uint64) (NumericFinisher, error) {
+	if c > f.Max() {
+		// Every representable value is below c.
+		ref := p.AddSubsetRecords(f.BitSubset(1))
+		return func(res *Results) (NumericEstimate, error) {
+			return NumericEstimate{Value: 1, Users: int(res.Count(ref)), Queries: 0}, nil
+		}, nil
+	}
+	cBits := bitvec.FromUint(c, f.Width)
+	type term struct {
+		i   int
+		fin EstimateFinisher
+	}
+	var terms []term
+	for i := 1; i <= f.Width; i++ {
+		if !cBits.Get(i - 1) {
+			continue
+		}
+		fin, err := e.PlanFraction(p, f.PrefixSubset(i), prefixValue(c, f.Width, i))
+		if err != nil {
+			return nil, fmt.Errorf("prefix %d: %w", i, err)
+		}
+		terms = append(terms, term{i: i, fin: fin})
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		var raw float64
+		users := math.MaxInt64
+		queries := 0
+		for _, t := range terms {
+			est, err := t.fin(res)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("prefix %d: %w", t.i, err)
+			}
+			raw += est.Raw
+			queries++
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+		if users == math.MaxInt64 {
+			users = 0
+		}
+		return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+	}, nil
+}
+
+// PlanFieldAtMost registers the ≤ c interval query: the strict prefix
+// decomposition plus one equality evaluation on the full field subset.
+func (e *Estimator) PlanFieldAtMost(p *Plan, f bitvec.IntField, c uint64) (NumericFinisher, error) {
+	if c >= f.Max() {
+		ref := p.AddSubsetRecords(f.FullSubset())
+		return func(res *Results) (NumericEstimate, error) {
+			return NumericEstimate{Value: 1, Users: int(res.Count(ref)), Queries: 0}, nil
+		}, nil
+	}
+	lessFin, err := e.PlanFieldLessThan(p, f, c)
+	if err != nil {
+		return nil, err
+	}
+	eqFin, err := e.PlanFraction(p, f.FullSubset(), bitvec.FromUint(c, f.Width))
+	if err != nil {
+		return nil, fmt.Errorf("equality term: %w", err)
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		less, err := lessFin(res)
+		if err != nil {
+			return NumericEstimate{}, err
+		}
+		eq, err := eqFin(res)
+		if err != nil {
+			return NumericEstimate{}, fmt.Errorf("equality term: %w", err)
+		}
+		users := less.Users
+		if less.Queries == 0 || eq.Users < users {
+			users = eq.Users
+		}
+		return NumericEstimate{
+			Value:   stats.Clamp01(less.Value + eq.Raw),
+			Users:   users,
+			Queries: less.Queries + 1,
+		}, nil
+	}, nil
+}
+
+// PlanEqualAndLessThan registers the combined a = c ∧ b < d query
+// ("Combining queries together", Section 4.1).
+func (e *Estimator) PlanEqualAndLessThan(p *Plan, a bitvec.IntField, c uint64, b bitvec.IntField, d uint64) (NumericFinisher, error) {
+	if c > a.Max() {
+		return nil, fmt.Errorf("%w: constant %d does not fit in field of width %d", ErrMismatch, c, a.Width)
+	}
+	dBits := bitvec.FromUint(d, b.Width)
+	aQuery := SubQuery{Subset: a.FullSubset(), Value: bitvec.FromUint(c, a.Width)}
+	type term struct {
+		i   int
+		fin EstimateFinisher
+	}
+	var terms []term
+	for i := 1; i <= b.Width; i++ {
+		if !dBits.Get(i - 1) {
+			continue
+		}
+		subs := []SubQuery{aQuery, {Subset: b.PrefixSubset(i), Value: prefixValue(d, b.Width, i)}}
+		fin, err := e.PlanUnionConjunction(p, subs)
+		if err != nil {
+			return nil, fmt.Errorf("prefix %d: %w", i, err)
+		}
+		terms = append(terms, term{i: i, fin: fin})
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		var raw float64
+		users := math.MaxInt64
+		queries := 0
+		for _, t := range terms {
+			est, err := t.fin(res)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("prefix %d: %w", t.i, err)
+			}
+			raw += est.Raw
+			queries++
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+		if users == math.MaxInt64 {
+			users = 0
+		}
+		return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+	}, nil
+}
+
+// PlanConditionalSumGivenLessThan registers the Section 4.1 double sum
+// Σ_{j : c_j=1} Σ_i 2^(k−i) I(A_j ∪ B_i, c₁...c_{j−1}0 1).
+func (e *Estimator) PlanConditionalSumGivenLessThan(p *Plan, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericFinisher, error) {
+	cBits := bitvec.FromUint(c, a.Width)
+	type term struct {
+		j, i int
+		fin  EstimateFinisher
+	}
+	var terms []term
+	for j := 1; j <= a.Width; j++ {
+		if !cBits.Get(j - 1) {
+			continue
+		}
+		prefixQuery := SubQuery{Subset: a.PrefixSubset(j), Value: prefixValue(c, a.Width, j)}
+		for i := 1; i <= b.Width; i++ {
+			subs := []SubQuery{prefixQuery, {Subset: b.BitSubset(i), Value: oneBit()}}
+			fin, err := e.PlanUnionConjunction(p, subs)
+			if err != nil {
+				return nil, fmt.Errorf("prefix %d, bit %d: %w", j, i, err)
+			}
+			terms = append(terms, term{j: j, i: i, fin: fin})
+		}
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		var total float64
+		users := math.MaxInt64
+		queries := 0
+		for _, t := range terms {
+			est, err := t.fin(res)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("prefix %d, bit %d: %w", t.j, t.i, err)
+			}
+			total += math.Pow(2, float64(b.Width-t.i)) * est.Raw
+			queries++
+			if est.Users < users {
+				users = est.Users
+			}
+		}
+		if users == math.MaxInt64 {
+			users = 0
+		}
+		if total < 0 {
+			total = 0
+		}
+		return NumericEstimate{Value: total, Users: users, Queries: queries}, nil
+	}, nil
+}
+
+// PlanConditionalMeanGivenLessThan registers E[b | a < c]: the conditional
+// sum divided by the estimated condition frequency.
+func (e *Estimator) PlanConditionalMeanGivenLessThan(p *Plan, b bitvec.IntField, a bitvec.IntField, c uint64) (NumericFinisher, error) {
+	numFin, err := e.PlanConditionalSumGivenLessThan(p, b, a, c)
+	if err != nil {
+		return nil, err
+	}
+	denFin, err := e.PlanFieldLessThan(p, a, c)
+	if err != nil {
+		return nil, err
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		num, err := numFin(res)
+		if err != nil {
+			return NumericEstimate{}, err
+		}
+		den, err := denFin(res)
+		if err != nil {
+			return NumericEstimate{}, err
+		}
+		if den.Value <= 0 {
+			return NumericEstimate{}, fmt.Errorf("query: estimated condition frequency is zero; conditional mean undefined")
+		}
+		val := num.Value / den.Value
+		if max := float64(b.Max()); val > max {
+			val = max
+		}
+		return NumericEstimate{Value: val, Users: num.Users, Queries: num.Queries + den.Queries}, nil
+	}, nil
+}
+
+// PlanDecisionTreeFraction registers one conjunction per accepting
+// root-to-leaf path; all paths share the plan's single execution.
+func (e *Estimator) PlanDecisionTreeFraction(p *Plan, tree *TreeNode) (NumericFinisher, error) {
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	paths := tree.AcceptingPaths()
+	for _, path := range paths {
+		if path.Len() == 0 {
+			// The root itself is an accepting leaf (the only way a path can
+			// be empty): every user satisfies the tree.
+			p.AddTotalRecords()
+			return func(res *Results) (NumericEstimate, error) {
+				return NumericEstimate{Value: 1, Users: int(res.Total), Queries: 0}, nil
+			}, nil
+		}
+	}
+	type term struct {
+		path bitvec.Conjunction
+		fin  EstimateFinisher
+	}
+	var terms []term
+	for _, path := range paths {
+		fin, err := e.PlanConjunctionFraction(p, path)
+		if err != nil {
+			return nil, fmt.Errorf("path %v: %w", path, err)
+		}
+		terms = append(terms, term{path: path, fin: fin})
+	}
+	return func(res *Results) (NumericEstimate, error) {
+		var raw float64
+		users := 0
+		queries := 0
+		for _, t := range terms {
+			est, err := t.fin(res)
+			if err != nil {
+				return NumericEstimate{}, fmt.Errorf("path %v: %w", t.path, err)
+			}
+			raw += est.Raw
+			queries++
+			if users == 0 || est.Users < users {
+				users = est.Users
+			}
+		}
+		return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+	}, nil
+}

@@ -5,7 +5,6 @@ import (
 
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/sketch"
-	"sketchprivacy/internal/stats"
 )
 
 // TreeNode is a node of a binary decision tree over profile attributes.
@@ -108,33 +107,12 @@ func (e *Estimator) DecisionTreeFraction(tab *sketch.Table, tree *TreeNode) (Num
 	return e.DecisionTreeFractionFrom(e.TableSource(tab), tree)
 }
 
-// DecisionTreeFractionFrom is DecisionTreeFraction over any partial source.
+// DecisionTreeFractionFrom is DecisionTreeFraction over any partial
+// source: every accepting path's conjunction (exact subset and Appendix F
+// fallback alike) rides one plan execution — one table pass locally, one
+// fan-out over a cluster, however many paths the tree has.
 func (e *Estimator) DecisionTreeFractionFrom(src PartialSource, tree *TreeNode) (NumericEstimate, error) {
-	if err := tree.Validate(); err != nil {
-		return NumericEstimate{}, err
-	}
-	paths := tree.AcceptingPaths()
-	var raw float64
-	users := 0
-	queries := 0
-	for _, path := range paths {
-		if path.Len() == 0 {
-			// The root itself is an accepting leaf: every user satisfies it.
-			n, err := src.TotalRecords()
-			if err != nil {
-				return NumericEstimate{}, err
-			}
-			return NumericEstimate{Value: 1, Users: int(n), Queries: 0}, nil
-		}
-		est, err := e.ConjunctionFractionFrom(src, path)
-		if err != nil {
-			return NumericEstimate{}, fmt.Errorf("path %v: %w", path, err)
-		}
-		raw += est.Raw
-		queries++
-		if users == 0 || est.Users < users {
-			users = est.Users
-		}
-	}
-	return NumericEstimate{Value: stats.Clamp01(raw), Users: users, Queries: queries}, nil
+	return runNumeric(src, func(p *Plan) (NumericFinisher, error) {
+		return e.PlanDecisionTreeFraction(p, tree)
+	})
 }

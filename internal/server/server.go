@@ -187,6 +187,18 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			_ = wire.WriteFrame(conn, wire.TypePartialResult, wire.EncodePartialResult(res))
+		case wire.TypePlanQuery:
+			pq, err := wire.DecodePlanQuery(payload)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			res, err := s.plan(pq)
+			if err != nil {
+				s.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypePlanResult, wire.EncodePlanResult(res))
 		case wire.TypeSnapshotRead:
 			req, err := wire.DecodeSnapshotRead(payload)
 			if err != nil {
@@ -342,6 +354,79 @@ func (s *Server) partial(pq wire.PartialQuery) (wire.PartialResult, error) {
 	default:
 		return wire.PartialResult{}, fmt.Errorf("server: unknown partial query kind %d", pq.Kind)
 	}
+}
+
+// plan answers one batched scatter-gather request: it rebuilds the query
+// plan from the wire form, compiles the ownership filter and executes the
+// whole plan in one pass over the owned records, answering every entry in
+// one reply.  Epoch semantics match partial(): a plan built for a
+// superseded ring epoch is refused so the router retries under a fresh
+// ring snapshot.  The reply is assembled through the plan's refs, so even
+// a request listing duplicate entries (which the plan deduplicates) maps
+// each requested position to its counters.
+func (s *Server) plan(pq wire.PlanQuery) (wire.PlanResult, error) {
+	var epoch uint64
+	if pq.Filter != nil && pq.Filter.Epoch != 0 {
+		epoch = pq.Filter.Epoch
+		if cur := s.epoch.Load(); epoch < cur {
+			return wire.PlanResult{}, wire.StaleEpochError(epoch, cur)
+		}
+		s.observeEpoch(epoch)
+	}
+	keep, err := cluster.CompileFilter(pq.Filter)
+	if err != nil {
+		return wire.PlanResult{}, err
+	}
+	p := query.NewPlan()
+	fracRefs := make([]query.FracRef, len(pq.Fractions))
+	for i, f := range pq.Fractions {
+		if fracRefs[i], err = p.AddFraction(f.Subset, f.Value); err != nil {
+			return wire.PlanResult{}, err
+		}
+	}
+	histRefs := make([]query.HistRef, len(pq.Hists))
+	for i, h := range pq.Hists {
+		subs := make([]query.SubQuery, len(h.Subs))
+		for j, q := range h.Subs {
+			subs[j] = query.SubQuery{Subset: q.Subset, Value: q.Value}
+		}
+		if h.HasGuard {
+			// The wire guard indexes the request's fraction list; map it
+			// through the dedup to this plan's ref (the decoder already
+			// bounds-checked it).
+			histRefs[i], err = p.AddHistogramGuarded(subs, fracRefs[h.Guard])
+		} else {
+			histRefs[i], err = p.AddHistogram(subs)
+		}
+		if err != nil {
+			return wire.PlanResult{}, err
+		}
+	}
+	countRefs := make([]query.CountRef, len(pq.Counts))
+	for i, b := range pq.Counts {
+		countRefs[i] = p.AddSubsetRecords(b)
+	}
+	if pq.Total {
+		p.AddTotalRecords()
+	}
+	res, err := s.eng.ExecutePlan(p, keep)
+	if err != nil {
+		return wire.PlanResult{}, err
+	}
+	out := wire.PlanResult{Epoch: epoch}
+	for _, ref := range fracRefs {
+		part := res.Fraction(ref)
+		out.Fractions = append(out.Fractions, wire.PlanFraction{Hits: part.Hits, Records: part.Records})
+	}
+	for _, ref := range histRefs {
+		hp := res.Histogram(ref)
+		out.Hists = append(out.Hists, wire.PlanHist{Users: hp.Users, Hist: hp.Hist})
+	}
+	for _, ref := range countRefs {
+		out.Counts = append(out.Counts, res.Count(ref))
+	}
+	out.Total = res.Total
+	return out, nil
 }
 
 func (s *Server) writeError(conn net.Conn, err error) {

@@ -68,6 +68,40 @@ func (k *Kernel) Evaluate(id bitvec.UserID, s Sketch) bool {
 	return k.be.BitMsg(msg)
 }
 
+// AppendRecordPrefix appends the tuple header and user-id part of the PRF
+// message — the parts shared by every (B, v) evaluation of one record.  A
+// plan executor evaluating many query pairs against the same record encodes
+// this prefix (and the sketch suffix) once and reuses it across kernels,
+// so each extra pair costs only the kernel's cached (B, v) midsection.
+func AppendRecordPrefix(dst []byte, id bitvec.UserID) []byte {
+	dst = prf.AppendTupleHeader(dst, 4)
+	dst = prf.AppendPartHeader(dst, 8)
+	return binary.BigEndian.AppendUint64(dst, uint64(id))
+}
+
+// AppendRecordSuffix appends the sketch-key part of the PRF message, shared
+// by every (B, v) evaluation of one record.
+func AppendRecordSuffix(dst []byte, s Sketch) []byte {
+	dst = prf.AppendPartHeader(dst, s.EncodedLen())
+	return s.AppendBytes(dst)
+}
+
+// EvaluateParts computes H(id, B, v, s) from a record's pre-encoded prefix
+// and suffix parts, bit-identical to Evaluate: the assembled message bytes
+// are exactly the ones Evaluate would build.  id and s are still taken so
+// sources without the fast evaluator path (the test oracle) fall back to
+// the facade transparently.
+func (k *Kernel) EvaluateParts(id bitvec.UserID, s Sketch, prefix, suffix []byte) bool {
+	if k.es == nil {
+		return k.h.Bit(id.Bytes(), k.b.Tag(), k.v.Bytes(), s.Bytes())
+	}
+	msg := append(k.scratch[:0], prefix...)
+	msg = append(msg, k.mid...)
+	msg = append(msg, suffix...)
+	k.scratch = msg
+	return k.be.BitMsg(msg)
+}
+
 // CountMatches evaluates every record against the kernel's (B, v) and
 // returns how many evaluate to 1 — the inner sum of Algorithm 2.
 func (k *Kernel) CountMatches(records []Published) int {

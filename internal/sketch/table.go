@@ -170,6 +170,37 @@ func (t *Table) Snapshot(b bitvec.Subset) []Published {
 	return out
 }
 
+// SnapshotGen returns the records for subset b together with the write
+// generation the snapshot corresponds to.  A cached evaluation bitmap keyed
+// by this generation is valid exactly as long as no write touched the
+// subset: every Add/Remove bumps the generation, so a stale bitmap can
+// never be popcounted against a newer record set.  ok reports whether the
+// pair is generation-consistent; under sustained write pressure the method
+// gives up pairing and returns the latest snapshot with ok false, telling
+// the caller to skip the cache for this execution rather than poison it.
+func (t *Table) SnapshotGen(b bitvec.Subset) (snap []Published, gen uint64, ok bool) {
+	key := b.Key()
+	for attempt := 0; attempt < 4; attempt++ {
+		t.mu.RLock()
+		snap, cached := t.snapshots[key]
+		gen := t.gen[key]
+		exists := len(t.bySubset[key]) > 0
+		t.mu.RUnlock()
+		if cached || !exists {
+			// A cached snapshot is always the product of the current
+			// generation (writes drop the cache while bumping gen under the
+			// same lock), and a missing subset pairs nil with whatever
+			// generation its key last saw.
+			return snap, gen, true
+		}
+		// Populate the cache, then re-read snapshot and generation under
+		// one lock so the returned pair is consistent even if a write raced
+		// the build.
+		t.Snapshot(b)
+	}
+	return t.Snapshot(b), 0, false
+}
+
 // CountForSubset returns the number of users that published a sketch for
 // subset b.
 func (t *Table) CountForSubset(b bitvec.Subset) int {

@@ -16,7 +16,11 @@ import (
 //
 // v2 added ring epochs to Filter and PartialResult plus the rebalance
 // transfer opcodes, all of which change router↔node frame layouts.
-const ProtocolVersion byte = 2
+//
+// v3 added the batched planQuery/planResult opcode pair: a router pushes a
+// whole compiled query plan to each node in one frame and merges per-entry
+// counters, so multi-evaluation estimators cost one fan-out round trip.
+const ProtocolVersion byte = 3
 
 // Cluster message types (the scatter-gather data plane between a
 // sketchrouter and its nodes, plus the hello/ping control frames every

@@ -50,6 +50,27 @@ func FuzzDecode(f *testing.F) {
 	}))
 	f.Add(EncodePartialResult(PartialResult{Kind: PartialHistogram, Users: 10, Hist: []uint64{4, 5, 1}}))
 	f.Add(EncodeHello())
+	// v3 plan frames: a batched multi-entry query and its result.
+	f.Add(EncodePlanQuery(PlanQuery{
+		Filter: &Filter{Epoch: 3, Nodes: []string{"a:1", "b:1"}, VNodes: 8, Self: "b:1", Live: []string{"a:1", "b:1"}},
+		Fractions: []Query{
+			{Subset: bitvec.MustSubset(0), Value: bitvec.MustFromString("1")},
+			{Subset: bitvec.MustSubset(0, 1), Value: bitvec.MustFromString("10")},
+		},
+		Hists: []PlanHistQuery{
+			{Subs: []Query{{Subset: bitvec.MustSubset(2), Value: bitvec.MustFromString("1")}}},
+			{Subs: []Query{{Subset: bitvec.MustSubset(2), Value: bitvec.MustFromString("1")}, {Subset: bitvec.MustSubset(4), Value: bitvec.MustFromString("0")}}, Guard: 1, HasGuard: true},
+		},
+		Counts: []bitvec.Subset{bitvec.MustSubset(0)},
+		Total:  true,
+	}))
+	f.Add(EncodePlanResult(PlanResult{
+		Epoch:     3,
+		Fractions: []PlanFraction{{Hits: 4, Records: 10}, {Hits: 1, Records: 10}},
+		Hists:     []PlanHist{{Users: 10, Hist: []uint64{4, 5, 1}}},
+		Counts:    []uint64{10},
+		Total:     20,
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if p, err := DecodePublished(data); err == nil {
@@ -77,6 +98,16 @@ func FuzzDecode(f *testing.F) {
 		if r, err := DecodePartialResult(data); err == nil {
 			if got := EncodePartialResult(r); !bytes.Equal(got, data) {
 				t.Fatalf("DecodePartialResult accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		if q, err := DecodePlanQuery(data); err == nil {
+			if got := EncodePlanQuery(q); !bytes.Equal(got, data) {
+				t.Fatalf("DecodePlanQuery accepted non-canonical input:\n in %x\nout %x", data, got)
+			}
+		}
+		if r, err := DecodePlanResult(data); err == nil {
+			if got := EncodePlanResult(r); !bytes.Equal(got, data) {
+				t.Fatalf("DecodePlanResult accepted non-canonical input:\n in %x\nout %x", data, got)
 			}
 		}
 		// Stats is JSON: no canonical-form guarantee, but still no panic.
