@@ -185,6 +185,10 @@ func main() {
 		}
 		fmt.Printf("params: %s\n", rep.Params)
 		fmt.Printf("sketches: %d across %d subsets\n", rep.Sketches, len(rep.Subsets))
+		if rb := rep.Robustness; rb != nil {
+			fmt.Printf("robustness: in-flight %d/%d, overloads %d, idle-closes %d, checksum-errors %d, deadline-abandons %d\n",
+				rb.InFlight, rb.MaxInFlight, rb.Overloads, rb.IdleCloses, rb.ChecksumErrors, rb.DeadlineAbandons)
+		}
 		for _, sc := range rep.Subsets {
 			fmt.Printf("  subset %-16s %d records\n", sc.Subset, sc.Count)
 		}

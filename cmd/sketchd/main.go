@@ -54,6 +54,8 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durable store directory (empty: memory-only)")
 		shards  = flag.Int("shards", store.DefaultShards, "store shard count for a fresh -data-dir")
 		fsync   = flag.Bool("fsync", false, "fsync the WAL on every publish (survives machine crashes, not just process crashes)")
+		idle    = flag.Duration("read-idle-timeout", 5*time.Minute, "close a connection silent for this long between frames")
+		maxInFl = flag.Int("max-inflight", 256, "frames executing concurrently before requests are shed with an overload refusal")
 	)
 	flag.Parse()
 
@@ -103,7 +105,10 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(eng)
+	srv := server.NewWithConfig(eng, server.Config{
+		ReadIdleTimeout: *idle,
+		MaxInFlight:     *maxInFl,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

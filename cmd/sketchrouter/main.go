@@ -62,6 +62,9 @@ func main() {
 		hints    = flag.Bool("hinted-handoff", true, "queue publishes for briefly-down replicas and replay them on return")
 		maxHints = flag.Int("max-hints", 4096, "hint queue cap per down replica (at the cap, publishes fail loudly)")
 		batch    = flag.Int("transfer-batch", 2048, "records per rebalance snapshot read and transfer push")
+		reqTO    = flag.Duration("request-timeout", 10*time.Second, "end-to-end budget of one fan-out attempt (carried to the nodes in every filter)")
+		hedge    = flag.Duration("hedge-delay", 0, "wait on a silent node before re-asking its slice from surviving replicas (0: request-timeout/4)")
+		transTO  = flag.Duration("transfer-timeout", 60*time.Second, "budget of one rebalance snapshot read or transfer push")
 	)
 	flag.Parse()
 
@@ -95,6 +98,9 @@ func main() {
 		HintedHandoff:   *hints,
 		MaxHintsPerNode: *maxHints,
 		TransferBatch:   *batch,
+		RequestTimeout:  *reqTO,
+		HedgeDelay:      *hedge,
+		TransferTimeout: *transTO,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

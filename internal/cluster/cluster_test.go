@@ -59,19 +59,29 @@ func startNodes(t *testing.T, n int) []*testNode {
 
 // startRouter builds a fast-paced router over the nodes.
 func startRouter(t *testing.T, nodes []*testNode, rf int) *cluster.Router {
+	return startRouterCfg(t, nodes, rf, nil)
+}
+
+// startRouterCfg is startRouter with a config hook applied before the
+// router starts, for tests pinning timeouts (hedge delay, request budget).
+func startRouterCfg(t *testing.T, nodes []*testNode, rf int, mutate func(*cluster.Config)) *cluster.Router {
 	t.Helper()
 	addrs := make([]string, len(nodes))
 	for i, n := range nodes {
 		addrs[i] = n.addr
 	}
-	r, err := cluster.NewRouter(testSource(), cluster.Config{
+	cfg := cluster.Config{
 		Nodes:        addrs,
 		Replication:  rf,
 		VNodes:       32,
 		PingInterval: 100 * time.Millisecond,
 		BackoffBase:  50 * time.Millisecond,
 		BackoffMax:   time.Second,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := cluster.NewRouter(testSource(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"sketchprivacy/internal/wire"
 )
@@ -16,6 +17,12 @@ import (
 type Frontend struct {
 	r *Router
 
+	// ReadIdleTimeout bounds how long a client connection may sit silent
+	// between frames (default 5m, set before Listen/Serve): like the node
+	// servers, a wedged or vanished client is reaped instead of pinning a
+	// handler goroutine forever.
+	ReadIdleTimeout time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -25,7 +32,7 @@ type Frontend struct {
 
 // NewFrontend wraps a router in a TCP server.
 func NewFrontend(r *Router) *Frontend {
-	return &Frontend{r: r, conns: make(map[net.Conn]struct{})}
+	return &Frontend{r: r, ReadIdleTimeout: 5 * time.Minute, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting connections on addr and returns the bound
@@ -35,12 +42,18 @@ func (f *Frontend) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return f.Serve(ln), nil
+}
+
+// Serve starts accepting connections from an already-bound listener and
+// returns its address; fault-injection tests pass a wrapped listener.
+func (f *Frontend) Serve(ln net.Listener) string {
 	f.mu.Lock()
 	f.listener = ln
 	f.mu.Unlock()
 	f.wg.Add(1)
 	go f.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (f *Frontend) acceptLoop(ln net.Listener) {
@@ -100,6 +113,11 @@ func (f *Frontend) handle(conn net.Conn) {
 	}
 	defer f.untrack(conn)
 	for {
+		if f.ReadIdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(f.ReadIdleTimeout)); err != nil {
+				return
+			}
+		}
 		msgType, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return

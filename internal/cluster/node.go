@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -16,12 +18,23 @@ import (
 // hello-handshaken connections plus the health state the ping loop and the
 // request path both feed, and the hinted-handoff queue of publishes the
 // member missed while it was down.
+//
+// The health state doubles as a per-node circuit breaker on the request
+// path: a failed exchange marks the node dead immediately (it does not
+// wait for the next ping sweep) and opens the breaker, requests against an
+// open breaker fail fast instead of re-paying the dial-and-time-out cost,
+// and once the backoff elapses the breaker is half-open — the next attempt
+// (a ping probe or a request) either revives the node or re-opens it with
+// a longer backoff.
 type node struct {
 	addr        string
 	dialTimeout time.Duration
 	reqTimeout  time.Duration
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	// dialFn establishes connections (tests inject faultnet dialers); nil
+	// means plain TCP.
+	dialFn func(addr string, timeout time.Duration) (net.Conn, error)
 	// epochFn supplies the router's current ring epoch for the hello
 	// handshake and pings; nil sends the bare forms.
 	epochFn func() uint64
@@ -30,6 +43,7 @@ type node struct {
 	idle     []net.Conn
 	alive    bool
 	failures int
+	trips    uint64 // alive→dead transitions: how often the breaker opened
 	retryAt  time.Time
 	lastOK   time.Time
 	lastErr  string
@@ -102,6 +116,44 @@ func (n *node) probeDue(now time.Time) bool {
 	return n.alive || !now.Before(n.retryAt)
 }
 
+// breakerState names the node's circuit-breaker state for operators:
+// closed (healthy), open (dead, backoff pending — requests fail fast) or
+// half-open (dead, backoff elapsed — the next attempt decides).
+func (n *node) breakerState() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case n.alive:
+		return "closed"
+	case time.Now().Before(n.retryAt):
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// breakerTrips returns how often the breaker has opened.
+func (n *node) breakerTrips() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.trips
+}
+
+// breakerCheck fails a request fast while the breaker is open: the node
+// failed recently and its backoff has not elapsed, so dialing again would
+// only re-pay the timeout the last caller already paid.  Half-open lets
+// the attempt through.  Probes driven by probeDue always pass (probeDue
+// implies alive or elapsed backoff), so the ping loop is never locked out.
+func (n *node) breakerCheck() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.alive || !time.Now().Before(n.retryAt) {
+		return nil
+	}
+	return errNodeFailed{fmt.Errorf("cluster: node %s: circuit breaker open after %d failures (retry in %s): %s",
+		n.addr, n.failures, time.Until(n.retryAt).Round(time.Millisecond), n.lastErr)}
+}
+
 // markOK records a successful exchange, reviving a dead node.
 func (n *node) markOK() {
 	n.mu.Lock()
@@ -112,11 +164,15 @@ func (n *node) markOK() {
 	n.lastErr = ""
 }
 
-// markFailed records a failed exchange: the node is marked dead and its
-// next probe is pushed out with exponential backoff.
+// markFailed records a failed exchange: the node is marked dead (tripping
+// the breaker if it was alive) and its next probe is pushed out with
+// exponential backoff.
 func (n *node) markFailed(err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.alive {
+		n.trips++
+	}
 	n.alive = false
 	n.failures++
 	backoff := n.backoffBase << uint(min(n.failures-1, 10))
@@ -129,6 +185,14 @@ func (n *node) markFailed(err error) {
 		c.Close()
 	}
 	n.idle = n.idle[:0]
+}
+
+// dial opens a raw connection through the configured dialer.
+func (n *node) dial() (net.Conn, error) {
+	if n.dialFn != nil {
+		return n.dialFn(n.addr, n.dialTimeout)
+	}
+	return net.DialTimeout("tcp", n.addr, n.dialTimeout)
 }
 
 // get returns a pooled connection or dials and handshakes a fresh one.
@@ -145,21 +209,24 @@ func (n *node) get() (c net.Conn, pooled bool, err error) {
 		return c, true, nil
 	}
 	n.mu.Unlock()
-	c, err = net.DialTimeout("tcp", n.addr, n.dialTimeout)
+	c, err = n.dial()
 	if err != nil {
 		return nil, false, fmt.Errorf("cluster: node %s: %w", n.addr, err)
 	}
-	c.SetDeadline(time.Now().Add(n.reqTimeout))
-	if n.epochFn != nil {
-		err = wire.ClientHandshakeEpoch(c, n.epochFn())
-	} else {
-		err = wire.ClientHandshake(c)
+	if err = c.SetDeadline(time.Now().Add(n.reqTimeout)); err == nil {
+		if n.epochFn != nil {
+			err = wire.ClientHandshakeEpoch(c, n.epochFn())
+		} else {
+			err = wire.ClientHandshake(c)
+		}
+	}
+	if err == nil {
+		err = c.SetDeadline(time.Time{})
 	}
 	if err != nil {
 		c.Close()
 		return nil, false, fmt.Errorf("cluster: node %s: %w", n.addr, err)
 	}
-	c.SetDeadline(time.Time{})
 	return c, false, nil
 }
 
@@ -185,19 +252,64 @@ func (n *node) close() {
 	n.idle = nil
 }
 
-// roundTrip performs one request/response exchange.  A failure on a pooled
-// connection is hedged once on a fresh dial (the pooled conn may simply be
-// stale after a node restart); a failure on a fresh connection marks the
-// node dead.  Success feeds the health state, so a query can revive a node
-// between pings.
+// roundTrip is roundTripCtx under a background context: the exchange is
+// bounded by the per-request timeout alone.
 func (n *node) roundTrip(msgType byte, payload []byte) (byte, []byte, error) {
+	return n.roundTripCtx(context.Background(), msgType, payload)
+}
+
+// roundTripCtx performs one request/response exchange bounded by ctx.  A
+// failure on a pooled connection is hedged once on a fresh dial (the
+// pooled conn may simply be stale after a node restart); a failure on a
+// fresh connection marks the node dead.  Success feeds the health state,
+// so a query can revive a node between pings.
+//
+// The exchange's I/O deadline is the context deadline when one is set
+// (rebalance transfers run under a longer budget than queries) and
+// now+reqTimeout otherwise; a context cancelled mid-exchange unblocks the
+// I/O immediately via a past deadline.  Cancellation is the caller losing
+// interest — a hedged fan-out whose recovery answered first — not
+// evidence about the node, so it does NOT mark the node failed; a
+// deadline expiry or transport error does.
+func (n *node) roundTripCtx(ctx context.Context, msgType byte, payload []byte) (byte, []byte, error) {
+	if err := n.breakerCheck(); err != nil {
+		return 0, nil, err
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, fmt.Errorf("cluster: node %s: %w", n.addr, err)
+		}
 		c, pooled, err := n.get()
 		if err != nil {
 			n.markFailed(err)
 			return 0, nil, err
 		}
-		c.SetDeadline(time.Now().Add(n.reqTimeout))
+		deadline := time.Now().Add(n.reqTimeout)
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+		if err := c.SetDeadline(deadline); err != nil {
+			c.Close()
+			if pooled {
+				continue
+			}
+			err = fmt.Errorf("cluster: node %s: arming deadline: %w", n.addr, err)
+			n.markFailed(err)
+			return 0, nil, err
+		}
+		// Watch for cancellation: a past deadline unblocks a parked read
+		// or write.  The watcher is joined before the connection is pooled
+		// again, so it can never poison a later exchange's deadline.
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				c.SetDeadline(time.Now().Add(-time.Second))
+			case <-stop:
+			}
+		}()
 		err = wire.WriteFrame(c, msgType, payload)
 		var (
 			replyType byte
@@ -206,14 +318,23 @@ func (n *node) roundTrip(msgType byte, payload []byte) (byte, []byte, error) {
 		if err == nil {
 			replyType, reply, err = wire.ReadFrame(c)
 		}
+		close(stop)
+		<-watcherDone
 		if err == nil {
-			c.SetDeadline(time.Time{})
-			n.put(c)
+			if derr := c.SetDeadline(time.Time{}); derr != nil {
+				c.Close()
+			} else {
+				n.put(c)
+			}
 			n.markOK()
 			return replyType, reply, nil
 		}
 		c.Close()
-		if pooled {
+		if ctxErr := ctx.Err(); errors.Is(ctxErr, context.Canceled) {
+			// The caller gave up; the node may be perfectly healthy.
+			return 0, nil, fmt.Errorf("cluster: node %s: %w", n.addr, ctxErr)
+		}
+		if pooled && ctx.Err() == nil {
 			continue
 		}
 		err = fmt.Errorf("cluster: node %s: %w", n.addr, err)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/cluster"
 	"sketchprivacy/internal/dataset"
 	"sketchprivacy/internal/engine"
 	"sketchprivacy/internal/query"
@@ -289,7 +290,12 @@ func TestPlanPushDownStaleEpochRetry(t *testing.T) {
 		proxies[i] = startFrameProxy(t, n.addr)
 		proxied[i] = &testNode{addr: proxies[i].addr, eng: n.eng, srv: n.srv}
 	}
-	r := startRouter(t, proxied, 2)
+	// Hedging off for this test (a hedge fired while the frame is frozen
+	// would add recovery frames): the frame-count accounting below is
+	// about the stale-epoch retry alone.
+	r := startRouterCfg(t, proxied, 2, func(cfg *cluster.Config) {
+		cfg.HedgeDelay = time.Hour
+	})
 	pubs, _, field := planWorkload(t, 200, 55)
 	if err := r.PublishAll(pubs); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -300,10 +301,13 @@ func (r *Router) rebalance(old, newRing *Ring, mig *migration) error {
 	return nil
 }
 
-// snapshotRead fetches one batch of a member's records.
+// snapshotRead fetches one batch of a member's records, bounded by the
+// bulk TransferTimeout (a full batch read can outlast a query exchange).
 func (r *Router) snapshotRead(n *node, cursor uint64, max int) (wire.SnapshotBatch, error) {
 	req := wire.EncodeSnapshotRead(wire.SnapshotRead{Cursor: cursor, Max: uint32(max)})
-	replyType, reply, err := n.roundTrip(wire.TypeSnapshotRead, req)
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.TransferTimeout)
+	defer cancel()
+	replyType, reply, err := n.roundTripCtx(ctx, wire.TypeSnapshotRead, req)
 	if err != nil {
 		return wire.SnapshotBatch{}, err
 	}

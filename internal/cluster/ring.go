@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"sketchprivacy/internal/bitvec"
@@ -126,7 +127,12 @@ func (r *Ring) VNodes() int { return r.vnodes }
 // seen set in a register instead of allocating.
 func (r *Ring) walk(id bitvec.UserID, visit func(node string) bool) {
 	h := hashUserID(id)
-	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	r.walkFrom(sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h }), visit)
+}
+
+// walkFrom is walk starting at a known ring-point index: every id hashing
+// into the arc ending at point start shares this preference list.
+func (r *Ring) walkFrom(start int, visit func(node string) bool) {
 	remaining := len(r.nodes)
 	if remaining <= 64 {
 		var seen uint64
@@ -213,10 +219,97 @@ func (r *Ring) Spans() map[string]float64 {
 	return out
 }
 
+// Span is one arc of the hash circle: user ids whose placement hash lands
+// in (Start, End] (wrapping past zero when End < Start).  CoverageError
+// carries the arcs whose entire owner set is unreachable.
+type Span struct {
+	// Start and End delimit the arc on the 64-bit hash circle.
+	Start, End uint64
+	// Owners is the arc's first-RF owner set — the nodes that would have
+	// to return for the arc's records to be readable again.
+	Owners []string
+}
+
+// Fraction returns the share of the hash circle the arc covers.
+func (s Span) Fraction() float64 {
+	return float64(s.End-s.Start) / math.Exp2(64) // unsigned wrap handles Start > End
+}
+
+// String renders the arc for operators.
+func (s Span) String() string {
+	return fmt.Sprintf("(%#016x, %#016x] (%.2f%% of users, owners %v)", s.Start, s.End, 100*s.Fraction(), s.Owners)
+}
+
+// UnreachableSpans returns the arcs of the hash circle whose records may
+// be unreadable: every member of the arc's first-rf owner set — the only
+// nodes an acknowledged record is guaranteed to be on — is outside live.
+// Adjacent unreachable arcs merge; the result is empty exactly when every
+// record still has a live replica, which is the condition under which a
+// fan-out's answer is exact.
+func (r *Ring) UnreachableSpans(rf int, live map[string]bool) []Span {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	var out []Span
+	owners := make([]string, 0, rf)
+	for i, pt := range r.points {
+		owners = owners[:0]
+		anyLive := false
+		r.walkFrom(i, func(n string) bool {
+			owners = append(owners, n)
+			if live[n] {
+				anyLive = true
+				return false
+			}
+			return len(owners) < rf
+		})
+		if anyLive {
+			continue
+		}
+		start := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		if k := len(out) - 1; k >= 0 && out[k].End == start {
+			// Contiguous with the previous unreachable arc: extend it.
+			out[k].End = pt.hash
+			for _, o := range owners {
+				if !slices.Contains(out[k].Owners, o) {
+					out[k].Owners = append(out[k].Owners, o)
+				}
+			}
+			continue
+		}
+		sp := Span{Start: start, End: pt.hash}
+		sp.Owners = append(sp.Owners, owners...)
+		out = append(out, sp)
+	}
+	// The first and last arcs may be contiguous across the index-0 seam.
+	if k := len(out) - 1; k > 0 && out[k].End == out[0].Start {
+		out[0].Start = out[k].Start
+		for _, o := range out[k].Owners {
+			if !slices.Contains(out[0].Owners, o) {
+				out[0].Owners = append(out[0].Owners, o)
+			}
+		}
+		out = out[:k]
+	}
+	return out
+}
+
 // CompileFilter turns a wire ownership filter into the record predicate a
 // node evaluates: keep a record exactly when this node is the first live
 // member of the record's preference walk.  A nil filter compiles to a nil
 // predicate (keep everything).
+//
+// A filter carrying a failed-node set selects a recovery slice instead:
+// keep a record exactly when its first live owner under Live — the node
+// the original fan-out assigned it to — is in Failed, and this node leads
+// the record's preference walk among the survivors (Live minus Failed).
+// The survivors' recovery slices partition the failed nodes' original
+// slices, so merging them with the survivors' original answers reproduces
+// the full fan-out bit-identically — the filter-partition argument,
+// applied once to Live and once to the survivor set.
 func CompileFilter(f *wire.Filter) (query.UserFilter, error) {
 	if f == nil {
 		return nil, nil
@@ -243,8 +336,36 @@ func CompileFilter(f *wire.Filter) (query.UserFilter, error) {
 		live[n] = true
 	}
 	self := f.Self
+	if len(f.Failed) == 0 {
+		return func(id bitvec.UserID) bool {
+			owner, ok := ring.FirstLive(id, live)
+			return ok && owner == self
+		}, nil
+	}
+	failed := make(map[string]bool, len(f.Failed))
+	survivors := make(map[string]bool, len(f.Live))
+	for n := range live {
+		survivors[n] = true
+	}
+	for _, n := range f.Failed {
+		if !live[n] {
+			return nil, fmt.Errorf("cluster: failed node %q is not in the filter's live set", n)
+		}
+		failed[n] = true
+		delete(survivors, n)
+	}
+	if failed[self] {
+		return nil, fmt.Errorf("cluster: filter self %q is in its own failed set", self)
+	}
+	if len(survivors) == 0 {
+		return nil, errors.New("cluster: recovery filter has no surviving nodes")
+	}
 	return func(id bitvec.UserID) bool {
 		owner, ok := ring.FirstLive(id, live)
-		return ok && owner == self
+		if !ok || !failed[owner] {
+			return false
+		}
+		next, ok := ring.FirstLive(id, survivors)
+		return ok && next == self
 	}, nil
 }

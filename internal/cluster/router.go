@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
 	"slices"
 	"sort"
 	"strings"
@@ -52,8 +54,26 @@ type Config struct {
 	OnTransferBatch func()
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
-	// RequestTimeout bounds one request/response exchange (default 10s).
+	// RequestTimeout bounds one request/response exchange and is the
+	// end-to-end budget of one query fan-out attempt (default 10s): the
+	// remaining budget rides in every filter, so nodes stop executing
+	// plans the router has stopped waiting for.
 	RequestTimeout time.Duration
+	// HedgeDelay is how long a fan-out waits on a silent node — once every
+	// other node has answered — before hedging: speculatively re-asking
+	// the silent node's slice of the user space from the surviving
+	// replicas (default RequestTimeout/4).  A blackholed node therefore
+	// delays a query by about HedgeDelay plus the recovery round trip, not
+	// by the full RequestTimeout.
+	HedgeDelay time.Duration
+	// TransferTimeout bounds one rebalance snapshot read or transfer push
+	// (default 60s): bulk record batches legitimately take longer than the
+	// query RequestTimeout.
+	TransferTimeout time.Duration
+	// Dial, when set, replaces net.DialTimeout for node connections.
+	// Fault-injection tests route connections through a faultnet fabric
+	// with it; production leaves it nil.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 	// PingInterval is the health-check period (default 2s).
 	PingInterval time.Duration
 	// BackoffBase and BackoffMax bound the dead-node probe backoff
@@ -89,6 +109,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = c.RequestTimeout / 4
+	}
+	if c.TransferTimeout == 0 {
+		c.TransferTimeout = 60 * time.Second
+	}
+	if c.TransferTimeout < c.RequestTimeout {
+		// A transfer is never cheaper than a query; a shorter budget would
+		// only make rebalances flakier than the queries they protect.
+		c.TransferTimeout = c.RequestTimeout
 	}
 	if c.PingInterval == 0 {
 		c.PingInterval = 2 * time.Second
@@ -138,6 +169,10 @@ type Router struct {
 	// embeds it in the hello while request locks are held) and advanced
 	// only under mu at cutover.
 	epoch atomic.Uint64
+
+	// fo aggregates the fan-out robustness counters (retries, recoveries,
+	// hedges, coverage refusals) surfaced through Status.
+	fo fanoutStats
 
 	// adminMu serializes membership changes: a join racing a drain would
 	// otherwise interleave two rebalance streams over inconsistent rings.
@@ -194,6 +229,7 @@ func (r *Router) newNode(addr string) *node {
 		reqTimeout:  r.cfg.RequestTimeout,
 		backoffBase: r.cfg.BackoffBase,
 		backoffMax:  r.cfg.BackoffMax,
+		dialFn:      r.cfg.Dial,
 		epochFn:     r.Epoch,
 	}
 }
@@ -277,10 +313,14 @@ func (r *Router) replayHints(n *node) {
 }
 
 // pushTransfer delivers one idempotent record batch to a node under the
-// current epoch.
+// current epoch, bounded by the bulk TransferTimeout rather than the
+// query RequestTimeout — a full batch write can legitimately outlast a
+// query exchange.
 func (r *Router) pushTransfer(n *node, records []sketch.Published) error {
 	payload := wire.EncodeTransferPush(wire.TransferPush{Epoch: r.Epoch(), Records: records})
-	replyType, reply, err := n.roundTrip(wire.TypeTransferPush, payload)
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.TransferTimeout)
+	defer cancel()
+	replyType, reply, err := n.roundTripCtx(ctx, wire.TypeTransferPush, payload)
 	if err != nil {
 		return err
 	}
@@ -486,127 +526,6 @@ func (r *Router) PublishAll(ps []sketch.Published) error {
 		}
 	}
 	return nil
-}
-
-// errNodeFailed marks transport-level fan-out failures, which are retried
-// on a recomputed live set; semantic errors (a node answering TypeError)
-// abort the query immediately, since every retry would fail the same way.
-// The one retried TypeError is the stale-epoch refusal: it means the ring
-// cut over mid-fan-out, and the retry's fresh snapshot carries the new
-// epoch.
-type errNodeFailed struct{ err error }
-
-func (e errNodeFailed) Error() string { return e.err.Error() }
-func (e errNodeFailed) Unwrap() error { return e.err }
-
-// scatterGather runs one request across all live nodes and collects the
-// decoded replies — the shared retry engine behind both the v2 per-partial
-// fan-out and the v3 plan push-down.  Each attempt takes one consistent
-// (ring, epoch, live set) snapshot, so every node receives the same query
-// under its own ownership filter and the filters partition the records
-// exactly.  If a node fails mid-fan-out it is marked dead (roundTrip
-// already did) and the whole fan-out retries on a fresh snapshot — the
-// failed node's records are answered by their surviving replicas, and a
-// ring cutover racing the fan-out is absorbed the same way (the superseded
-// attempt is refused by the nodes' stale-epoch check, never partially
-// merged).
-//
-// encode builds one payload from the per-node ownership filter; decode
-// parses a reply of replyType and must report the epoch the node computed
-// under, so replies from different ring generations are never mixed.
-func scatterGather[T any](r *Router, msgType, replyType byte, encode func(*wire.Filter) []byte, decode func([]byte) (T, uint64, error)) ([]T, error) {
-	var lastErr error
-	maxAttempts := len(r.Members()) + 2
-	for attempt := 0; attempt <= maxAttempts; attempt++ {
-		r.mu.RLock()
-		order, epoch := r.order, r.epoch.Load()
-		handles := make([]*node, len(order))
-		for i, addr := range order {
-			handles[i] = r.nodes[addr]
-		}
-		r.mu.RUnlock()
-
-		live := make([]string, 0, len(order))
-		liveHandles := make([]*node, 0, len(order))
-		for i, addr := range order {
-			if handles[i].queryLive() {
-				live = append(live, addr)
-				liveHandles = append(liveHandles, handles[i])
-			}
-		}
-		// Coverage is only guaranteed while fewer than RF nodes are down:
-		// beyond that an acknowledged record may have no live replica, and
-		// a merge over the survivors would be a confidently wrong estimate.
-		// Fail loudly instead of answering over a silently truncated
-		// record set.
-		if dead := len(order) - len(live); dead >= r.cfg.Replication {
-			err := fmt.Errorf("cluster: %d of %d nodes down at rf=%d — acknowledged records may be unreachable, refusing a partial answer", dead, len(order), r.cfg.Replication)
-			if lastErr != nil {
-				return nil, fmt.Errorf("%w (last node error: %v)", err, lastErr)
-			}
-			return nil, err
-		}
-		results := make([]T, len(live))
-		errs := make([]error, len(live))
-		var wg sync.WaitGroup
-		for i := range live {
-			wg.Add(1)
-			go func(i int, n *node) {
-				defer wg.Done()
-				payload := encode(&wire.Filter{
-					Epoch:  epoch,
-					Nodes:  order,
-					VNodes: uint32(r.cfg.VNodes),
-					Self:   n.addr,
-					Live:   live,
-				})
-				gotType, reply, err := n.roundTrip(msgType, payload)
-				if err != nil {
-					errs[i] = errNodeFailed{err}
-					return
-				}
-				switch gotType {
-				case replyType:
-					res, resEpoch, err := decode(reply)
-					if err != nil {
-						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: %w", n.addr, err)}
-						return
-					}
-					if resEpoch != epoch {
-						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s answered for ring epoch %d, fan-out ran at %d", n.addr, resEpoch, epoch)}
-						return
-					}
-					results[i] = res
-				case wire.TypeError:
-					if wire.IsStaleEpoch(string(reply)) {
-						errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: %s", n.addr, reply)}
-						return
-					}
-					errs[i] = fmt.Errorf("cluster: node %s: %s", n.addr, reply)
-				default:
-					errs[i] = errNodeFailed{fmt.Errorf("cluster: node %s: unexpected reply type %d", n.addr, gotType)}
-				}
-			}(i, liveHandles[i])
-		}
-		wg.Wait()
-		failed := false
-		for _, err := range errs {
-			if err == nil {
-				continue
-			}
-			var nf errNodeFailed
-			if errors.As(err, &nf) {
-				failed = true
-				lastErr = err
-				continue
-			}
-			return nil, err // semantic error: deterministic, don't retry
-		}
-		if !failed {
-			return results, nil
-		}
-	}
-	return nil, fmt.Errorf("cluster: fan-out failed after retries: %w", lastErr)
 }
 
 // fanout scatter-gathers one v2 partial query across all live nodes.
@@ -831,6 +750,8 @@ func (r *Router) Status() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "router ok version=%d epoch=%d nodes=%d rf=%d vnodes=%d live=%d\n",
 		wire.ProtocolVersion, epoch, len(order), r.cfg.Replication, r.cfg.VNodes, len(r.LiveNodes()))
+	sb.WriteString(r.fo.summary())
+	sb.WriteByte('\n')
 	if mig != nil {
 		fmt.Fprintf(&sb, "rebalance %s\n", mig.progress())
 	}
@@ -851,8 +772,16 @@ func (r *Router) Status() string {
 		detail := fmt.Sprintf("sketches=%d", n.sketches)
 		if !n.alive {
 			state = "dead"
-			detail = fmt.Sprintf("retry-in=%s err=%q", time.Until(n.retryAt).Round(time.Millisecond), n.lastErr)
+			breaker := "half-open"
+			if now.Before(n.retryAt) {
+				breaker = "open"
+			}
+			detail = fmt.Sprintf("breaker=%s trips=%d retry-in=%s err=%q",
+				breaker, n.trips, time.Until(n.retryAt).Round(time.Millisecond), n.lastErr)
 		} else {
+			if n.trips > 0 {
+				detail += fmt.Sprintf(" trips=%d", n.trips)
+			}
 			if n.epoch != 0 && n.epoch != epoch {
 				// The node has not yet heard of the current ring epoch (it
 				// learns it on the next ping or filtered query); worth

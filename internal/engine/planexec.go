@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"sketchprivacy/internal/bitvec"
@@ -75,6 +76,14 @@ func (c *planCache) Put(key string, gen uint64, records int, words []uint64) {
 // bit-identical to executing the plan entry-at-a-time.
 func (e *Engine) ExecutePlan(p *query.Plan, keep query.UserFilter) (*query.Results, error) {
 	return e.est.ExecutePlanOver(e.table, p, keep, e.cache)
+}
+
+// ExecutePlanCtx is ExecutePlan bounded by a context: execution is
+// abandoned with ctx.Err() at the next work-unit boundary once the context
+// ends.  The cluster node runs plan queries under the router's end-to-end
+// deadline budget through this.
+func (e *Engine) ExecutePlanCtx(ctx context.Context, p *query.Plan, keep query.UserFilter) (*query.Results, error) {
+	return e.est.ExecutePlanOverCtx(ctx, e.table, p, keep, e.cache)
 }
 
 // engineSource is the engine's query.PartialSource: per-call methods over

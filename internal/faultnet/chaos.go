@@ -1,0 +1,64 @@
+package faultnet
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// splitmix64 advances the chaos generator one step.  It is the standard
+// avalanche mixer: every (seed, endpoint, index) triple lands on an
+// independent-looking but fully reproducible stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chaosRNG is a tiny deterministic generator over splitmix64.
+type chaosRNG struct{ state uint64 }
+
+func (r *chaosRNG) next() uint64 {
+	r.state = splitmix64(r.state)
+	return r.state
+}
+
+// below reports true with probability pct/100.
+func (r *chaosRNG) below(pct uint64) bool { return r.next()%100 < pct }
+
+// rangeMS returns a duration uniform in [lo, hi] milliseconds.
+func (r *chaosRNG) rangeMS(lo, hi uint64) time.Duration {
+	return time.Duration(lo+r.next()%(hi-lo+1)) * time.Millisecond
+}
+
+// chaosPlan derives the fault plan for one connection from the fabric
+// seed, the endpoint name and the connection index — the same triple
+// always yields the same plan.  The distribution keeps most connections
+// healthy and makes each injected fault rare enough that a replicated
+// cluster should keep answering: the chaos matrix asserts liveness and
+// exactness under faults, not behaviour under total loss.
+func chaosPlan(seed uint64, endpoint string, index uint64) Plan {
+	h := fnv.New64a()
+	h.Write([]byte(endpoint))
+	rng := chaosRNG{state: splitmix64(seed) ^ splitmix64(h.Sum64()) ^ splitmix64(index*0x9e3779b97f4a7c15+1)}
+	p := Plan{ResetAtWrite: -1, CorruptAt: -1}
+	switch {
+	case rng.below(4):
+		p.BlackholeOnAccept = true
+	case rng.below(5):
+		p.ResetAtWrite = int64(rng.next() % 64)
+		p.resetExplicit = true
+	case rng.below(5):
+		p.TearAt = []int64{int64(rng.next() % 64)}
+	case rng.below(4):
+		p.CorruptAt = int64(rng.next() % 32)
+		p.CorruptXOR = byte(rng.next()%255) + 1
+		p.corruptExplicit = true
+	case rng.below(25):
+		p.ReadDelay = rng.rangeMS(1, 15)
+	}
+	if rng.below(20) {
+		p.ConnectDelay = rng.rangeMS(1, 10)
+	}
+	return p
+}

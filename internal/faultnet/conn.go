@@ -1,0 +1,291 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// timeoutError is the net.Error a dark (blackholed) read returns when its
+// deadline expires, so callers see the same shape a real stalled socket
+// produces.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout (connection blackholed)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Conn is one fault-wrapped connection.  All fault state is on this side
+// of the real socket: a blackholed Conn keeps the TCP connection open (the
+// peer sees an established, silent socket — exactly the failure mode) and
+// a reset closes the real socket so the peer observes it too.
+type Conn struct {
+	raw  net.Conn
+	plan Plan
+	ep   *Endpoint
+	peer string
+
+	mu           sync.Mutex
+	written      int64 // bytes the caller has written (fault offsets count these)
+	dark         bool  // blackholed: reads hang, writes discard
+	reset        bool  // reset injected: everything errors
+	closed       bool
+	readDeadline time.Time
+	dlGen        chan struct{} // closed and replaced on every deadline change
+	resetCh      chan struct{} // closed on injected reset
+	closedCh     chan struct{} // closed on Close
+}
+
+func newConn(raw net.Conn, plan Plan, ep *Endpoint, peer string) *Conn {
+	return &Conn{
+		raw:      raw,
+		plan:     plan,
+		ep:       ep,
+		peer:     peer,
+		dark:     plan.BlackholeOnAccept,
+		dlGen:    make(chan struct{}),
+		resetCh:  make(chan struct{}),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// setBlackhole silences the connection from now on: pending and future
+// reads hang (until their deadline), writes discard.
+func (c *Conn) setBlackhole() {
+	c.mu.Lock()
+	c.dark = true
+	c.mu.Unlock()
+	// Kick a reader blocked in the real socket into the dark wait.
+	c.raw.SetReadDeadline(time.Now())
+}
+
+// injectReset fails the connection the way a peer RST would: the real
+// socket closes (the other side observes it) and every local operation
+// returns ErrInjectedReset.
+func (c *Conn) injectReset() {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return
+	}
+	c.reset = true
+	close(c.resetCh)
+	c.mu.Unlock()
+	c.raw.Close()
+}
+
+// darkWait blocks a read on a blackholed connection until the read
+// deadline, an injected reset, or Close — whichever lands first.  It
+// re-checks the deadline whenever SetDeadline changes it, so a watcher
+// unblocking I/O with a past deadline works on dark connections too.
+func (c *Conn) darkWait() error {
+	for {
+		c.mu.Lock()
+		if c.reset {
+			c.mu.Unlock()
+			return ErrInjectedReset
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return net.ErrClosed
+		}
+		d := c.readDeadline
+		gen := c.dlGen
+		c.mu.Unlock()
+		var timer <-chan time.Time
+		if !d.IsZero() {
+			wait := time.Until(d)
+			if wait <= 0 {
+				return timeoutError{}
+			}
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			timer = t.C
+		}
+		select {
+		case <-c.resetCh:
+			return ErrInjectedReset
+		case <-c.closedCh:
+			return net.ErrClosed
+		case <-gen:
+			// Deadline changed; re-evaluate.
+		case <-timer:
+			return timeoutError{}
+		}
+	}
+}
+
+// Read applies the connection's fault plan around the real read.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	reset, dark := c.reset, c.dark
+	c.mu.Unlock()
+	if reset {
+		return 0, ErrInjectedReset
+	}
+	if dark {
+		return 0, c.darkWait()
+	}
+	if c.plan.ReadDelay > 0 {
+		time.Sleep(c.plan.ReadDelay)
+	}
+	n, err := c.raw.Read(b)
+	if err != nil {
+		// A blackhole or reset that landed mid-read kicked us out of the
+		// real socket; reclassify instead of leaking its error.
+		c.mu.Lock()
+		reset, dark = c.reset, c.dark
+		c.mu.Unlock()
+		if reset {
+			return 0, ErrInjectedReset
+		}
+		if dark {
+			// The kick used a past deadline; park in the dark wait, which
+			// owns timing from here on.
+			return 0, c.darkWait()
+		}
+	}
+	return n, err
+}
+
+// Write applies the fault plan: delays, byte corruption, torn writes and
+// offset-triggered resets, in write-offset order.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	if c.dark {
+		// Blackhole: claim success, deliver nothing.
+		c.written += int64(len(b))
+		c.mu.Unlock()
+		return len(b), nil
+	}
+	start := c.written
+	c.written += int64(len(b))
+	c.mu.Unlock()
+
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+
+	end := start + int64(len(b))
+	// The earliest fault inside [start, end) wins.
+	cut := int64(-1) // offset where delivery stops
+	fault := byte(0) // 1 = tear (silent), 2 = reset (loud)
+	if r := c.plan.ResetAtWrite; r >= 0 && r < end {
+		if r < start {
+			r = start
+		}
+		cut, fault = r, 2
+	}
+	for _, tr := range c.plan.TearAt {
+		if tr >= start && tr < end && (cut < 0 || tr < cut) {
+			cut, fault = tr, 1
+		}
+	}
+
+	out := b
+	if a := c.plan.CorruptAt; a >= start && a < end && (cut < 0 || a < cut) {
+		out = append([]byte(nil), b...)
+		out[a-start] ^= c.plan.CorruptXOR
+	}
+
+	if cut < 0 {
+		n, err := c.raw.Write(out)
+		if err != nil {
+			c.mu.Lock()
+			reset := c.reset
+			c.mu.Unlock()
+			if reset {
+				return n, ErrInjectedReset
+			}
+		}
+		return n, err
+	}
+
+	// Deliver the prefix up to the fault offset.
+	if cut > start {
+		if _, err := c.raw.Write(out[:cut-start]); err != nil {
+			return 0, err
+		}
+	}
+	if fault == 1 {
+		// Torn write: the rest of this write vanishes and the connection
+		// goes dark — a valid prefix on the wire, then silence.
+		c.mu.Lock()
+		c.dark = true
+		c.mu.Unlock()
+		c.raw.SetReadDeadline(time.Now())
+		return len(b), nil
+	}
+	c.injectReset()
+	return int(cut - start), ErrInjectedReset
+}
+
+// Close closes the wrapped connection and unregisters it.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return net.ErrClosed
+	}
+	c.closed = true
+	close(c.closedCh)
+	c.mu.Unlock()
+	c.ep.untrack(c)
+	return c.raw.Close()
+}
+
+// LocalAddr returns the real connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// RemoteAddr returns the real connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// bumpDeadlineGen wakes dark waiters so they observe a deadline change.
+func (c *Conn) bumpDeadlineGen() {
+	old := c.dlGen
+	c.dlGen = make(chan struct{})
+	close(old)
+}
+
+// SetDeadline sets both read and write deadlines, mirroring them into the
+// fault layer so dark waits honour them.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.bumpDeadlineGen()
+	dark := c.dark
+	c.mu.Unlock()
+	if dark {
+		// Keep the real socket's deadline clear; the dark wait owns timing.
+		return nil
+	}
+	return c.raw.SetDeadline(t)
+}
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.bumpDeadlineGen()
+	dark := c.dark
+	c.mu.Unlock()
+	if dark {
+		return nil
+	}
+	return c.raw.SetReadDeadline(t)
+}
+
+// SetWriteDeadline sets the write deadline on the real socket.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	dark := c.dark
+	c.mu.Unlock()
+	if dark {
+		return nil
+	}
+	return c.raw.SetWriteDeadline(t)
+}

@@ -1,0 +1,380 @@
+// Package faultnet injects deterministic network faults between the pieces
+// of a cluster under test.  A Fabric wraps real net.Listener/net.Conn pairs
+// (loopback TCP in practice) with named Endpoints; every connection through
+// an endpoint executes a Plan — added latency, blackhole-after-accept,
+// reset at a chosen write offset, torn writes, byte corruption — chosen
+// either by an explicit script or by a seeded generator, and the fabric
+// keeps a directional partition matrix between endpoints.  The point is
+// that every failure mode a test wants (hung connections, torn frames,
+// asymmetric partitions, slow drips) becomes a replayable seed instead of
+// a flaky sleep: the same seed yields the same fault schedule on every
+// run, so a CI failure is one command away from a local reproduction.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by reads and writes on a
+// connection the fabric has reset: the injected analogue of a peer's RST.
+var ErrInjectedReset = errors.New("faultnet: connection reset by fault plan")
+
+// ErrPartitioned is the error dials and I/O observe when the fabric's
+// partition matrix separates the two endpoints.
+var ErrPartitioned = errors.New("faultnet: endpoints partitioned")
+
+// Plan is the fault schedule for one connection.  The zero Plan is a
+// faithful pass-through.  Offsets count bytes written through this wrapped
+// connection (frame headers included), so a test can target "the byte
+// after the planQuery header" exactly.
+type Plan struct {
+	// ConnectDelay is added before the dial (client side) or before the
+	// first byte is served (accept side).
+	ConnectDelay time.Duration
+	// ReadDelay is added before every Read returns data.
+	ReadDelay time.Duration
+	// WriteDelay is added before every Write proceeds.
+	WriteDelay time.Duration
+	// BlackholeOnAccept makes the connection accept and then go silent:
+	// reads block until deadline or close, writes claim success and
+	// discard.  The uglier failure mode than a crash — nothing errors,
+	// nothing answers.
+	BlackholeOnAccept bool
+	// ResetAtWrite, when >= 0, injects ErrInjectedReset once the
+	// connection has written that many bytes; the write that crosses the
+	// offset delivers the prefix and then fails.  Use 0 to reset before
+	// any byte leaves.  The default -1 never resets.
+	ResetAtWrite int64
+	// TearAt, when non-nil, lists write offsets at which a Write is torn:
+	// the bytes up to the offset are delivered, the remainder of that
+	// Write call is silently dropped, and the connection blackholes from
+	// then on — a mid-frame hang with a valid prefix on the wire.
+	TearAt []int64
+	// CorruptAt, when >= 0, XORs the byte at that write offset with
+	// CorruptXOR (default 0xFF when zero) and delivers everything else
+	// intact — in-flight bit corruption that only a checksum can catch.
+	CorruptAt  int64
+	CorruptXOR byte
+
+	planFlags
+}
+
+// passthrough reports whether the plan injects nothing.
+func (p Plan) passthrough() bool {
+	return p.ConnectDelay == 0 && p.ReadDelay == 0 && p.WriteDelay == 0 &&
+		!p.BlackholeOnAccept && p.ResetAtWrite < 0 && len(p.TearAt) == 0 && p.CorruptAt < 0
+}
+
+// normalize fills the sentinel defaults a zero-valued literal leaves out.
+func (p Plan) normalize() Plan {
+	if p.ResetAtWrite == 0 && !p.resetExplicit {
+		p.ResetAtWrite = -1
+	}
+	if p.CorruptAt == 0 && !p.corruptExplicit {
+		p.CorruptAt = -1
+	}
+	if p.CorruptXOR == 0 {
+		p.CorruptXOR = 0xFF
+	}
+	return p
+}
+
+// planFlags distinguishes "offset zero" from "unset" for the two offset
+// fields whose literal zero value must mean "never": plans built as
+// struct literals leave both flags false, so normalize maps a zero offset
+// to the -1 sentinel; the WithReset/WithCorrupt builders set the flag and
+// can therefore express offset zero.
+type planFlags struct {
+	resetExplicit   bool
+	corruptExplicit bool
+}
+
+// WithReset returns a copy of the plan that resets at the given write
+// offset (0 = before any byte).
+func (p Plan) WithReset(offset int64) Plan {
+	p.ResetAtWrite = offset
+	p.resetExplicit = true
+	return p
+}
+
+// WithCorrupt returns a copy of the plan that corrupts the byte at the
+// given write offset (0 = the first byte) with the given XOR mask.
+func (p Plan) WithCorrupt(offset int64, xor byte) Plan {
+	p.CorruptAt = offset
+	p.CorruptXOR = xor
+	p.corruptExplicit = true
+	return p
+}
+
+// Fabric owns the fault state shared by its endpoints: the partition
+// matrix, the seed, and the per-endpoint connection counters that make
+// seeded plans deterministic.
+type Fabric struct {
+	mu        sync.Mutex
+	seed      uint64
+	endpoints map[string]*Endpoint
+	severed   map[[2]string]bool // directional: severed[{from,to}]
+}
+
+// NewFabric creates a fabric whose seeded chaos plans derive from seed.
+func NewFabric(seed uint64) *Fabric {
+	return &Fabric{
+		seed:      seed,
+		endpoints: make(map[string]*Endpoint),
+		severed:   make(map[[2]string]bool),
+	}
+}
+
+// Seed returns the fabric's seed, for failure messages that want to print
+// a replay command.
+func (f *Fabric) Seed() uint64 { return f.seed }
+
+// Partition severs traffic from one endpoint to another (directional:
+// sever both ways for a full partition).  Existing connections between the
+// pair are reset; new dials fail with ErrPartitioned.
+func (f *Fabric) Partition(from, to string) {
+	f.mu.Lock()
+	f.severed[[2]string{from, to}] = true
+	eps := []*Endpoint{f.endpoints[from], f.endpoints[to]}
+	f.mu.Unlock()
+	for _, ep := range eps {
+		if ep != nil {
+			ep.resetPeerConns(from, to)
+		}
+	}
+}
+
+// Heal restores traffic from one endpoint to another.
+func (f *Fabric) Heal(from, to string) {
+	f.mu.Lock()
+	delete(f.severed, [2]string{from, to})
+	f.mu.Unlock()
+}
+
+// PartitionBoth severs traffic in both directions between two endpoints.
+func (f *Fabric) PartitionBoth(a, b string) {
+	f.Partition(a, b)
+	f.Partition(b, a)
+}
+
+// HealBoth restores traffic in both directions between two endpoints.
+func (f *Fabric) HealBoth(a, b string) {
+	f.Heal(a, b)
+	f.Heal(b, a)
+}
+
+// partitioned reports whether from→to traffic is severed.
+func (f *Fabric) partitioned(from, to string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.severed[[2]string{from, to}]
+}
+
+// Endpoint is one named party on the fabric — a node's listener or the
+// router's dialing side.  Connections accepted or dialed through it are
+// wrapped with fault plans.
+type Endpoint struct {
+	fabric *Fabric
+	name   string
+
+	mu        sync.Mutex
+	connIndex uint64           // connections seen so far, the script key
+	script    map[uint64]Plan  // explicit per-connection plans
+	defPlan   Plan             // plan for unscripted connections
+	chaos     bool             // derive unscripted plans from the seed
+	blackhole bool             // endpoint-level silence, affects live conns
+	conns     map[*Conn]string // live conns → peer endpoint name
+}
+
+// Endpoint returns (creating on first use) the named endpoint.
+func (f *Fabric) Endpoint(name string) *Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.endpoints[name]
+	if !ok {
+		ep = &Endpoint{
+			fabric:  f,
+			name:    name,
+			script:  make(map[uint64]Plan),
+			defPlan: Plan{ResetAtWrite: -1, CorruptAt: -1},
+			conns:   make(map[*Conn]string),
+		}
+		f.endpoints[name] = ep
+	}
+	return ep
+}
+
+// ScriptConn installs a plan for the endpoint's index-th connection
+// (0-based, counted in accept/dial order).
+func (e *Endpoint) ScriptConn(index uint64, p Plan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.script[index] = p.normalize()
+}
+
+// SetDefaultPlan installs the plan unscripted connections run.
+func (e *Endpoint) SetDefaultPlan(p Plan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.defPlan = p.normalize()
+	e.chaos = false
+}
+
+// EnableChaos switches unscripted connections to seed-derived plans: each
+// (fabric seed, endpoint name, connection index) triple deterministically
+// yields one plan from the chaos distribution.
+func (e *Endpoint) EnableChaos() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chaos = true
+}
+
+// Blackhole silences the endpoint: every live connection through it stops
+// delivering reads and starts discarding writes, and future connections
+// blackhole from birth.  This models accept-then-hang — the process is up,
+// the socket opens, nothing answers.
+func (e *Endpoint) Blackhole() { e.setBlackhole(true) }
+
+// Restore lifts an endpoint blackhole for future connections.  Existing
+// connections stay dark: a real hung socket does not spontaneously
+// recover, and tests that want recovery should dial fresh connections.
+func (e *Endpoint) Restore() { e.setBlackhole(false) }
+
+func (e *Endpoint) setBlackhole(v bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.blackhole = v
+	if v {
+		for c := range e.conns {
+			c.setBlackhole()
+		}
+	}
+}
+
+// resetPeerConns injects a reset into live connections between the two
+// named endpoints (either direction), used when a partition lands.
+func (e *Endpoint) resetPeerConns(a, b string) {
+	e.mu.Lock()
+	var hit []*Conn
+	for c, peer := range e.conns {
+		if (e.name == a && peer == b) || (e.name == b && peer == a) {
+			hit = append(hit, c)
+		}
+	}
+	e.mu.Unlock()
+	for _, c := range hit {
+		c.injectReset()
+	}
+}
+
+// nextPlan picks the plan for a new connection and registers nothing: the
+// caller wraps the conn and calls track.
+func (e *Endpoint) nextPlan() (Plan, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx := e.connIndex
+	e.connIndex++
+	if p, ok := e.script[idx]; ok {
+		return p, idx
+	}
+	if e.chaos {
+		return chaosPlan(e.fabric.seed, e.name, idx), idx
+	}
+	return e.defPlan, idx
+}
+
+// track registers a live connection and applies the endpoint blackhole if
+// one is already in force.
+func (e *Endpoint) track(c *Conn, peer string) {
+	e.mu.Lock()
+	dark := e.blackhole
+	e.conns[c] = peer
+	e.mu.Unlock()
+	if dark {
+		c.setBlackhole()
+	}
+}
+
+// untrack removes a closed connection.
+func (e *Endpoint) untrack(c *Conn) {
+	e.mu.Lock()
+	delete(e.conns, c)
+	e.mu.Unlock()
+}
+
+// Listen wraps a live listener in the endpoint: every accepted connection
+// runs the endpoint's next plan.  peerName attributes accepted traffic for
+// the partition matrix (a single-dialer fabric names its router side once;
+// fabrics with several dialers partition at endpoint level instead).
+func (e *Endpoint) Listen(ln net.Listener, peerName string) net.Listener {
+	return &Listener{Listener: ln, ep: e, peer: peerName}
+}
+
+// Dial returns a dial function (the shape cluster.Config.Dial wants) that
+// connects with the given timeout and wraps the connection in the
+// endpoint's next plan.  peerOf maps the dialed address to the remote
+// endpoint's name for the partition matrix; nil means addresses are used
+// verbatim.
+func (e *Endpoint) Dial(peerOf func(addr string) string) func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		peer := addr
+		if peerOf != nil {
+			peer = peerOf(addr)
+		}
+		if e.fabric.partitioned(e.name, peer) || e.fabric.partitioned(peer, e.name) {
+			return nil, fmt.Errorf("dial %s: %w", addr, ErrPartitioned)
+		}
+		plan, _ := e.nextPlan()
+		if plan.ConnectDelay > 0 {
+			deadline := time.Now().Add(timeout)
+			time.Sleep(plan.ConnectDelay)
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("dial %s: %w", addr, ErrTimeout)
+			}
+			timeout = time.Until(deadline)
+		}
+		raw, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c := newConn(raw, plan, e, peer)
+		e.track(c, peer)
+		return c, nil
+	}
+}
+
+// ErrTimeout is returned when an injected connect delay consumes the whole
+// dial timeout.
+var ErrTimeout = errors.New("faultnet: injected delay exceeded timeout")
+
+// Listener wraps accepts with the endpoint's fault plans.
+type Listener struct {
+	net.Listener
+	ep   *Endpoint
+	peer string
+}
+
+// Accept waits for the next connection and wraps it in the endpoint's next
+// fault plan.  A fully severed endpoint still accepts — a partition cuts
+// the wire, not the socket — but the wrapped connection resets on first
+// use.
+func (l *Listener) Accept() (net.Conn, error) {
+	raw, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	plan, _ := l.ep.nextPlan()
+	if plan.ConnectDelay > 0 {
+		time.Sleep(plan.ConnectDelay)
+	}
+	c := newConn(raw, plan, l.ep, l.peer)
+	l.ep.track(c, l.peer)
+	if l.ep.fabric.partitioned(l.ep.name, l.peer) || l.ep.fabric.partitioned(l.peer, l.ep.name) {
+		c.injectReset()
+	}
+	return c, nil
+}

@@ -1,0 +1,271 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// startEcho serves byte-echo on a wrapped listener until it closes.
+func startEcho(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+// fabricPair builds a fabric with an echo server behind endpoint "node"
+// and returns a dialer for endpoint "router" plus the server address.
+func fabricPair(t *testing.T, seed uint64) (*Fabric, func() (net.Conn, error), string) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFabric(seed)
+	ln := f.Endpoint("node").Listen(raw, "router")
+	startEcho(t, ln)
+	t.Cleanup(func() { ln.Close() })
+	addr := raw.Addr().String()
+	dial := f.Endpoint("router").Dial(func(string) string { return "node" })
+	return f, func() (net.Conn, error) { return dial(addr, time.Second) }, addr
+}
+
+func TestPassthroughEcho(t *testing.T) {
+	_, dial, _ := fabricPair(t, 1)
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("round and round")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo gave %q", got)
+	}
+}
+
+func TestBlackholeEndpointAffectsLiveConns(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(c, one); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silence the router side: its existing connection must stop
+	// delivering, and a deadline must bound the resulting hang.
+	f.Endpoint("router").Blackhole()
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	if _, err := c.Read(one); err == nil {
+		t.Fatal("read on blackholed conn returned data")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("blackholed read error %v, want timeout", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("blackholed read took %v, want ~50ms", d)
+	}
+	// Writes discard but claim success.
+	if n, err := c.Write([]byte("gone")); n != 4 || err != nil {
+		t.Fatalf("blackholed write gave (%d, %v)", n, err)
+	}
+}
+
+func TestBlackholeHonoursLaterDeadline(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f.Endpoint("router").Blackhole()
+
+	// Start a read with no deadline, then interrupt it with a past
+	// deadline from another goroutine — the watcher pattern the cluster
+	// node uses to cancel I/O.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.SetDeadline(time.Now().Add(-time.Second))
+	select {
+	case err := <-done:
+		if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+			t.Fatalf("interrupted read error %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("past deadline did not unblock a dark read")
+	}
+}
+
+func TestResetAtWriteOffset(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	f.Endpoint("router").ScriptConn(0, Plan{}.WithReset(3))
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n, err := c.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write past reset offset gave (%d, %v)", n, err)
+	}
+	if n != 3 {
+		t.Fatalf("reset delivered %d bytes, want the 3-byte prefix", n)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("read after reset gave %v", err)
+	}
+}
+
+func TestTornWriteDeliversPrefixThenSilence(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	f.Endpoint("router").ScriptConn(0, Plan{TearAt: []int64{4}})
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The tear claims success for the whole write but only 4 bytes leave.
+	if n, err := c.Write([]byte("abcdefgh")); n != 8 || err != nil {
+		t.Fatalf("torn write gave (%d, %v)", n, err)
+	}
+	// The echo server got 4 bytes and echoed them, but our side is dark
+	// now: the read must hang until deadline, not deliver the prefix.
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 8)); err == nil {
+		t.Fatal("read after torn write returned data")
+	}
+}
+
+func TestCorruptionFlipsExactlyOneByte(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	f.Endpoint("router").ScriptConn(0, Plan{}.WithCorrupt(2, 0x01))
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if want := "ab" + string([]byte{'c' ^ 0x01}) + "def"; string(got) != want {
+		t.Fatalf("corruption gave %q, want %q", got, want)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f.PartitionBoth("router", "node")
+	// Existing connections reset…
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		// The first write may land in the kernel buffer before the reset
+		// propagates; the read must fail regardless.
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("read across a partition succeeded")
+		}
+	}
+	// …and new dials refuse.
+	if _, err := dial(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial across partition gave %v", err)
+	}
+
+	f.HealBoth("router", "node")
+	c2, err := dial()
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, make([]byte, 1)); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestScriptedConnectDelay(t *testing.T) {
+	f, dial, _ := fabricPair(t, 1)
+	f.Endpoint("router").ScriptConn(0, Plan{ConnectDelay: 40 * time.Millisecond})
+	start := time.Now()
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if d := time.Since(start); d < 35*time.Millisecond {
+		t.Fatalf("dial took %v, want >= 40ms connect delay", d)
+	}
+}
+
+func TestChaosPlansAreDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for idx := uint64(0); idx < 50; idx++ {
+			a := chaosPlan(seed, "node0", idx)
+			b := chaosPlan(seed, "node0", idx)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d conn %d: plans differ across calls", seed, idx)
+			}
+		}
+	}
+	// Different seeds must not produce identical schedules.
+	var diff int
+	for idx := uint64(0); idx < 50; idx++ {
+		if !reflect.DeepEqual(chaosPlan(1, "node0", idx), chaosPlan(2, "node0", idx)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical 50-connection schedules")
+	}
+	// The distribution must keep a healthy majority of connections clean.
+	var clean int
+	for idx := uint64(0); idx < 200; idx++ {
+		p := chaosPlan(7, "node0", idx)
+		if !p.BlackholeOnAccept && p.ResetAtWrite < 0 && len(p.TearAt) == 0 && p.CorruptAt < 0 {
+			clean++
+		}
+	}
+	if clean < 100 {
+		t.Fatalf("only %d/200 chaos connections are fault-free — queries could never succeed", clean)
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 
@@ -40,6 +41,18 @@ type BitmapCache interface {
 // over the full snapshot (making them cacheable regardless of filter) and
 // the filter is applied at counting time.
 func (e *Estimator) ExecutePlanOver(tab *sketch.Table, p *Plan, keep UserFilter, cache BitmapCache) (*Results, error) {
+	return e.ExecutePlanOverCtx(context.Background(), tab, p, keep, cache)
+}
+
+// ExecutePlanOverCtx is ExecutePlanOver bounded by a context: the executor
+// checks ctx at every work-unit boundary (between subset groups, before
+// each histogram) and abandons the plan with ctx.Err() once it is done.
+// A distributed node runs queries under the router's end-to-end deadline
+// budget through this — work the router has stopped waiting for should
+// stop burning cores.  The granularity is a whole subset group, which
+// keeps the hot record loop check-free; groups are milliseconds even at
+// the largest benchmarked tables, so cancellation latency stays small.
+func (e *Estimator) ExecutePlanOverCtx(ctx context.Context, tab *sketch.Table, p *Plan, keep UserFilter, cache BitmapCache) (*Results, error) {
 	res := newResults(p)
 
 	// Group fraction entries by subset so each subset's snapshot is walked
@@ -62,6 +75,9 @@ func (e *Estimator) ExecutePlanOver(tab *sketch.Table, p *Plan, keep UserFilter,
 	}
 
 	for _, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		snap, gen, genOK := tab.SnapshotGen(g.subset)
 		useCache := cache != nil && genOK
 		bitmaps := make([][]uint64, len(g.entries))
@@ -122,11 +138,17 @@ func (e *Estimator) ExecutePlanOver(tab *sketch.Table, p *Plan, keep UserFilter,
 		if h.Skipped(res.Fractions) {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		hp, err := e.HistogramPartialOf(tab, h.Subs, keep)
 		if err != nil {
 			return nil, err
 		}
 		res.Hists[i] = hp
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for i, b := range p.counts {
 		res.Counts[i] = SubsetRecordsOf(tab, b, keep)

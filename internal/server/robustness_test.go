@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/faultnet"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// startCfgServer is startTestServer with a caller-chosen Config.
+func startCfgServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	h := prf.NewBiased(bytes.Repeat([]byte{0x11}, prf.MinKeyBytes), prf.MustProb(0.25))
+	eng, err := engine.New(h, sketch.MustParams(0.25, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(eng, cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIdleConnectionsReaped checks the per-connection read deadline: a
+// silent connection is closed after ReadIdleTimeout and counted, while a
+// connection that keeps sending frames stays up indefinitely.
+func TestIdleConnectionsReaped(t *testing.T) {
+	srv, addr := startCfgServer(t, Config{ReadIdleTimeout: 150 * time.Millisecond})
+
+	idle, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	active, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer active.Close()
+
+	// The active connection pings every ~50ms across several idle windows;
+	// each frame re-arms its deadline, so it must never be reaped.
+	for i := 0; i < 10; i++ {
+		if _, err := active.Ping(); err != nil {
+			t.Fatalf("active connection reaped on ping %d: %v", i, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	waitUntil(t, 2*time.Second, func() bool { return srv.idleCloses.Load() >= 1 })
+	if _, err := idle.Ping(); err == nil {
+		t.Fatal("ping on the reaped idle connection succeeded")
+	}
+
+	fresh, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	rep, err := fresh.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Robustness == nil || rep.Robustness.IdleCloses < 1 {
+		t.Fatalf("stats do not report the idle close: %+v", rep.Robustness)
+	}
+}
+
+// TestOverloadShedsLoudly fills the in-flight semaphore and checks the
+// next frame is refused with a typed overload error — shed before
+// execution, connection kept open — instead of queueing without bound.
+func TestOverloadShedsLoudly(t *testing.T) {
+	srv, addr := startCfgServer(t, Config{MaxInFlight: 1})
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Occupy the only execution slot, as a long-running plan would.
+	srv.inflight <- struct{}{}
+	_, err = cli.Ping()
+	if err == nil {
+		t.Fatal("ping during a full in-flight window succeeded, want overload refusal")
+	}
+	if !wire.IsOverload(err.Error()) {
+		t.Fatalf("refusal is not the typed overload error: %v", err)
+	}
+	if srv.overloads.Load() != 1 {
+		t.Fatalf("overload counter is %d, want 1", srv.overloads.Load())
+	}
+	<-srv.inflight
+
+	// The connection survived the shed and works once the window clears.
+	if _, err := cli.Ping(); err != nil {
+		t.Fatalf("ping after the overload window failed: %v", err)
+	}
+	rep, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Robustness == nil || rep.Robustness.Overloads != 1 || rep.Robustness.MaxInFlight != 1 {
+		t.Fatalf("stats do not report the shed: %+v", rep.Robustness)
+	}
+}
+
+// TestChecksumRefusalClosesConnection sends a frame whose CRC does not
+// match its payload: the server must refuse it with the checksum error,
+// count it, and hang up — a desynchronized stream cannot be re-framed.
+func TestChecksumRefusalClosesConnection(t *testing.T) {
+	srv, addr := startCfgServer(t, Config{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.ClientHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+
+	// A valid ping frame with its checksum flipped.
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.TypePing, nil); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[len(frame)-1] ^= 0xFF
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	msgType, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no refusal reply: %v", err)
+	}
+	if msgType != wire.TypeError || !strings.Contains(string(payload), wire.ErrFrameChecksum.Error()) {
+		t.Fatalf("refusal is type %d payload %q, want the checksum error", msgType, payload)
+	}
+	if _, _, err := wire.ReadFrame(conn); err == nil {
+		t.Fatal("connection still open after a checksum refusal")
+	}
+	if srv.checksumErrors.Load() != 1 {
+		t.Fatalf("checksum counter is %d, want 1", srv.checksumErrors.Load())
+	}
+}
+
+// TestServeThroughFaultnetListener runs the server behind a fault-injecting
+// listener adding latency to every accepted connection: the protocol must
+// work unchanged through the wrapped conns, and slow-but-live clients must
+// not trip the idle reaper.
+func TestServeThroughFaultnetListener(t *testing.T) {
+	h := prf.NewBiased(bytes.Repeat([]byte{0x11}, prf.MinKeyBytes), prf.MustProb(0.25))
+	eng, err := engine.New(h, sketch.MustParams(0.25, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(eng, Config{ReadIdleTimeout: time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := faultnet.NewFabric(11)
+	ep := fab.Endpoint("server")
+	ep.SetDefaultPlan(faultnet.Plan{ReadDelay: 20 * time.Millisecond, WriteDelay: 5 * time.Millisecond})
+	addr := srv.Serve(ep.Listen(ln, "client"))
+	t.Cleanup(func() { srv.Close() })
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Ping(); err != nil {
+			t.Fatalf("ping %d through the fault listener failed: %v", i, err)
+		}
+	}
+	rep, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Robustness == nil || rep.Robustness.IdleCloses != 0 {
+		t.Fatalf("slow-but-live client tripped the reaper: %+v", rep.Robustness)
+	}
+}

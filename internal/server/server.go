@@ -6,11 +6,13 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sketchprivacy/internal/cluster"
 	"sketchprivacy/internal/engine"
@@ -18,10 +20,47 @@ import (
 	"sketchprivacy/internal/wire"
 )
 
+// Config parameterizes a Server's robustness guards.  The zero value gets
+// defaults, so server.New keeps working unchanged.
+type Config struct {
+	// ReadIdleTimeout bounds how long a connection may sit silent between
+	// frames (default 5m): a client that wedges mid-frame or goes away
+	// without closing stops holding a handler goroutine and a socket
+	// forever.  A fresh deadline is armed before every frame read, so a
+	// chatty connection never times out.
+	ReadIdleTimeout time.Duration
+	// MaxInFlight bounds how many frames the server executes concurrently
+	// across all connections (default 256).  Past it, requests are shed
+	// with wire.OverloadError — a retryable refusal — instead of queueing
+	// unboundedly; a misbehaving client cannot wedge the node for others.
+	MaxInFlight int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 5 * time.Minute
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
 // Server accepts publish and query frames over TCP and applies them to an
 // engine.
 type Server struct {
 	eng *engine.Engine
+	cfg Config
+
+	// inflight is the frame-execution semaphore implementing MaxInFlight.
+	inflight chan struct{}
+
+	// Robustness counters, reported in stats.
+	overloads        atomic.Uint64 // frames shed by the in-flight guard
+	idleCloses       atomic.Uint64 // connections closed by the idle timeout
+	checksumErrors   atomic.Uint64 // frames refused with a CRC mismatch
+	deadlineAbandons atomic.Uint64 // plans abandoned mid-execution on budget expiry
 
 	// epoch is the highest ring epoch this node has observed, learned from
 	// hello handshakes, pings, ownership filters and transfer pushes.  A
@@ -37,9 +76,20 @@ type Server struct {
 	closed   bool
 }
 
-// New creates a server around an engine.
+// New creates a server around an engine with default guards.
 func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+	return NewWithConfig(eng, Config{})
+}
+
+// NewWithConfig creates a server with explicit robustness guards.
+func NewWithConfig(eng *engine.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		eng:      eng,
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		conns:    make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -50,12 +100,19 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts accepting connections from an already-bound listener and
+// returns its address.  Fault-injection tests pass a faultnet-wrapped
+// listener through here; Listen delegates to it for the common case.
+func (s *Server) Serve(ln net.Listener) string {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -111,8 +168,12 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// handle serves one connection until it closes, a protocol error occurs
-// or the server shuts down.
+// handle serves one connection until it closes, a protocol error occurs,
+// the idle timeout fires or the server shuts down.  Every frame passes
+// the in-flight guard before executing: past MaxInFlight concurrently
+// executing frames the request is shed with a retryable overload refusal,
+// so a flood of expensive plans degrades into refusals instead of
+// unbounded queueing.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	if !s.track(conn) {
@@ -120,124 +181,159 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	defer s.untrack(conn)
 	for {
-		msgType, payload, err := wire.ReadFrame(conn)
-		if err != nil {
+		// Arm a fresh idle deadline before each frame read: a connection
+		// that goes silent mid-frame or disappears without closing is
+		// reaped instead of pinning a goroutine and a socket forever.
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadIdleTimeout)); err != nil {
 			return
 		}
-		switch msgType {
-		case wire.TypePublish:
-			pub, err := wire.DecodePublished(payload)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
+		msgType, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.idleCloses.Add(1)
 			}
-			if err := s.eng.Ingest(pub); err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
-		case wire.TypeQuery:
-			q, err := wire.DecodeQuery(payload)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			est, err := s.eng.Conjunction(q.Subset, q.Value)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			res := wire.Result{Fraction: est.Fraction, Raw: est.Raw, Users: uint64(est.Users)}
-			_ = wire.WriteFrame(conn, wire.TypeResult, wire.EncodeResult(res))
-		case wire.TypeStats:
-			// Unlike publish/query replies, a stats payload has no fixed
-			// size bound, so a frame-too-large failure must still send
-			// *something* or the client blocks forever awaiting a reply.
-			if err := wire.WriteFrame(conn, wire.TypeStatsReply, wire.EncodeStats(s.stats())); err != nil {
+			if errors.Is(err, wire.ErrFrameChecksum) {
+				// The frame was read in full, so the stream is still
+				// framed — but its bytes cannot be trusted.  Report the
+				// corruption and hang up; the client redials.
+				s.checksumErrors.Add(1)
 				s.writeError(conn, err)
 			}
-		case wire.TypeHello:
-			if err := wire.CheckHello(payload); err != nil {
-				// Fail the handshake loudly and hang up: a mixed-version
-				// peer's subsequent frames would decode as garbage, so the
-				// refusal must end the connection, not just warn.
-				s.writeError(conn, err)
-				return
-			}
-			if _, epoch, has, err := wire.ParseHello(payload); err == nil && has {
-				s.observeEpoch(epoch)
-			}
-			_ = wire.WriteFrame(conn, wire.TypeHelloAck, wire.EncodeHello())
-		case wire.TypePing:
-			if epoch, has, err := wire.ParsePing(payload); err == nil && has {
-				s.observeEpoch(epoch)
-			}
-			pong := fmt.Sprintf("ok version=%d sketches=%d epoch=%d",
-				wire.ProtocolVersion, s.eng.Sketches(), s.epoch.Load())
-			_ = wire.WriteFrame(conn, wire.TypePong, []byte(pong))
-		case wire.TypePartialQuery:
-			pq, err := wire.DecodePartialQuery(payload)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			res, err := s.partial(pq)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			_ = wire.WriteFrame(conn, wire.TypePartialResult, wire.EncodePartialResult(res))
-		case wire.TypePlanQuery:
-			pq, err := wire.DecodePlanQuery(payload)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			res, err := s.plan(pq)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			_ = wire.WriteFrame(conn, wire.TypePlanResult, wire.EncodePlanResult(res))
-		case wire.TypeSnapshotRead:
-			req, err := wire.DecodeSnapshotRead(payload)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			// Clamp the peer's limit: an oversized Max would materialise
-			// the whole store in one reply (and overflow the frame limit
-			// anyway).
-			max := int(req.Max)
-			if max <= 0 || max > wire.MaxTransferBatch {
-				max = wire.MaxTransferBatch
-			}
-			records, next, done, err := s.eng.SnapshotBatch(req.Cursor, max)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			batch := wire.SnapshotBatch{Next: next, Done: done, Records: records}
-			if err := wire.WriteFrame(conn, wire.TypeSnapshotBatch, wire.EncodeSnapshotBatch(batch)); err != nil {
-				s.writeError(conn, err)
-			}
-		case wire.TypeTransferPush:
-			tp, err := wire.DecodeTransferPush(payload)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			s.observeEpoch(tp.Epoch)
-			applied, err := s.applyTransfer(tp)
-			if err != nil {
-				s.writeError(conn, err)
-				continue
-			}
-			_ = wire.WriteFrame(conn, wire.TypeTransferAck, wire.EncodeTransferAck(wire.TransferAck{Applied: applied}))
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
 		default:
-			s.writeError(conn, fmt.Errorf("server: unknown message type %d", msgType))
+			s.overloads.Add(1)
+			s.writeError(conn, wire.OverloadError(cap(s.inflight)))
+			continue
+		}
+		keep := s.serveFrame(conn, msgType, payload)
+		<-s.inflight
+		if !keep {
+			return
 		}
 	}
+}
+
+// serveFrame executes one frame, reporting whether the connection should
+// stay open.
+func (s *Server) serveFrame(conn net.Conn, msgType byte, payload []byte) bool {
+	switch msgType {
+	case wire.TypePublish:
+		pub, err := wire.DecodePublished(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		if err := s.eng.Ingest(pub); err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+	case wire.TypeQuery:
+		q, err := wire.DecodeQuery(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		est, err := s.eng.Conjunction(q.Subset, q.Value)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		res := wire.Result{Fraction: est.Fraction, Raw: est.Raw, Users: uint64(est.Users)}
+		_ = wire.WriteFrame(conn, wire.TypeResult, wire.EncodeResult(res))
+	case wire.TypeStats:
+		// Unlike publish/query replies, a stats payload has no fixed
+		// size bound, so a frame-too-large failure must still send
+		// *something* or the client blocks forever awaiting a reply.
+		if err := wire.WriteFrame(conn, wire.TypeStatsReply, wire.EncodeStats(s.stats())); err != nil {
+			s.writeError(conn, err)
+		}
+	case wire.TypeHello:
+		if err := wire.CheckHello(payload); err != nil {
+			// Fail the handshake loudly and hang up: a mixed-version
+			// peer's subsequent frames would decode as garbage, so the
+			// refusal must end the connection, not just warn.
+			s.writeError(conn, err)
+			return false
+		}
+		if _, epoch, has, err := wire.ParseHello(payload); err == nil && has {
+			s.observeEpoch(epoch)
+		}
+		_ = wire.WriteFrame(conn, wire.TypeHelloAck, wire.EncodeHello())
+	case wire.TypePing:
+		if epoch, has, err := wire.ParsePing(payload); err == nil && has {
+			s.observeEpoch(epoch)
+		}
+		pong := fmt.Sprintf("ok version=%d sketches=%d epoch=%d",
+			wire.ProtocolVersion, s.eng.Sketches(), s.epoch.Load())
+		_ = wire.WriteFrame(conn, wire.TypePong, []byte(pong))
+	case wire.TypePartialQuery:
+		pq, err := wire.DecodePartialQuery(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		res, err := s.partial(pq)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		_ = wire.WriteFrame(conn, wire.TypePartialResult, wire.EncodePartialResult(res))
+	case wire.TypePlanQuery:
+		pq, err := wire.DecodePlanQuery(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		res, err := s.plan(pq)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		_ = wire.WriteFrame(conn, wire.TypePlanResult, wire.EncodePlanResult(res))
+	case wire.TypeSnapshotRead:
+		req, err := wire.DecodeSnapshotRead(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		// Clamp the peer's limit: an oversized Max would materialise
+		// the whole store in one reply (and overflow the frame limit
+		// anyway).
+		max := int(req.Max)
+		if max <= 0 || max > wire.MaxTransferBatch {
+			max = wire.MaxTransferBatch
+		}
+		records, next, done, err := s.eng.SnapshotBatch(req.Cursor, max)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		batch := wire.SnapshotBatch{Next: next, Done: done, Records: records}
+		if err := wire.WriteFrame(conn, wire.TypeSnapshotBatch, wire.EncodeSnapshotBatch(batch)); err != nil {
+			s.writeError(conn, err)
+		}
+	case wire.TypeTransferPush:
+		tp, err := wire.DecodeTransferPush(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		s.observeEpoch(tp.Epoch)
+		applied, err := s.applyTransfer(tp)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		_ = wire.WriteFrame(conn, wire.TypeTransferAck, wire.EncodeTransferAck(wire.TransferAck{Applied: applied}))
+	default:
+		s.writeError(conn, fmt.Errorf("server: unknown message type %d", msgType))
+	}
+	return true
 }
 
 // stats assembles the TypeStats report: mechanism parameters, per-subset
@@ -251,6 +347,14 @@ func (s *Server) stats() wire.Stats {
 		P:          params.P,
 		SketchBits: params.Length,
 		Sketches:   uint64(s.eng.Sketches()),
+		Robustness: &wire.Robustness{
+			InFlight:         len(s.inflight),
+			MaxInFlight:      cap(s.inflight),
+			Overloads:        s.overloads.Load(),
+			IdleCloses:       s.idleCloses.Load(),
+			ChecksumErrors:   s.checksumErrors.Load(),
+			DeadlineAbandons: s.deadlineAbandons.Load(),
+		},
 	}
 	for _, b := range s.eng.Subsets() {
 		rep.Subsets = append(rep.Subsets, wire.SubsetCount{
@@ -409,8 +513,22 @@ func (s *Server) plan(pq wire.PlanQuery) (wire.PlanResult, error) {
 	if pq.Total {
 		p.AddTotalRecords()
 	}
-	res, err := s.eng.ExecutePlan(p, keep)
+	// Execute under the query's remaining end-to-end budget, when the
+	// filter carries one: work the router has stopped waiting for is
+	// abandoned at the next work-unit boundary instead of burning cores
+	// to compute an answer nobody reads.
+	ctx := context.Background()
+	if pq.Filter != nil && pq.Filter.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(pq.Filter.Budget)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.eng.ExecutePlanCtx(ctx, p, keep)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlineAbandons.Add(1)
+			return wire.PlanResult{}, wire.DeadlineError(pq.Filter.Budget)
+		}
 		return wire.PlanResult{}, err
 	}
 	out := wire.PlanResult{Epoch: epoch}

@@ -20,7 +20,15 @@ import (
 // v3 added the batched planQuery/planResult opcode pair: a router pushes a
 // whole compiled query plan to each node in one frame and merges per-entry
 // counters, so multi-evaluation estimators cost one fan-out round trip.
-const ProtocolVersion byte = 3
+//
+// v4 hardened the wire against the uglier middle of the failure space:
+// every frame header carries a CRC32-C of its payload (in-flight byte
+// corruption fails loudly instead of merging flipped counters into an
+// estimate), and ownership filters carry an end-to-end deadline budget
+// plus an optional failed-node set, so nodes abandon work their router
+// stopped waiting for and a fan-out can re-ask only a dead replica's
+// slice of the user space.
+const ProtocolVersion byte = 4
 
 // Cluster message types (the scatter-gather data plane between a
 // sketchrouter and its nodes, plus the hello/ping control frames every
@@ -140,6 +148,40 @@ func StaleEpochError(queryEpoch, nodeEpoch uint64) error {
 // refusal marker.
 func IsStaleEpoch(msg string) bool { return strings.Contains(msg, StaleEpochMarker) }
 
+// OverloadMarker is the substring a node's load-shedding refusal carries.
+// Like the stale-epoch refusal it names a transient condition, not a
+// property of the query, so a router treats it as retryable — the next
+// fan-out attempt may land after the burst drained — instead of aborting
+// the query the way it does for semantic errors.
+const OverloadMarker = "node overloaded"
+
+// OverloadError renders the refusal a node sheds load with when its
+// in-flight frame guard is saturated.
+func OverloadError(inflight int) error {
+	return fmt.Errorf("wire: %s: %d frames already executing — shedding this request instead of queueing unboundedly", OverloadMarker, inflight)
+}
+
+// IsOverload reports whether an error message carries the load-shedding
+// marker.
+func IsOverload(msg string) bool { return strings.Contains(msg, OverloadMarker) }
+
+// IsChecksum reports whether an error message carries the frame-checksum
+// refusal: the peer received a corrupted frame.  Corruption is a
+// transport-level fault, not a property of the query, so a router treats
+// the refusal as retryable — the resend travels on a fresh connection.
+func IsChecksum(msg string) bool { return strings.Contains(msg, ErrFrameChecksum.Error()) }
+
+// DeadlineMarker is the substring a node's deadline-abandonment error
+// carries: the query's end-to-end budget expired mid-execution, so the
+// node stopped computing a partial the router has already given up on.
+const DeadlineMarker = "deadline budget exhausted"
+
+// DeadlineError renders the abandonment a node answers (best-effort — the
+// router has usually hung up) when a query's budget expires mid-plan.
+func DeadlineError(budget uint32) error {
+	return fmt.Errorf("wire: %s: the query's %dms end-to-end budget expired mid-execution; abandoning the plan", DeadlineMarker, budget)
+}
+
 // CheckHello validates an incoming hello payload against this binary's
 // version, returning the error the server should refuse the connection
 // with.  Serving side: after sending the refusal, close the connection —
@@ -219,6 +261,21 @@ type Filter struct {
 	Self string
 	// Live lists the members the router currently considers alive.
 	Live []string
+	// Budget is the query's remaining end-to-end deadline in milliseconds
+	// at the moment the router encoded the request; zero means no budget.
+	// A node bounds its plan execution by it, so work the router has
+	// stopped waiting for is abandoned instead of burning a core for a
+	// reply nobody reads.
+	Budget uint32
+	// Failed names live-set members that stopped answering mid-fan-out.
+	// When non-empty the filter selects the recovery slice: records whose
+	// first live owner under Live is in Failed, re-partitioned among the
+	// survivors by the next step of the preference walk (Self answers for
+	// the ones it now leads).  The survivors' recovery slices together
+	// cover exactly the failed nodes' original slices, so merging them
+	// with the survivors' original answers stays bit-identical — the
+	// filter-partition argument, applied twice.
+	Failed []string
 }
 
 // PartialQuery is one scatter-gather request: which counters to compute and
@@ -274,6 +331,11 @@ func appendFilter(dst []byte, f *Filter) []byte {
 	for _, n := range f.Live {
 		dst = appendString(dst, n)
 	}
+	dst = binary.BigEndian.AppendUint32(dst, f.Budget)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Failed)))
+	for _, n := range f.Failed {
+		dst = appendString(dst, n)
+	}
 	return dst
 }
 
@@ -324,6 +386,21 @@ func readFilter(src []byte) (*Filter, []byte, error) {
 			return nil, nil, err
 		}
 		f.Live = append(f.Live, s)
+	}
+	if len(src) < 8 {
+		return nil, nil, ErrCorrupt
+	}
+	f.Budget = binary.BigEndian.Uint32(src)
+	nFailed := binary.BigEndian.Uint32(src[4:])
+	src = src[8:]
+	if nFailed > maxFilterNodes {
+		return nil, nil, fmt.Errorf("%w: filter claims %d failed members", ErrCorrupt, nFailed)
+	}
+	for i := uint32(0); i < nFailed; i++ {
+		if s, src, err = readString(src); err != nil {
+			return nil, nil, err
+		}
+		f.Failed = append(f.Failed, s)
 	}
 	return f, src, nil
 }

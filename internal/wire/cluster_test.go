@@ -37,9 +37,13 @@ func testFilter() *Filter {
 func TestPartialQueryRoundTrip(t *testing.T) {
 	subset := bitvec.MustSubset(0, 2, 5)
 	value := bitvec.MustFromString("101")
+	recovery := testFilter()
+	recovery.Budget = 4500
+	recovery.Failed = []string{"10.0.0.3:7071"}
 	cases := []PartialQuery{
 		{Kind: PartialFraction, Subset: subset, Value: value},
 		{Kind: PartialFraction, Filter: testFilter(), Subset: subset, Value: value},
+		{Kind: PartialFraction, Filter: recovery, Subset: subset, Value: value},
 		{Kind: PartialHistogram, Filter: testFilter(), Subs: []Query{
 			{Subset: bitvec.MustSubset(0), Value: bitvec.MustFromString("1")},
 			{Subset: bitvec.MustSubset(3), Value: bitvec.MustFromString("0")},

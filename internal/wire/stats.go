@@ -46,6 +46,27 @@ type StoreStats struct {
 	Shards []ShardStats `json:"shards"`
 }
 
+// Robustness carries a node's request-path health counters: how often the
+// per-connection read-idle deadline and the max-in-flight guard fired, and
+// how many frames failed their payload checksum.  Operators watch these to
+// see degradation (slow clients, bursts, a flaky link) before it becomes
+// refusal.
+type Robustness struct {
+	// InFlight is the number of frames executing right now.
+	InFlight int `json:"in_flight"`
+	// MaxInFlight is the configured in-flight ceiling (0 = unlimited).
+	MaxInFlight int `json:"max_in_flight"`
+	// Overloads counts requests shed by the in-flight guard.
+	Overloads uint64 `json:"overloads"`
+	// IdleCloses counts connections closed by the read-idle deadline.
+	IdleCloses uint64 `json:"idle_closes"`
+	// ChecksumErrors counts frames refused for a CRC mismatch.
+	ChecksumErrors uint64 `json:"checksum_errors"`
+	// DeadlineAbandons counts plan executions abandoned because the
+	// query's end-to-end budget expired mid-execution.
+	DeadlineAbandons uint64 `json:"deadline_abandons"`
+}
+
 // Stats is the server report answering a TypeStats request.
 type Stats struct {
 	// Params is the human-readable mechanism parameter string.
@@ -60,6 +81,8 @@ type Stats struct {
 	Subsets []SubsetCount `json:"subsets"`
 	// Store is present when the server runs on a durable store.
 	Store *StoreStats `json:"store,omitempty"`
+	// Robustness is present when the server tracks request-path health.
+	Robustness *Robustness `json:"robustness,omitempty"`
 }
 
 // EncodeStats serializes a stats report.  Stats is an operator endpoint,

@@ -34,8 +34,8 @@ func TestFrameLimitsAndTruncation(t *testing.T) {
 	if err := WriteFrame(&buf, 1, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Error("oversized frame accepted on write")
 	}
-	// Hand-craft an oversized header.
-	hdr := []byte{1, 0xff, 0xff, 0xff, 0xff}
+	// Hand-craft an oversized header (type, length, checksum).
+	hdr := []byte{1, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
 	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Error("oversized frame accepted on read")
 	}
@@ -45,6 +45,33 @@ func TestFrameLimitsAndTruncation(t *testing.T) {
 	trunc := short.Bytes()[:short.Len()-3]
 	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated frame accepted")
+	}
+}
+
+func TestFrameChecksumRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 3, []byte("counter payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit: the reader must refuse the frame rather than
+	// hand a silently different payload to the decoder.
+	for i := FrameHeaderSize; i < buf.Len(); i++ {
+		raw := append([]byte(nil), buf.Bytes()...)
+		raw[i] ^= 0x40
+		if _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameChecksum) {
+			t.Fatalf("corrupt byte %d: got %v, want ErrFrameChecksum", i, err)
+		}
+	}
+	// A corrupted checksum field itself must also fail.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[5] ^= 0x01
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameChecksum) {
+		t.Fatalf("corrupt checksum: got %v, want ErrFrameChecksum", err)
+	}
+	// The untouched frame still reads back.
+	typ, payload, err := ReadFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil || typ != 3 || string(payload) != "counter payload" {
+		t.Fatalf("clean frame: type %d payload %q err %v", typ, payload, err)
 	}
 }
 
