@@ -36,11 +36,14 @@ type KernelResult struct {
 type BenchFile struct {
 	// GeneratedAt is the RFC 3339 timestamp of the run.
 	GeneratedAt string `json:"generated_at"`
-	// GoVersion and NumCPU qualify the numbers (the parallel query kernel
-	// scales with cores).
-	GoVersion string         `json:"go_version"`
-	NumCPU    int            `json:"num_cpu"`
-	Kernels   []KernelResult `json:"kernels"`
+	// GoVersion, NumCPU and GoMaxProcs qualify the numbers: NumCPU is the
+	// machine, GoMaxProcs is the scheduler parallelism the run actually
+	// had — the figure the parallel query kernel scales with, and the two
+	// diverge whenever the runner is CPU-quota'd (containerized CI).
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Kernels    []KernelResult `json:"kernels"`
 }
 
 // benchKey returns the fixed generator key used by every kernel benchmark.
@@ -147,11 +150,13 @@ func writeBenchJSON(path string, quick bool) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 	benches := kernelBenchmarks()
 	benches = append(benches, storeBenchmarks(quick)...)
 	benches = append(benches, routerBenchmarks(quick)...)
 	benches = append(benches, planBenchmarks(quick)...)
+	benches = append(benches, gatewayBenchmarks()...)
 	for _, kb := range benches {
 		r := testing.Benchmark(kb.fn)
 		file.Kernels = append(file.Kernels, KernelResult{

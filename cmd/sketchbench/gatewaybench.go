@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sketchprivacy/internal/cluster"
+	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/gateway"
+	"sketchprivacy/internal/prf"
+	"sketchprivacy/internal/query"
+	"sketchprivacy/internal/sketch"
+)
+
+// gatewayBatch sizes the publish kernel's batch: large enough that the
+// per-request HTTP overhead amortizes the way production batching does.
+const gatewayBatch = 256
+
+// benchGateway builds an engine-backed gateway with one unthrottled
+// tenant, returning its handler, its API key and the tenant's domain.
+func benchGateway(b *testing.B) (http.Handler, string, cluster.Domain, *engine.Engine) {
+	b.Helper()
+	const apiKey = "bench-tenant-key-0001"
+	dir, err := os.MkdirTemp("", "sketchbench-gateway")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	keyring := filepath.Join(dir, "keys.json")
+	body := fmt.Sprintf(`{"tenants": [{"name": "bench", "key": %q, "rate_rps": 1e12, "rate_burst": 1e12}]}`, apiKey)
+	if err := os.WriteFile(keyring, []byte(body), 0o600); err != nil {
+		b.Fatal(err)
+	}
+	h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
+	params := sketch.MustParams(0.3, 10)
+	eng, err := engine.New(h, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring, err := gateway.LoadKeyring(keyring, benchKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backend: gateway.EngineBackend{E: eng},
+		Keyring: ring,
+		Params:  params,
+		Hash:    h,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenant, ok := ring.Lookup(apiKey)
+	if !ok {
+		b.Fatal("bench tenant missing from keyring")
+	}
+	return gw.Handler(), apiKey, tenant.Domain, eng
+}
+
+// gatewayDo runs one JSON request through the handler, failing on any
+// non-200 answer.
+func gatewayDo(b *testing.B, h http.Handler, apiKey, method, path string, body []byte) {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer "+apiKey)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s %s: HTTP %d: %s", method, path, rec.Code, rec.Body.String())
+	}
+}
+
+// gatewayBenchmarks measures the HTTP front door: a publish batch of
+// pre-sketched records (auth + quota admission + JSON decode + domain
+// rewrite + engine ingest), and a one-fan-out interval query through the
+// plan compiler (auth + rate limit + JSON decode + plan execute + encode).
+func gatewayBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	f := planField()
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"gateway-publish", func(b *testing.B) {
+			h, apiKey, _, _ := benchGateway(b)
+			recs := make([]map[string]any, gatewayBatch)
+			for i := range recs {
+				recs[i] = map[string]any{
+					"id": uint64(i + 1), "subset": []int{0, 1, 2, 3},
+					"sketch": map[string]any{"key": uint64(i) % 1024, "length": 10},
+				}
+			}
+			body, err := json.Marshal(map[string]any{"records": recs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gatewayDo(b, h, apiKey, "POST", "/v1/records", body)
+			}
+		}},
+		{"gateway-query-plan", func(b *testing.B) {
+			h, apiKey, dom, eng := benchGateway(b)
+			for _, subset := range query.FieldPrefixSubsets(f) {
+				for id := uint64(1); id <= 2048; id++ {
+					rec := routerRecord(dom.Tag<<(64-uint(dom.Bits))|id, subset)
+					if err := eng.Ingest(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			body, err := json.Marshal(map[string]any{
+				"field": map[string]any{"offset": 0, "width": 8}, "lo": 32, "hi": 181,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				gatewayDo(b, h, apiKey, "POST", "/v1/query/interval", body)
+			}
+		}},
+	}
+}

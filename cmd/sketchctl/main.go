@@ -24,6 +24,13 @@
 //	sketchctl -addr 127.0.0.1:7080 drain -node 127.0.0.1:7071
 //	sketchctl -addr 127.0.0.1:7080 rebalance-status
 //
+//	# HTTP mode: the same verbs against a sketchgate's JSON API.  The
+//	# profile is still sketched locally; only the sketch key is sent
+//	sketchctl -http -addr 127.0.0.1:8080 -api-key acme-secret-key-1 \
+//	        publish -id 17 -profile 10110 -subset 0,2,4
+//	sketchctl -http -addr 127.0.0.1:8080 -api-key acme-secret-key-1 \
+//	        query -subset 0,2,4 -value 101
+//
 // Publish and query work unchanged against a sketchrouter — the router
 // speaks the node protocol and replicates/fans out internally.  The
 // -router flag adjusts the operator commands for a router target: `stats`
@@ -74,12 +81,14 @@ func parseSubset(s string) bitvec.Subset {
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7070", "sketchd or sketchrouter address")
-		p      = flag.Float64("p", 0.3, "bias parameter p")
-		users  = flag.Int("users", 1_000_000, "expected population size")
-		tau    = flag.Float64("tau", 1e-6, "sketch failure probability")
-		keyHex = flag.String("keyhex", "", "hex-encoded generator key (must match the daemon)")
-		router = flag.Bool("router", false, "the address is a sketchrouter: stats reports cluster status")
+		addr    = flag.String("addr", "127.0.0.1:7070", "sketchd or sketchrouter address")
+		p       = flag.Float64("p", 0.3, "bias parameter p")
+		users   = flag.Int("users", 1_000_000, "expected population size")
+		tau     = flag.Float64("tau", 1e-6, "sketch failure probability")
+		keyHex  = flag.String("keyhex", "", "hex-encoded generator key (must match the daemon)")
+		router  = flag.Bool("router", false, "the address is a sketchrouter: stats reports cluster status")
+		useHTTP = flag.Bool("http", false, "the address is a sketchgate: speak the HTTP/JSON API instead of the wire protocol")
+		apiKey  = flag.String("api-key", "", "tenant API key for -http mode")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -105,6 +114,11 @@ func main() {
 	params, err := sketch.ParamsFor(*p, *users, *tau)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	if *useHTTP {
+		runHTTP(*addr, *apiKey, h, params, flag.Args())
+		return
 	}
 
 	cli, err := server.Dial(*addr)

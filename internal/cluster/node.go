@@ -38,6 +38,9 @@ type node struct {
 	// epochFn supplies the router's current ring epoch for the hello
 	// handshake and pings; nil sends the bare forms.
 	epochFn func() uint64
+	// epochSeen reports each epoch a pong announces, so the router can
+	// fast-forward past membership changes a previous router performed.
+	epochSeen func(uint64)
 
 	mu       sync.Mutex
 	idle     []net.Conn
@@ -374,6 +377,9 @@ func (n *node) ping() error {
 				n.mu.Lock()
 				n.epoch = v
 				n.mu.Unlock()
+				if n.epochSeen != nil {
+					n.epochSeen(v)
+				}
 			}
 		}
 	}

@@ -589,3 +589,46 @@ func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestFreshRouterAdoptsAdvancedEpoch: a router started against a cluster
+// whose ring epoch advanced under a previous router (a replacement
+// sketchrouter, or a gateway's embedded router) fast-forwards its epoch
+// from the nodes' pongs instead of having every fan-out refused as stale
+// forever.
+func TestFreshRouterAdoptsAdvancedEpoch(t *testing.T) {
+	nodes := startNodes(t, 3)
+	r1 := startRouter(t, nodes, 2)
+	pubs, subset, _ := clusterWorkload(t, 40, 17)
+	if err := r1.PublishAll(pubs); err != nil {
+		t.Fatal(err)
+	}
+	node4 := startNodeAt(t, "", nil)
+	if err := r1.Join(node4.addr); err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.Epoch(); got != 2 {
+		t.Fatalf("post-join epoch %d, want 2", got)
+	}
+	want, err := r1.Conjunction(subset, bitvec.MustFromString("1010"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second router over the post-join membership starts at epoch 1;
+	// its ping sweep must adopt epoch 2 before the nodes will answer.
+	r2 := startRouter(t, append(nodes, node4), 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for r2.Epoch() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fresh router stuck at epoch %d, cluster is at 2", r2.Epoch())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	got, err := r2.Conjunction(subset, bitvec.MustFromString("1010"))
+	if err != nil {
+		t.Fatalf("fresh router's query refused after epoch adoption: %v", err)
+	}
+	if !sameEstimate(got, want) {
+		t.Fatalf("fresh router answers %v, previous router answered %v", got, want)
+	}
+}

@@ -310,9 +310,18 @@ func (r *Ring) UnreachableSpans(rf int, live map[string]bool) []Span {
 // slices, so merging them with the survivors' original answers reproduces
 // the full fan-out bit-identically — the filter-partition argument,
 // applied once to Live and once to the survivor set.
+//
+// A filter carrying a tenant domain (DomainBits > 0) additionally requires
+// the top DomainBits bits of the user id to equal Domain: the predicate is
+// the conjunction of the ownership check and the domain check, so a
+// domained fan-out counts exactly the querying tenant's slice of each
+// node's records and nothing else.
 func CompileFilter(f *wire.Filter) (query.UserFilter, error) {
 	if f == nil {
 		return nil, nil
+	}
+	if f.DomainBits > 63 {
+		return nil, fmt.Errorf("cluster: filter domain of %d bits", f.DomainBits)
 	}
 	ring, err := NewRing(f.Nodes, int(f.VNodes))
 	if err != nil {
@@ -336,8 +345,17 @@ func CompileFilter(f *wire.Filter) (query.UserFilter, error) {
 		live[n] = true
 	}
 	self := f.Self
+	inDomain := func(bitvec.UserID) bool { return true }
+	if bits := f.DomainBits; bits > 0 {
+		shift := 64 - uint(bits)
+		tag := f.Domain
+		inDomain = func(id bitvec.UserID) bool { return uint64(id)>>shift == tag }
+	}
 	if len(f.Failed) == 0 {
 		return func(id bitvec.UserID) bool {
+			if !inDomain(id) {
+				return false
+			}
 			owner, ok := ring.FirstLive(id, live)
 			return ok && owner == self
 		}, nil
@@ -361,6 +379,9 @@ func CompileFilter(f *wire.Filter) (query.UserFilter, error) {
 		return nil, errors.New("cluster: recovery filter has no surviving nodes")
 	}
 	return func(id bitvec.UserID) bool {
+		if !inDomain(id) {
+			return false
+		}
 		owner, ok := ring.FirstLive(id, live)
 		if !ok || !failed[owner] {
 			return false

@@ -231,6 +231,29 @@ func (r *Router) newNode(addr string) *node {
 		backoffMax:  r.cfg.BackoffMax,
 		dialFn:      r.cfg.Dial,
 		epochFn:     r.Epoch,
+		epochSeen:   r.adoptEpoch,
+	}
+}
+
+// adoptEpoch fast-forwards the ring epoch to one a node reported in a
+// pong.  A freshly started router — a replacement sketchrouter, or a
+// gateway fronting a cluster whose membership was changed under a
+// previous router — begins at epoch 1, and without fast-forward every
+// node would refuse its fan-outs as stale forever.  Adoption only moves
+// forward and never runs mid-rebalance: during our own cutover the old
+// snapshot must stay refusable, which is the stale-epoch check's job.
+func (r *Router) adoptEpoch(e uint64) {
+	r.mu.RLock()
+	migrating := r.mig != nil
+	r.mu.RUnlock()
+	if migrating {
+		return
+	}
+	for {
+		cur := r.epoch.Load()
+		if e <= cur || r.epoch.CompareAndSwap(cur, e) {
+			return
+		}
 	}
 }
 
@@ -528,10 +551,11 @@ func (r *Router) PublishAll(ps []sketch.Published) error {
 	return nil
 }
 
-// fanout scatter-gathers one v2 partial query across all live nodes.
-func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.PartialResult, error) {
+// fanout scatter-gathers one v2 partial query across all live nodes,
+// restricted to d (the zero Domain: all records).
+func (r *Router) fanout(d Domain, mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.PartialResult, error) {
 	return scatterGather(r, wire.TypePartialQuery, wire.TypePartialResult,
-		func(f *wire.Filter) []byte { return wire.EncodePartialQuery(mk(f)) },
+		func(f *wire.Filter) []byte { d.stamp(f); return wire.EncodePartialQuery(mk(f)) },
 		func(reply []byte) (wire.PartialResult, uint64, error) {
 			res, err := wire.DecodePartialResult(reply)
 			return res, res.Epoch, err
@@ -547,6 +571,13 @@ func (r *Router) fanout(mk func(filter *wire.Filter) wire.PartialQuery) ([]wire.
 // every entry over the records its ownership filter assigns it, the
 // filters partition the user space, and integer counters sum exactly.
 func (r *Router) Execute(p *query.Plan) (*query.Results, error) {
+	return r.executeDomain(Domain{}, p)
+}
+
+// executeDomain is Execute restricted to one user-id domain: every node
+// counts only the records whose id carries the domain's prefix, so the
+// merged counters are exactly the tenant's slice of the cluster.
+func (r *Router) executeDomain(d Domain, p *query.Plan) (*query.Results, error) {
 	fracs := p.Fractions()
 	hists := p.Histograms()
 	counts := p.CountSubsets()
@@ -583,6 +614,7 @@ func (r *Router) Execute(p *query.Plan) (*query.Results, error) {
 	}
 	results, err := scatterGather(r, wire.TypePlanQuery, wire.TypePlanResult,
 		func(f *wire.Filter) []byte {
+			d.stamp(f)
 			return wire.EncodePlanQuery(wire.PlanQuery{
 				Filter:    f,
 				Fractions: wf,
@@ -619,10 +651,10 @@ func (r *Router) Execute(p *query.Plan) (*query.Results, error) {
 	return merged, nil
 }
 
-// FractionPartial implements query.PartialSource: the exact cluster-wide
-// Algorithm 2 counters, merged from per-node partials.
-func (r *Router) FractionPartial(b bitvec.Subset, v bitvec.Vector) (query.Partial, error) {
-	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+// fractionPartial computes the exact cluster-wide Algorithm 2 counters
+// restricted to d, merged from per-node partials.
+func (r *Router) fractionPartial(d Domain, b bitvec.Subset, v bitvec.Vector) (query.Partial, error) {
+	results, err := r.fanout(d, func(f *wire.Filter) wire.PartialQuery {
 		return wire.PartialQuery{Kind: wire.PartialFraction, Filter: f, Subset: b, Value: v}
 	})
 	if err != nil {
@@ -635,14 +667,14 @@ func (r *Router) FractionPartial(b bitvec.Subset, v bitvec.Vector) (query.Partia
 	return merged, nil
 }
 
-// HistogramPartial implements query.PartialSource: the exact cluster-wide
-// Appendix F match histogram.
-func (r *Router) HistogramPartial(subs []query.SubQuery) (query.HistPartial, error) {
+// histogramPartial computes the exact cluster-wide Appendix F match
+// histogram restricted to d.
+func (r *Router) histogramPartial(d Domain, subs []query.SubQuery) (query.HistPartial, error) {
 	qs := make([]wire.Query, len(subs))
 	for i, s := range subs {
 		qs[i] = wire.Query{Subset: s.Subset, Value: s.Value}
 	}
-	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+	results, err := r.fanout(d, func(f *wire.Filter) wire.PartialQuery {
 		return wire.PartialQuery{Kind: wire.PartialHistogram, Filter: f, Subs: qs}
 	})
 	if err != nil {
@@ -658,9 +690,9 @@ func (r *Router) HistogramPartial(subs []query.SubQuery) (query.HistPartial, err
 	return merged, nil
 }
 
-// SubsetRecords implements query.PartialSource.
-func (r *Router) SubsetRecords(b bitvec.Subset) (uint64, error) {
-	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+// subsetRecords counts one subset's records across the cluster within d.
+func (r *Router) subsetRecords(d Domain, b bitvec.Subset) (uint64, error) {
+	results, err := r.fanout(d, func(f *wire.Filter) wire.PartialQuery {
 		return wire.PartialQuery{Kind: wire.PartialSubsetRecords, Filter: f, Subset: b}
 	})
 	if err != nil {
@@ -673,9 +705,9 @@ func (r *Router) SubsetRecords(b bitvec.Subset) (uint64, error) {
 	return n, nil
 }
 
-// TotalRecords implements query.PartialSource.
-func (r *Router) TotalRecords() (uint64, error) {
-	results, err := r.fanout(func(f *wire.Filter) wire.PartialQuery {
+// totalRecords counts every record across the cluster within d.
+func (r *Router) totalRecords(d Domain) (uint64, error) {
+	results, err := r.fanout(d, func(f *wire.Filter) wire.PartialQuery {
 		return wire.PartialQuery{Kind: wire.PartialTotalRecords, Filter: f}
 	})
 	if err != nil {

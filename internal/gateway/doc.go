@@ -1,0 +1,29 @@
+// Package gateway is the cluster's HTTP/JSON front door: a multi-tenant
+// REST layer over the binary sketch protocol, so curl, browsers and
+// ordinary HTTP clients can publish sketches and run every estimator
+// without speaking the bespoke wire format.
+//
+// The gateway fronts either a cluster.Router (fleet mode) or a single
+// engine.Engine through the Backend interface.  Every query endpoint
+// compiles onto the query.Plan path, so one HTTP request costs one plan
+// fan-out round trip over the cluster — interval and decision-tree
+// queries included.
+//
+// Multi-tenancy is first-class.  API keys load from a reloadable JSON
+// keyring; each tenant is assigned a user-id domain — a high-bit prefix
+// derived from the master generator key via the PRF's key-derivation
+// construction — and every id a tenant supplies is rewritten into its
+// domain before anything is sketched or counted.  Because the PRF input
+// tuple begins with the user id, H restricted to disjoint id prefixes
+// behaves as independent random functions: tenants' sketches are
+// cryptographically disjoint, and a tenant's queries carry its domain in
+// every ownership filter, so numerators and denominators alike never
+// touch another tenant's records.
+//
+// Load is shed loudly, never queued unboundedly: per-tenant token-bucket
+// rate limits and record quotas answer 429 with a typed JSON error and a
+// Retry-After, and a global in-flight cap answers 503 — mirroring the
+// node server's MaxInFlight semantics.  /healthz and the Prometheus-style
+// /metrics endpoint stay outside the cap, so operators can see a
+// saturated gateway instead of timing out on it.
+package gateway

@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter with an injectable
+// clock.  Tokens accrue continuously at rate per second up to burst; a
+// request takes one token or is refused with the time until one accrues.
+// The zero value is unusable — construct with newTokenBucket.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64 // current balance
+	last   float64 // seconds at last refill
+	now    func() float64
+}
+
+// monotonicSeconds is the production clock: seconds since process start on
+// the monotonic clock, so wall-time jumps cannot refill or drain buckets.
+func monotonicSeconds() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// newTokenBucket builds a bucket that starts full.  A nil clock uses the
+// process-monotonic clock.
+func newTokenBucket(rate, burst float64, now func() float64) *tokenBucket {
+	if now == nil {
+		now = monotonicSeconds()
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now, last: now()}
+}
+
+// refill accrues tokens up to the current time; callers hold b.mu.
+func (b *tokenBucket) refill() {
+	t := b.now()
+	if dt := t - b.last; dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = t
+}
+
+// take consumes one token.  On refusal it reports how long until the next
+// token accrues, for the Retry-After header.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		// A zero-rate bucket never refills; report a long, finite wait.
+		return false, time.Hour
+	}
+	wait := (1 - b.tokens) / b.rate
+	return false, time.Duration(wait * float64(time.Second))
+}
+
+// setRate re-parameterizes a live bucket (keyring reload), clamping the
+// balance to the new burst so a tightened tenant cannot spend a stale
+// surplus.
+func (b *tokenBucket) setRate(rate, burst float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	b.rate, b.burst = rate, burst
+	b.tokens = math.Min(b.tokens, burst)
+}
+
+// quota counts published records against a hard cap with a CAS loop, so
+// concurrent batches can never overshoot: a batch is admitted whole or
+// refused whole.
+type quota struct {
+	used atomic.Uint64
+}
+
+// tryAdd reserves n records against the cap (0 means unlimited).  It
+// reports success and, on refusal, how many records of headroom remain.
+func (q *quota) tryAdd(n, cap uint64) (ok bool, remaining uint64) {
+	for {
+		cur := q.used.Load()
+		if cap != 0 && cur+n > cap {
+			if cap > cur {
+				return false, cap - cur
+			}
+			return false, 0
+		}
+		if q.used.CompareAndSwap(cur, cur+n) {
+			return true, 0
+		}
+	}
+}
+
+// giveBack returns a reservation after a failed publish, so backend errors
+// do not leak quota.
+func (q *quota) giveBack(n uint64) {
+	q.used.Add(^(n - 1))
+}
+
+// inflight is the gateway's global concurrency cap, mirroring the node
+// server's MaxInFlight semantics: admission is non-blocking — at the cap
+// the request is shed with 503 rather than queued, keeping latency bounded
+// under overload.  A limit of zero disables the cap.
+type inflight struct {
+	limit int64
+	cur   atomic.Int64
+}
+
+// acquire admits one request, reporting false at the cap.
+func (s *inflight) acquire() bool {
+	if s.limit <= 0 {
+		return true
+	}
+	if s.cur.Add(1) > s.limit {
+		s.cur.Add(-1)
+		return false
+	}
+	return true
+}
+
+// release returns an admitted request's slot.
+func (s *inflight) release() {
+	if s.limit > 0 {
+		s.cur.Add(-1)
+	}
+}

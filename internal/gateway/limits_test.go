@@ -1,0 +1,204 @@
+package gateway
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced seconds counter for limiter tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+func (c *fakeClock) seconds() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d.Seconds()
+	c.mu.Unlock()
+}
+
+// TestTokenBucketTable: the bucket admits its burst, refuses when empty,
+// refills at the configured rate, and never exceeds the burst cap.
+func TestTokenBucketTable(t *testing.T) {
+	cases := []struct {
+		name        string
+		rate, burst float64
+		steps       []struct {
+			advance time.Duration
+			takes   int
+			wantOK  int
+		}
+	}{
+		{
+			name: "burst then dry", rate: 1, burst: 3,
+			steps: []struct {
+				advance time.Duration
+				takes   int
+				wantOK  int
+			}{
+				{0, 5, 3},
+			},
+		},
+		{
+			name: "refill at rate", rate: 2, burst: 4,
+			steps: []struct {
+				advance time.Duration
+				takes   int
+				wantOK  int
+			}{
+				{0, 4, 4},
+				{time.Second, 5, 2},       // 2 tokens accrued in 1s at 2 rps
+				{10 * time.Second, 10, 4}, // capped at burst despite long idle
+			},
+		},
+		{
+			name: "sub-second accrual", rate: 10, burst: 1,
+			steps: []struct {
+				advance time.Duration
+				takes   int
+				wantOK  int
+			}{
+				{0, 1, 1},
+				{50 * time.Millisecond, 1, 0}, // 0.5 tokens: not yet
+				{60 * time.Millisecond, 1, 1}, // 1.1 tokens: admitted
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{}
+			b := newTokenBucket(tc.rate, tc.burst, clk.seconds)
+			for i, step := range tc.steps {
+				clk.advance(step.advance)
+				got := 0
+				for j := 0; j < step.takes; j++ {
+					if ok, _ := b.take(); ok {
+						got++
+					}
+				}
+				if got != step.wantOK {
+					t.Fatalf("step %d: admitted %d of %d takes, want %d", i, got, step.takes, step.wantOK)
+				}
+			}
+		})
+	}
+}
+
+// TestTokenBucketRetryAfter: a refusal reports the real time until the
+// next token accrues.
+func TestTokenBucketRetryAfter(t *testing.T) {
+	clk := &fakeClock{}
+	b := newTokenBucket(2, 1, clk.seconds)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("full bucket refused its first take")
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("empty bucket admitted a take")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry-after %v, want in (0, 500ms] at 2 rps", retry)
+	}
+}
+
+// TestTokenBucketSetRate: a reload-time tightening clamps the balance so
+// a tenant cannot spend a stale surplus.
+func TestTokenBucketSetRate(t *testing.T) {
+	clk := &fakeClock{}
+	b := newTokenBucket(1, 10, clk.seconds)
+	b.setRate(1, 2)
+	got := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.take(); ok {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("admitted %d takes after tightening burst to 2, want 2", got)
+	}
+}
+
+// TestQuotaWholeBatchAdmission: a batch is admitted whole or refused
+// whole, the cap is exact, and giveBack restores headroom.
+func TestQuotaWholeBatchAdmission(t *testing.T) {
+	var q quota
+	if ok, _ := q.tryAdd(7, 10); !ok {
+		t.Fatal("7 of 10 refused")
+	}
+	if ok, remaining := q.tryAdd(4, 10); ok || remaining != 3 {
+		t.Fatalf("4 with 3 remaining: ok=%v remaining=%d, want refusal with 3", ok, remaining)
+	}
+	if ok, _ := q.tryAdd(3, 10); !ok {
+		t.Fatal("exactly-fitting batch refused")
+	}
+	if ok, remaining := q.tryAdd(1, 10); ok || remaining != 0 {
+		t.Fatalf("over-cap add: ok=%v remaining=%d, want refusal with 0", ok, remaining)
+	}
+	q.giveBack(3)
+	if ok, _ := q.tryAdd(3, 10); !ok {
+		t.Fatal("headroom not restored by giveBack")
+	}
+	if ok, _ := q.tryAdd(1, 0); !ok {
+		t.Fatal("zero cap must mean unlimited")
+	}
+}
+
+// TestQuotaConcurrentNeverOvershoots: hammered by concurrent batches, the
+// CAS admission never lets the total exceed the cap.  Run with -race.
+func TestQuotaConcurrentNeverOvershoots(t *testing.T) {
+	var q quota
+	const cap, workers, tries = 1000, 8, 500
+	var wg sync.WaitGroup
+	var admitted sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			total := uint64(0)
+			for i := 0; i < tries; i++ {
+				if ok, _ := q.tryAdd(3, cap); ok {
+					total += 3
+				}
+			}
+			admitted.Store(w, total)
+		}(w)
+	}
+	wg.Wait()
+	var sum uint64
+	admitted.Range(func(_, v any) bool { sum += v.(uint64); return true })
+	if sum > cap {
+		t.Fatalf("admitted %d records past the %d cap", sum, cap)
+	}
+	if used := q.used.Load(); used != sum {
+		t.Fatalf("counter %d disagrees with admitted %d", used, sum)
+	}
+}
+
+// TestInflightCap: admission is non-blocking and exact at the cap; zero
+// disables the cap.
+func TestInflightCap(t *testing.T) {
+	s := &inflight{limit: 2}
+	if !s.acquire() || !s.acquire() {
+		t.Fatal("under-cap acquire refused")
+	}
+	if s.acquire() {
+		t.Fatal("at-cap acquire admitted")
+	}
+	s.release()
+	if !s.acquire() {
+		t.Fatal("post-release acquire refused")
+	}
+	unlimited := &inflight{}
+	for i := 0; i < 100; i++ {
+		if !unlimited.acquire() {
+			t.Fatal("uncapped semaphore refused")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the gateway's hand-rolled Prometheus-text exporter state: a
+// few global counters plus a per-tenant counter block, all plain atomics
+// so the hot path never takes a lock (the tenant map is read-mostly under
+// RWMutex).  The render path also pulls the router's fan-out robustness
+// counters, so one scrape shows both HTTP shedding and cluster
+// degradation.
+type metrics struct {
+	requests     atomic.Uint64 // every API request, before admission
+	shedOverload atomic.Uint64 // 503s from the in-flight cap
+	authFailures atomic.Uint64 // 401s
+
+	mu      sync.RWMutex
+	tenants map[string]*tenantMetrics
+}
+
+// tenantMetrics is one tenant's counter block.
+type tenantMetrics struct {
+	queries   atomic.Uint64 // query requests admitted
+	published atomic.Uint64 // records accepted
+	shedRate  atomic.Uint64 // 429s from the token bucket
+	shedQuota atomic.Uint64 // 429s from the record quota
+}
+
+// newMetrics returns an empty registry.
+func newMetrics() *metrics {
+	return &metrics{tenants: make(map[string]*tenantMetrics)}
+}
+
+// tenant returns (creating on first use) a tenant's counter block.
+func (m *metrics) tenant(name string) *tenantMetrics {
+	m.mu.RLock()
+	t := m.tenants[name]
+	m.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t = m.tenants[name]; t == nil {
+		t = &tenantMetrics{}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+// handler renders the Prometheus text exposition format.  It is mounted
+// outside the in-flight cap and authentication: a saturated gateway must
+// stay scrapable, and the counters reveal no sketch data.
+func (m *metrics) handler(g *Gateway) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		counter := func(name, help string, v uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		counter("gateway_requests_total", "API requests received, before admission.", m.requests.Load())
+		counter("gateway_shed_overload_total", "Requests shed 503 at the global in-flight cap.", m.shedOverload.Load())
+		counter("gateway_auth_failures_total", "Requests refused 401 for a missing or unknown API key.", m.authFailures.Load())
+		fmt.Fprintf(w, "# HELP gateway_inflight Requests currently being served.\n# TYPE gateway_inflight gauge\ngateway_inflight %d\n", g.flight.cur.Load())
+
+		m.mu.RLock()
+		names := make([]string, 0, len(m.tenants))
+		for name := range m.tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP gateway_tenant_queries_total Query requests admitted, per tenant.\n# TYPE gateway_tenant_queries_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "gateway_tenant_queries_total{tenant=%q} %d\n", name, m.tenants[name].queries.Load())
+		}
+		fmt.Fprintf(w, "# HELP gateway_tenant_published_records_total Records accepted, per tenant.\n# TYPE gateway_tenant_published_records_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "gateway_tenant_published_records_total{tenant=%q} %d\n", name, m.tenants[name].published.Load())
+		}
+		fmt.Fprintf(w, "# HELP gateway_tenant_shed_total Requests shed 429, per tenant and reason.\n# TYPE gateway_tenant_shed_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "gateway_tenant_shed_total{tenant=%q,reason=\"rate\"} %d\n", name, m.tenants[name].shedRate.Load())
+			fmt.Fprintf(w, "gateway_tenant_shed_total{tenant=%q,reason=\"quota\"} %d\n", name, m.tenants[name].shedQuota.Load())
+		}
+		m.mu.RUnlock()
+
+		if fc, ok := g.backend.(FanoutCounterSource); ok {
+			c := fc.FanoutCounters()
+			counter("cluster_fanout_retries_total", "Full fan-out restarts (stale epochs, unrecoverable failures).", c.Retries)
+			counter("cluster_fanout_recoveries_total", "Replica-aware recovery rounds inside a fan-out attempt.", c.Recoveries)
+			counter("cluster_fanout_hedges_total", "Recoveries triggered by the hedge timer.", c.Hedges)
+			counter("cluster_fanout_refusals_total", "Typed partial-coverage refusals returned to callers.", c.Refusals)
+		}
+	}
+}

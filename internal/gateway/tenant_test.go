@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/prf"
+)
+
+func testMaster() []byte { return bytes.Repeat([]byte{0x5a}, prf.MinKeyBytes) }
+
+// writeKeyring writes a keyring file into a temp dir and returns its path.
+func writeKeyring(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const twoTenantKeyring = `{
+  "tenants": [
+    {"name": "acme", "key": "acme-secret-key-0001", "rate_rps": 100, "max_records": 50},
+    {"name": "globex", "key": "globex-secret-key-01", "admin": true}
+  ]
+}`
+
+// TestKeyringLoadAndLookup: keys resolve to their tenants, unknown keys
+// fail, and tenant domains are disjoint and deterministic.
+func TestKeyringLoadAndLookup(t *testing.T) {
+	k, err := LoadKeyring(writeKeyring(t, twoTenantKeyring), testMaster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acme, ok := k.Lookup("acme-secret-key-0001")
+	if !ok || acme.Name != "acme" {
+		t.Fatalf("acme lookup: ok=%v tenant=%+v", ok, acme)
+	}
+	globex, ok := k.Lookup("globex-secret-key-01")
+	if !ok || !globex.Admin {
+		t.Fatalf("globex lookup: ok=%v admin=%v", ok, globex.Admin)
+	}
+	if _, ok := k.Lookup("not-a-real-key-here"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if acme.Domain.Bits != DefaultDomainBits || globex.Domain.Bits != DefaultDomainBits {
+		t.Fatalf("domain bits %d/%d, want %d", acme.Domain.Bits, globex.Domain.Bits, DefaultDomainBits)
+	}
+	if acme.Domain.Tag == globex.Domain.Tag {
+		t.Fatal("two tenants share one domain tag")
+	}
+	// Deterministic: the same master and name derive the same domain.
+	again := deriveDomain(testMaster(), "acme", DefaultDomainBits)
+	if again != acme.Domain {
+		t.Fatalf("domain derivation not deterministic: %+v vs %+v", again, acme.Domain)
+	}
+	// A different master key moves every tenant's domain.
+	other := deriveDomain(bytes.Repeat([]byte{0x11}, prf.MinKeyBytes), "acme", DefaultDomainBits)
+	if other == acme.Domain {
+		t.Fatal("domain tag independent of the master key")
+	}
+}
+
+// TestKeyringValidation: malformed keyrings are refused with readable
+// errors and never replace a working generation.
+func TestKeyringValidation(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty tenants", `{"tenants": []}`, "no tenants"},
+		{"short key", `{"tenants": [{"name": "a", "key": "short"}]}`, "shorter than 16"},
+		{"missing name", `{"tenants": [{"key": "a-long-enough-key-1"}]}`, "no name"},
+		{"negative rate", `{"tenants": [{"name": "a", "key": "a-long-enough-key-1", "rate_rps": -1}]}`, "negative rate"},
+		{"wide domain", `{"domain_bits": 40, "tenants": [{"name": "a", "key": "a-long-enough-key-1"}]}`, "at most 32"},
+		{"duplicate name", `{"tenants": [{"name": "a", "key": "a-long-enough-key-1"}, {"name": "a", "key": "b-long-enough-key-2"}]}`, "duplicate tenant"},
+		{"shared key", `{"tenants": [{"name": "a", "key": "a-long-enough-key-1"}, {"name": "b", "key": "a-long-enough-key-1"}]}`, "share one API key"},
+		{"bad json", `{"tenants": [`, "parsing keyring"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadKeyring(writeKeyring(t, tc.body), testMaster())
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestKeyringReloadRotatesKeysKeepsState: rotating a tenant's API key
+// preserves its quota spend and domain; a broken reload leaves the old
+// generation serving.
+func TestKeyringReloadRotatesKeysKeepsState(t *testing.T) {
+	path := writeKeyring(t, twoTenantKeyring)
+	k, err := LoadKeyring(path, testMaster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acme, _ := k.Lookup("acme-secret-key-0001")
+	oldDomain := acme.Domain
+	if ok, _ := acme.quota.tryAdd(30, acme.MaxRecords); !ok {
+		t.Fatal("quota seed failed")
+	}
+
+	rotated := strings.Replace(twoTenantKeyring, "acme-secret-key-0001", "acme-rotated-key-002", 1)
+	if err := os.WriteFile(path, []byte(rotated), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.Lookup("acme-secret-key-0001"); ok {
+		t.Fatal("rotated-out key still resolves")
+	}
+	acme2, ok := k.Lookup("acme-rotated-key-002")
+	if !ok {
+		t.Fatal("rotated-in key does not resolve")
+	}
+	if acme2.RecordsUsed() != 30 {
+		t.Fatalf("quota state lost across rotation: used %d, want 30", acme2.RecordsUsed())
+	}
+	if acme2.Domain != oldDomain {
+		t.Fatalf("rotation moved the tenant's domain %+v -> %+v", oldDomain, acme2.Domain)
+	}
+
+	// A broken file must not take the working keyring down.
+	if err := os.WriteFile(path, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Reload(); err == nil {
+		t.Fatal("broken reload reported success")
+	}
+	if _, ok := k.Lookup("acme-rotated-key-002"); !ok {
+		t.Fatal("failed reload dropped the serving generation")
+	}
+}
+
+// TestEffectiveIDDomainMapping: tenant-relative ids map into the tenant's
+// prefix slice, out-of-range ids are refused, and two tenants' effective
+// ids can never collide.
+func TestEffectiveIDDomainMapping(t *testing.T) {
+	k, err := LoadKeyring(writeKeyring(t, twoTenantKeyring), testMaster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acme, _ := k.Lookup("acme-secret-key-0001")
+	globex, _ := k.Lookup("globex-secret-key-01")
+	for _, id := range []uint64{0, 1, 12345, acme.MaxUserID()} {
+		ea, err := acme.EffectiveID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := globex.EffectiveID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea == eg {
+			t.Fatalf("id %d collides across tenants: %d", id, ea)
+		}
+		if !acme.Domain.Keep(bitvec.UserID(ea)) {
+			t.Fatalf("acme id %d -> %d escapes acme's domain", id, ea)
+		}
+		if globex.Domain.Keep(bitvec.UserID(ea)) {
+			t.Fatalf("acme id %d -> %d lands inside globex's domain", id, ea)
+		}
+	}
+	if _, err := acme.EffectiveID(acme.MaxUserID() + 1); err == nil {
+		t.Fatal("out-of-range id admitted")
+	}
+}

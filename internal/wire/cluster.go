@@ -28,7 +28,14 @@ import (
 // plus an optional failed-node set, so nodes abandon work their router
 // stopped waiting for and a fan-out can re-ask only a dead replica's
 // slice of the user space.
-const ProtocolVersion byte = 4
+//
+// v5 added the tenant domain restriction to ownership filters
+// (Filter.DomainBits/Filter.Domain): the HTTP gateway assigns each tenant
+// a disjoint high-bit prefix of the user-id space, and a query carrying a
+// domain counts only the records inside that prefix — the mechanism that
+// keeps one tenant's estimates from ever touching another tenant's
+// sketches on a shared cluster.
+const ProtocolVersion byte = 5
 
 // Cluster message types (the scatter-gather data plane between a
 // sketchrouter and its nodes, plus the hello/ping control frames every
@@ -267,6 +274,17 @@ type Filter struct {
 	// stopped waiting for is abandoned instead of burning a core for a
 	// reply nobody reads.
 	Budget uint32
+	// DomainBits restricts the evaluation to one user-id domain: a record
+	// is counted only when the top DomainBits bits of its user id equal
+	// Domain.  Zero disables the restriction (the whole id space).  The
+	// HTTP gateway derives each tenant's Domain from the master generator
+	// key, so the restriction — composed with the ownership filter — is
+	// what partitions a shared cluster into cryptographically disjoint
+	// per-tenant PRF domains.
+	DomainBits uint8
+	// Domain is the required high-bit prefix value, right-aligned (the
+	// record check is id >> (64-DomainBits) == Domain).
+	Domain uint64
 	// Failed names live-set members that stopped answering mid-fan-out.
 	// When non-empty the filter selects the recovery slice: records whose
 	// first live owner under Live is in Failed, re-partitioned among the
@@ -332,6 +350,8 @@ func appendFilter(dst []byte, f *Filter) []byte {
 		dst = appendString(dst, n)
 	}
 	dst = binary.BigEndian.AppendUint32(dst, f.Budget)
+	dst = append(dst, f.DomainBits)
+	dst = binary.BigEndian.AppendUint64(dst, f.Domain)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Failed)))
 	for _, n := range f.Failed {
 		dst = appendString(dst, n)
@@ -387,12 +407,23 @@ func readFilter(src []byte) (*Filter, []byte, error) {
 		}
 		f.Live = append(f.Live, s)
 	}
-	if len(src) < 8 {
+	if len(src) < 17 {
 		return nil, nil, ErrCorrupt
 	}
 	f.Budget = binary.BigEndian.Uint32(src)
-	nFailed := binary.BigEndian.Uint32(src[4:])
-	src = src[8:]
+	f.DomainBits = src[4]
+	f.Domain = binary.BigEndian.Uint64(src[5:])
+	nFailed := binary.BigEndian.Uint32(src[13:])
+	src = src[17:]
+	if f.DomainBits > 63 {
+		return nil, nil, fmt.Errorf("%w: filter domain of %d bits", ErrCorrupt, f.DomainBits)
+	}
+	if f.DomainBits == 0 && f.Domain != 0 {
+		return nil, nil, fmt.Errorf("%w: filter domain value without domain bits", ErrCorrupt)
+	}
+	if f.DomainBits > 0 && f.Domain>>f.DomainBits != 0 {
+		return nil, nil, fmt.Errorf("%w: filter domain value wider than %d bits", ErrCorrupt, f.DomainBits)
+	}
 	if nFailed > maxFilterNodes {
 		return nil, nil, fmt.Errorf("%w: filter claims %d failed members", ErrCorrupt, nFailed)
 	}
