@@ -157,6 +157,7 @@ func writeBenchJSON(path string, quick bool) error {
 	benches = append(benches, routerBenchmarks(quick)...)
 	benches = append(benches, planBenchmarks(quick)...)
 	benches = append(benches, gatewayBenchmarks()...)
+	benches = append(benches, obsBenchmarks()...)
 	for _, kb := range benches {
 		r := testing.Benchmark(kb.fn)
 		file.Kernels = append(file.Kernels, KernelResult{

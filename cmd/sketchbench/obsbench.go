@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"sketchprivacy/internal/obs"
+)
+
+// obsBenchmarks measures the observability layer itself.  The record
+// kernel is the contract the instrumented hot paths rely on: one
+// histogram observation must stay allocation-free and in the
+// few-nanosecond range, or the ≤5% overhead budget of sketch-one and
+// plan-interval-local breaks.  The render kernel prices a full /metrics
+// scrape of a representative registry, the cost a prometheus poll puts
+// on a busy daemon.
+func obsBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"obs-histogram-record", func(b *testing.B) {
+			h := obs.NewRegistry().Histogram("bench_latency_seconds", "Record-path benchmark histogram.", nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+			}
+		}},
+		{"obs-render-text", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			h := reg.Histogram("bench_latency_seconds", "Render-path benchmark histogram.", nil)
+			for i := 0; i < 10_000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+			c := reg.Counter("bench_events_total", "Render-path benchmark counter.")
+			c.Add(123456)
+			reg.Gauge("bench_depth", "Render-path benchmark gauge.").Set(42)
+			reg.CollectFunc("bench_nodes", "Render-path benchmark per-node collector.", obs.TypeGauge,
+				func(emit func(v float64, labels ...obs.Label)) {
+					for _, node := range []string{"a:1", "b:2", "c:3", "d:4", "e:5", "f:6", "g:7", "h:8"} {
+						emit(1, obs.L("node", node))
+					}
+				})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := reg.RenderText(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

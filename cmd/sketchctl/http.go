@@ -208,7 +208,9 @@ func runHTTP(base, apiKey string, h prf.BitSource, params sketch.Params, args []
 		}
 		fmt.Printf("gateway healthy; tenant %s, domain tag %#x over %d bits, p=%v ℓ=%d\n",
 			info.Name, info.DomainTag, info.DomainBits, info.P, info.Length)
+	case "metrics":
+		runMetrics(base, apiKey, args[1:])
 	default:
-		fail("unknown -http subcommand %q (http mode supports publish, query, stats, ping)", args[0])
+		fail("unknown -http subcommand %q (http mode supports publish, query, stats, ping, metrics)", args[0])
 	}
 }

@@ -24,6 +24,13 @@
 //	sketchctl -addr 127.0.0.1:7080 drain -node 127.0.0.1:7071
 //	sketchctl -addr 127.0.0.1:7080 rebalance-status
 //
+//	# observability: scrape a daemon's -metrics-addr (or, with -http, a
+//	# sketchgate) and pretty-print the series; histograms are summarized
+//	# as count/mean/p50/p99.  -raw dumps the exposition text, -lint runs
+//	# the format lint, -match filters by family name
+//	sketchctl -addr 127.0.0.1:9070 metrics -match wal
+//	sketchctl -http -addr 127.0.0.1:8080 -api-key acme-secret-key-1 metrics
+//
 //	# HTTP mode: the same verbs against a sketchgate's JSON API.  The
 //	# profile is still sketched locally; only the sketch key is sent
 //	sketchctl -http -addr 127.0.0.1:8080 -api-key acme-secret-key-1 \
@@ -92,7 +99,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fail("usage: sketchctl [flags] publish|query|stats|ping|join|drain|rebalance-status [subcommand flags]")
+		fail("usage: sketchctl [flags] publish|query|stats|ping|join|drain|rebalance-status|metrics [subcommand flags]")
 	}
 
 	key := make([]byte, prf.MinKeyBytes)
@@ -118,6 +125,12 @@ func main() {
 
 	if *useHTTP {
 		runHTTP(*addr, *apiKey, h, params, flag.Args())
+		return
+	}
+	if flag.Arg(0) == "metrics" {
+		// The metrics endpoint speaks HTTP, not the wire protocol: point
+		// -addr at a daemon's -metrics-addr listener.
+		runMetrics(*addr, "", flag.Args()[1:])
 		return
 	}
 

@@ -1,0 +1,216 @@
+// The metrics verb: fetch a daemon's Prometheus /metrics endpoint, parse
+// it with the same internal/obs parser the exposition lint uses, and
+// pretty-print the series — counters and gauges one per line, histograms
+// summarized as count / mean / p50 / p99 estimated from the cumulative
+// buckets.  Works against any -metrics-addr (sketchd, sketchrouter) and,
+// with -http, against a sketchgate's main address.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"sketchprivacy/internal/obs"
+)
+
+// runMetrics fetches and renders one /metrics scrape.  base is the HTTP
+// host:port (a -metrics-addr, or a sketchgate address in -http mode);
+// apiKey may be empty — /metrics is served outside authentication on
+// every daemon.
+func runMetrics(base, apiKey string, args []string) {
+	fs := newFlagSet("metrics")
+	raw := fs.Bool("raw", false, "dump the raw exposition text instead of the summary")
+	match := fs.String("match", "", "only print families whose name contains this substring")
+	lint := fs.Bool("lint", false, "also run the exposition-format lint and fail on violations")
+	fs.Parse(args)
+
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	req, err := http.NewRequest("GET", strings.TrimRight(base, "/")+"/metrics", nil)
+	if err != nil {
+		fail("%v", err)
+	}
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
+	resp, err := (&http.Client{Timeout: 30 * time.Second}).Do(req)
+	if err != nil {
+		fail("scrape failed: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("scrape read failed: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail("scrape failed: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		return
+	}
+	families, err := obs.ParseText(string(body))
+	if err != nil {
+		fail("exposition does not parse: %v", err)
+	}
+	if *lint {
+		if errs := obs.Lint(string(body)); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "lint: %v\n", e)
+			}
+			fail("%d exposition lint violations", len(errs))
+		}
+	}
+	for _, f := range families {
+		if *match != "" && !strings.Contains(f.Name, *match) {
+			continue
+		}
+		if f.Type == obs.TypeHistogram {
+			printHistogram(f)
+			continue
+		}
+		for _, s := range f.Samples {
+			fmt.Printf("%-52s %s\n", seriesName(s), formatMetricValue(s.Value))
+		}
+	}
+}
+
+// seriesName renders a sample's name with its label block, matching the
+// exposition spelling so output lines can be grepped against raw scrapes.
+func seriesName(s obs.Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	parts := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatMetricValue prints counters as integers when they are integral
+// and everything else in compact float form.
+func formatMetricValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// histGroup is one histogram label set's reassembled bucket structure.
+type histGroup struct {
+	key     string
+	bounds  []float64 // upper bounds in seconds, ascending, ending +Inf
+	cum     []float64 // cumulative counts per bound
+	sum     float64
+	count   float64
+	hasSum  bool
+	hasWhat bool
+}
+
+// printHistogram renders one histogram family as count / mean / p50 / p99
+// per label set.  Quantiles are the usual Prometheus upper-bound
+// estimate: the smallest bucket bound whose cumulative count reaches the
+// target rank (so they are conservative, never under-reported).
+func printHistogram(f *obs.Family) {
+	groups := make(map[string]*histGroup)
+	var order []string
+	get := func(labels []obs.Label) *histGroup {
+		var rest []string
+		for _, l := range labels {
+			if l.Name != "le" {
+				rest = append(rest, fmt.Sprintf("%s=%q", l.Name, l.Value))
+			}
+		}
+		key := strings.Join(rest, ",")
+		g, ok := groups[key]
+		if !ok {
+			g = &histGroup{key: key}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseLe(s.Label("le"))
+			if err != nil {
+				continue
+			}
+			g.bounds = append(g.bounds, le)
+			g.cum = append(g.cum, s.Value)
+		case f.Name + "_sum":
+			g.sum, g.hasSum = s.Value, true
+		case f.Name + "_count":
+			g.count, g.hasWhat = s.Value, true
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		g := groups[key]
+		name := f.Name
+		if key != "" {
+			name += "{" + key + "}"
+		}
+		if !g.hasWhat || g.count == 0 {
+			fmt.Printf("%-52s count 0\n", name)
+			continue
+		}
+		mean := math.NaN()
+		if g.hasSum {
+			mean = g.sum / g.count
+		}
+		fmt.Printf("%-52s count %s  mean %s  p50 %s  p99 %s\n",
+			name, formatMetricValue(g.count), formatSeconds(mean),
+			formatSeconds(g.quantile(0.50)), formatSeconds(g.quantile(0.99)))
+	}
+}
+
+// parseLe parses a bucket bound, honoring the +Inf spelling.
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+// quantile returns the upper-bound estimate of the q-th quantile from
+// the cumulative buckets, in seconds.
+func (g *histGroup) quantile(q float64) float64 {
+	rank := q * g.count
+	for i, c := range g.cum {
+		if c >= rank {
+			return g.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// formatSeconds prints a duration-in-seconds with a readable unit.
+func formatSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "?"
+	case math.IsInf(s, 1):
+		return ">max"
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	sketchd -addr 127.0.0.1:7070 -p 0.3 -users 1000000 -tau 1e-6 -keyhex <hex> \
-//	        -data-dir /var/lib/sketchd -shards 8 -fsync
+//	        -data-dir /var/lib/sketchd -shards 8 -fsync \
+//	        -metrics-addr 127.0.0.1:9070 [-pprof]
+//
+// With -metrics-addr the daemon serves Prometheus /metrics and /healthz on
+// a second listener (and net/http/pprof with -pprof): WAL append/fsync
+// latency histograms, plan-execution latency, store size gauges and the
+// server's robustness counters.  See docs/OPERATIONS.md for the catalog.
 //
 // The generator key must be shared with every user and analyst (it defines
 // the public function H); if -keyhex is omitted a deterministic development
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"sketchprivacy/internal/engine"
+	"sketchprivacy/internal/obs"
 	"sketchprivacy/internal/prf"
 	"sketchprivacy/internal/server"
 	"sketchprivacy/internal/sketch"
@@ -46,16 +53,18 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		p       = flag.Float64("p", 0.3, "bias parameter p (0 < p < 1/2)")
-		users   = flag.Int("users", 1_000_000, "expected population size (sets the Lemma 3.1 sketch length)")
-		tau     = flag.Float64("tau", 1e-6, "sketch failure probability")
-		keyHex  = flag.String("keyhex", "", "hex-encoded generator key (>= 38 bytes)")
-		dataDir = flag.String("data-dir", "", "durable store directory (empty: memory-only)")
-		shards  = flag.Int("shards", store.DefaultShards, "store shard count for a fresh -data-dir")
-		fsync   = flag.Bool("fsync", false, "fsync the WAL on every publish (survives machine crashes, not just process crashes)")
-		idle    = flag.Duration("read-idle-timeout", 5*time.Minute, "close a connection silent for this long between frames")
-		maxInFl = flag.Int("max-inflight", 256, "frames executing concurrently before requests are shed with an overload refusal")
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
+		p           = flag.Float64("p", 0.3, "bias parameter p (0 < p < 1/2)")
+		users       = flag.Int("users", 1_000_000, "expected population size (sets the Lemma 3.1 sketch length)")
+		tau         = flag.Float64("tau", 1e-6, "sketch failure probability")
+		keyHex      = flag.String("keyhex", "", "hex-encoded generator key (>= 38 bytes)")
+		dataDir     = flag.String("data-dir", "", "durable store directory (empty: memory-only)")
+		shards      = flag.Int("shards", store.DefaultShards, "store shard count for a fresh -data-dir")
+		fsync       = flag.Bool("fsync", false, "fsync the WAL on every publish (survives machine crashes, not just process crashes)")
+		idle        = flag.Duration("read-idle-timeout", 5*time.Minute, "close a connection silent for this long between frames")
+		maxInFl     = flag.Int("max-inflight", 256, "frames executing concurrently before requests are shed with an overload refusal")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty: disabled)")
+		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof on the metrics address")
 	)
 	flag.Parse()
 
@@ -87,10 +96,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		eng.SetMetrics(reg)
+	}
+
 	var st *store.Durable
 	if *dataDir != "" {
 		start := time.Now()
-		st, err = store.Open(store.Options{Dir: *dataDir, Shards: *shards, Fsync: *fsync})
+		st, err = store.Open(store.Options{Dir: *dataDir, Shards: *shards, Fsync: *fsync, Metrics: reg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -109,6 +124,18 @@ func main() {
 		ReadIdleTimeout: *idle,
 		MaxInFlight:     *maxInFl,
 	})
+	var msrv *obs.Server
+	if reg != nil {
+		srv.RegisterMetrics(reg)
+		msrv, err = obs.ListenAndServe(*metricsAddr, obs.Handler(reg, nil, *pprofOn), func(err error) {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics listening on %s\n", msrv.Addr())
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -126,6 +153,9 @@ func main() {
 	// closed even when the server close fails: the flush inside it is the
 	// durability half of graceful shutdown.
 	exit := 0
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit = 1

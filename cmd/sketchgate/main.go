@@ -60,6 +60,7 @@ import (
 	"sketchprivacy/internal/cluster"
 	"sketchprivacy/internal/engine"
 	"sketchprivacy/internal/gateway"
+	"sketchprivacy/internal/obs"
 	"sketchprivacy/internal/prf"
 	"sketchprivacy/internal/sketch"
 )
@@ -83,6 +84,7 @@ func main() {
 		inflight = flag.Int("max-inflight", 256, "concurrent request cap; past it requests shed 503 (0: uncapped)")
 		maxBatch = flag.Int("max-batch", gateway.DefaultMaxBatch, "records per publish request")
 		reqTO    = flag.Duration("request-timeout", 10*time.Second, "end-to-end budget of one fan-out attempt")
+		pprofOn  = flag.Bool("pprof", false, "also mount net/http/pprof on the gateway mux (operator use only)")
 	)
 	flag.Parse()
 
@@ -157,6 +159,8 @@ func main() {
 		Hash:        h,
 		MaxInFlight: *inflight,
 		MaxBatch:    *maxBatch,
+		Obs:         obs.NewRegistry(),
+		EnablePprof: *pprofOn,
 	})
 	if err != nil {
 		fail("%v", err)

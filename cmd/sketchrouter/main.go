@@ -9,7 +9,13 @@
 //
 //	sketchrouter -addr 127.0.0.1:7080 \
 //	        -nodes 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
-//	        -rf 2 -p 0.3
+//	        -rf 2 -p 0.3 -metrics-addr 127.0.0.1:9080 [-pprof]
+//
+// With -metrics-addr the router serves Prometheus /metrics and /healthz
+// (and net/http/pprof with -pprof): per-attempt fan-out RTT and publish
+// replication latency histograms, the fan-out robustness counters,
+// per-node breaker and hint-queue collectors, and live rebalance progress.
+// /healthz reports 503 while zero members are live.
 //
 // The router speaks the same wire protocol as sketchd, so sketchctl (and
 // any other client) can publish and query through it unchanged; `sketchctl
@@ -48,23 +54,26 @@ import (
 	"time"
 
 	"sketchprivacy/internal/cluster"
+	"sketchprivacy/internal/obs"
 	"sketchprivacy/internal/prf"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7080", "listen address")
-		nodesStr = flag.String("nodes", "", "comma-separated sketchd addresses (required)")
-		rf       = flag.Int("rf", 2, "replication factor: copies of every sketch")
-		vnodes   = flag.Int("vnodes", 64, "virtual nodes per member on the placement ring")
-		pingIvl  = flag.Duration("ping-interval", 2*time.Second, "node health-check period")
-		p        = flag.Float64("p", 0.3, "bias parameter p (must match the nodes)")
-		hints    = flag.Bool("hinted-handoff", true, "queue publishes for briefly-down replicas and replay them on return")
-		maxHints = flag.Int("max-hints", 4096, "hint queue cap per down replica (at the cap, publishes fail loudly)")
-		batch    = flag.Int("transfer-batch", 2048, "records per rebalance snapshot read and transfer push")
-		reqTO    = flag.Duration("request-timeout", 10*time.Second, "end-to-end budget of one fan-out attempt (carried to the nodes in every filter)")
-		hedge    = flag.Duration("hedge-delay", 0, "wait on a silent node before re-asking its slice from surviving replicas (0: request-timeout/4)")
-		transTO  = flag.Duration("transfer-timeout", 60*time.Second, "budget of one rebalance snapshot read or transfer push")
+		addr        = flag.String("addr", "127.0.0.1:7080", "listen address")
+		nodesStr    = flag.String("nodes", "", "comma-separated sketchd addresses (required)")
+		rf          = flag.Int("rf", 2, "replication factor: copies of every sketch")
+		vnodes      = flag.Int("vnodes", 64, "virtual nodes per member on the placement ring")
+		pingIvl     = flag.Duration("ping-interval", 2*time.Second, "node health-check period")
+		p           = flag.Float64("p", 0.3, "bias parameter p (must match the nodes)")
+		hints       = flag.Bool("hinted-handoff", true, "queue publishes for briefly-down replicas and replay them on return")
+		maxHints    = flag.Int("max-hints", 4096, "hint queue cap per down replica (at the cap, publishes fail loudly)")
+		batch       = flag.Int("transfer-batch", 2048, "records per rebalance snapshot read and transfer push")
+		reqTO       = flag.Duration("request-timeout", 10*time.Second, "end-to-end budget of one fan-out attempt (carried to the nodes in every filter)")
+		hedge       = flag.Duration("hedge-delay", 0, "wait on a silent node before re-asking its slice from surviving replicas (0: request-timeout/4)")
+		transTO     = flag.Duration("transfer-timeout", 60*time.Second, "budget of one rebalance snapshot read or transfer push")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty: disabled)")
+		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof on the metrics address")
 	)
 	flag.Parse()
 
@@ -107,6 +116,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var msrv *obs.Server
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		router.RegisterMetrics(reg)
+		// The router is healthy while at least one member answers pings:
+		// with zero live nodes every query and publish would refuse anyway.
+		health := func() error {
+			if len(router.LiveNodes()) == 0 {
+				return fmt.Errorf("no live nodes among %d members", len(router.Members()))
+			}
+			return nil
+		}
+		msrv, err = obs.ListenAndServe(*metricsAddr, obs.Handler(reg, health, *pprofOn), func(err error) {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics listening on %s\n", msrv.Addr())
+	}
+
 	front := cluster.NewFrontend(router)
 	bound, err := front.Listen(*addr)
 	if err != nil {
@@ -121,6 +152,9 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	exit := 0
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	if err := front.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit = 1

@@ -258,7 +258,14 @@ func fanoutOnce[T any](r *Router, msgType, replyType byte, encode func(*wire.Fil
 		cctx, cc := context.WithCancel(ctx)
 		cancels[i] = cc
 		go func(i int, n *node) {
+			var start time.Time
+			if r.om != nil {
+				start = time.Now()
+			}
 			res, err := exchange(cctx, n, msgType, replyType, encode(mkFilter(n.addr, nil)), epoch, decode)
+			if r.om != nil {
+				r.om.fanoutRTT.ObserveSince(start)
+			}
 			ch <- outcome[T]{i: i, res: res, err: err}
 		}(i, liveHandles[i])
 	}

@@ -174,6 +174,10 @@ type Router struct {
 	// hedges, coverage refusals) surfaced through Status.
 	fo fanoutStats
 
+	// om, when non-nil, holds the router's latency histograms; see
+	// metrics.go.  Left nil, the publish and fan-out paths pay one branch.
+	om *routerMetrics
+
 	// adminMu serializes membership changes: a join racing a drain would
 	// otherwise interleave two rebalance streams over inconsistent rings.
 	adminMu sync.Mutex
@@ -475,6 +479,9 @@ func (r *Router) Publish(p sketch.Published) error {
 		}
 	}
 
+	if r.om != nil {
+		defer r.om.publish.ObserveSince(time.Now())
+	}
 	payload := wire.EncodePublished(p)
 	errs := make([]error, len(sendTo))
 	var wg sync.WaitGroup

@@ -42,6 +42,9 @@ type Engine struct {
 	// executor, versioned by table write generation so ingests invalidate
 	// them implicitly.
 	cache *planCache
+	// m, when non-nil, holds the engine's observability instruments; see
+	// metrics.go.  Left nil, every instrumentation site is one branch.
+	m *engineMetrics
 }
 
 // New creates an engine around a public p-biased function and parameters.
@@ -144,7 +147,11 @@ func (e *Engine) Ingest(p sketch.Published) error {
 // uses the distinction to report how many pushed records actually moved.
 func (e *Engine) IngestNew(p sketch.Published) (bool, error) {
 	if e.st == nil {
-		return e.add(p)
+		added, err := e.add(p)
+		if added && e.m != nil {
+			e.m.ingests.Inc()
+		}
+		return added, err
 	}
 	mu := &e.ingestMu[uint64(p.ID)%uint64(len(e.ingestMu))]
 	mu.Lock()
@@ -156,6 +163,9 @@ func (e *Engine) IngestNew(p sketch.Published) (bool, error) {
 	if err := e.st.Append(p); err != nil {
 		e.table.Remove(p.ID, p.Subset)
 		return false, err
+	}
+	if e.m != nil {
+		e.m.ingests.Inc()
 	}
 	return true, nil
 }
@@ -186,6 +196,9 @@ func (e *Engine) add(p sketch.Published) (bool, error) {
 func (e *Engine) SnapshotBatch(cursor uint64, max int) ([]sketch.Published, uint64, bool, error) {
 	if max <= 0 {
 		max = 2048
+	}
+	if e.m != nil {
+		e.m.snapshotBatch.Inc()
 	}
 	if e.st != nil {
 		if br, ok := e.st.(store.BatchReader); ok {

@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/query"
@@ -24,6 +26,11 @@ const maxPlanCacheEntries = 4096
 type planCache struct {
 	mu sync.RWMutex
 	m  map[string]planCacheEntry
+	// hits/misses count Get outcomes for the engine_plan_cache_* series.
+	// They are always counted — one uncontended atomic add next to a map
+	// lookup — and only exposed when a registry is attached.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // planCacheEntry pairs a bitmap with the generation and record count it
@@ -45,8 +52,10 @@ func (c *planCache) Get(key string, gen uint64, records int) ([]uint64, bool) {
 	e, ok := c.m[key]
 	c.mu.RUnlock()
 	if !ok || e.gen != gen || e.records != records {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	return e.words, true
 }
 
@@ -75,6 +84,9 @@ func (c *planCache) Put(key string, gen uint64, records int, words []uint64) {
 // the full snapshot and filtered at counting time.  The counters are
 // bit-identical to executing the plan entry-at-a-time.
 func (e *Engine) ExecutePlan(p *query.Plan, keep query.UserFilter) (*query.Results, error) {
+	if e.m != nil {
+		defer e.m.planExec.ObserveSince(time.Now())
+	}
 	return e.est.ExecutePlanOver(e.table, p, keep, e.cache)
 }
 
@@ -83,6 +95,9 @@ func (e *Engine) ExecutePlan(p *query.Plan, keep query.UserFilter) (*query.Resul
 // ends.  The cluster node runs plan queries under the router's end-to-end
 // deadline budget through this.
 func (e *Engine) ExecutePlanCtx(ctx context.Context, p *query.Plan, keep query.UserFilter) (*query.Results, error) {
+	if e.m != nil {
+		defer e.m.planExec.ObserveSince(time.Now())
+	}
 	return e.est.ExecutePlanOverCtx(ctx, e.table, p, keep, e.cache)
 }
 

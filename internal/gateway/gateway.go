@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/obs"
 	"sketchprivacy/internal/prf"
 	"sketchprivacy/internal/sketch"
 	"sketchprivacy/internal/stats"
@@ -51,6 +52,13 @@ type Config struct {
 	// Logf receives one line per shed or refused request; nil uses the
 	// standard logger.  Shedding is loud by design.
 	Logf func(format string, args ...any)
+	// Obs is the metrics registry /metrics renders; nil creates a private
+	// one.  sketchgate passes its process registry here so the gateway's
+	// series share one exposition with everything else the daemon records.
+	Obs *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// gateway's mux.  Off by default: the profiler is operator-only.
+	EnablePprof bool
 }
 
 // Gateway is the HTTP front door: routing, authentication, limiting and
@@ -62,9 +70,11 @@ type Gateway struct {
 	params  sketch.Params
 	logf    func(format string, args ...any)
 
-	flight   *inflight
-	maxBatch int
-	metrics  *metrics
+	flight      *inflight
+	maxBatch    int
+	metrics     *metrics
+	reg         *obs.Registry
+	enablePprof bool
 
 	mu       sync.Mutex // guards sketcher's RNG
 	sketcher *sketch.Sketcher
@@ -98,18 +108,26 @@ func New(cfg Config) (*Gateway, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Gateway{
-		backend:  cfg.Backend,
-		admin:    cfg.Admin,
-		keyring:  cfg.Keyring,
-		params:   cfg.Params,
-		logf:     logf,
-		flight:   &inflight{limit: int64(cfg.MaxInFlight)},
-		maxBatch: maxBatch,
-		metrics:  newMetrics(),
-		sketcher: sk,
-		rng:      stats.NewRNG(seed),
-	}, nil
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	g := &Gateway{
+		backend:     cfg.Backend,
+		admin:       cfg.Admin,
+		keyring:     cfg.Keyring,
+		params:      cfg.Params,
+		logf:        logf,
+		flight:      &inflight{limit: int64(cfg.MaxInFlight)},
+		maxBatch:    maxBatch,
+		metrics:     newMetrics(),
+		reg:         reg,
+		enablePprof: cfg.EnablePprof,
+		sketcher:    sk,
+		rng:         stats.NewRNG(seed),
+	}
+	g.metrics.register(reg, g)
+	return g, nil
 }
 
 // sketchProfile runs Algorithm 1 under the gateway's lock (the rejection
@@ -126,7 +144,10 @@ func (g *Gateway) sketchProfile(p bitvec.Profile, b bitvec.Subset) (sketch.Sketc
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
-	mux.HandleFunc("GET /metrics", g.metrics.handler(g))
+	mux.HandleFunc("GET /metrics", g.metricsHandler())
+	if g.enablePprof {
+		obs.MountPprof(mux)
+	}
 
 	mux.Handle("POST /v1/records", g.guard(false, g.handlePublish))
 	mux.Handle("GET /v1/tenant", g.guard(false, g.handleTenant))

@@ -1,19 +1,20 @@
 package gateway
 
 import (
-	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"sketchprivacy/internal/obs"
 )
 
-// metrics is the gateway's hand-rolled Prometheus-text exporter state: a
-// few global counters plus a per-tenant counter block, all plain atomics
-// so the hot path never takes a lock (the tenant map is read-mostly under
-// RWMutex).  The render path also pulls the router's fan-out robustness
-// counters, so one scrape shows both HTTP shedding and cluster
-// degradation.
+// metrics is the gateway's counter state: a few global counters plus a
+// per-tenant counter block, all plain atomics so the hot path never takes
+// a lock (the tenant map is read-mostly under RWMutex).  Exposition goes
+// through the shared obs.Registry — the same codepath every daemon renders
+// with — via the collectors register wires up; the historical series names
+// (gateway_*, cluster_fanout_*) are preserved exactly.
 type metrics struct {
 	requests     atomic.Uint64 // every API request, before admission
 	shedOverload atomic.Uint64 // 503s from the in-flight cap
@@ -31,7 +32,7 @@ type tenantMetrics struct {
 	shedQuota atomic.Uint64 // 429s from the record quota
 }
 
-// newMetrics returns an empty registry.
+// newMetrics returns an empty counter state.
 func newMetrics() *metrics {
 	return &metrics{tenants: make(map[string]*tenantMetrics)}
 }
@@ -53,47 +54,70 @@ func (m *metrics) tenant(name string) *tenantMetrics {
 	return t
 }
 
-// handler renders the Prometheus text exposition format.  It is mounted
-// outside the in-flight cap and authentication: a saturated gateway must
-// stay scrapable, and the counters reveal no sketch data.
-func (m *metrics) handler(g *Gateway) http.HandlerFunc {
+// sortedTenants snapshots the tenant names in render order.
+func (m *metrics) sortedTenants() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// register wires the gateway's counters onto reg as render-time
+// collectors: the per-tenant label sets grow with the keyring, so they
+// are emitted at scrape time instead of registered as fixed series.  When
+// the backend is a cluster router, its fan-out robustness counters are
+// exposed under the same cluster_fanout_* names sketchrouter serves.
+func (m *metrics) register(reg *obs.Registry, g *Gateway) {
+	reg.CounterFunc("gateway_requests_total", "API requests received, before admission.",
+		func() uint64 { return m.requests.Load() })
+	reg.CounterFunc("gateway_shed_overload_total", "Requests shed 503 at the global in-flight cap.",
+		func() uint64 { return m.shedOverload.Load() })
+	reg.CounterFunc("gateway_auth_failures_total", "Requests refused 401 for a missing or unknown API key.",
+		func() uint64 { return m.authFailures.Load() })
+	reg.GaugeFunc("gateway_inflight", "Requests currently being served.",
+		func() float64 { return float64(g.flight.cur.Load()) })
+	reg.CollectFunc("gateway_tenant_queries_total", "Query requests admitted, per tenant.", obs.TypeCounter,
+		func(emit func(v float64, labels ...obs.Label)) {
+			for _, name := range m.sortedTenants() {
+				emit(float64(m.tenant(name).queries.Load()), obs.L("tenant", name))
+			}
+		})
+	reg.CollectFunc("gateway_tenant_published_records_total", "Records accepted, per tenant.", obs.TypeCounter,
+		func(emit func(v float64, labels ...obs.Label)) {
+			for _, name := range m.sortedTenants() {
+				emit(float64(m.tenant(name).published.Load()), obs.L("tenant", name))
+			}
+		})
+	reg.CollectFunc("gateway_tenant_shed_total", "Requests shed 429, per tenant and reason.", obs.TypeCounter,
+		func(emit func(v float64, labels ...obs.Label)) {
+			for _, name := range m.sortedTenants() {
+				t := m.tenant(name)
+				emit(float64(t.shedRate.Load()), obs.L("tenant", name), obs.L("reason", "rate"))
+				emit(float64(t.shedQuota.Load()), obs.L("tenant", name), obs.L("reason", "quota"))
+			}
+		})
+	if fc, ok := g.backend.(FanoutCounterSource); ok {
+		reg.CounterFunc("cluster_fanout_retries_total", "Full fan-out restarts (stale epochs, unrecoverable failures).",
+			func() uint64 { return fc.FanoutCounters().Retries })
+		reg.CounterFunc("cluster_fanout_recoveries_total", "Replica-aware recovery rounds inside a fan-out attempt.",
+			func() uint64 { return fc.FanoutCounters().Recoveries })
+		reg.CounterFunc("cluster_fanout_hedges_total", "Recoveries triggered by the hedge timer.",
+			func() uint64 { return fc.FanoutCounters().Hedges })
+		reg.CounterFunc("cluster_fanout_refusals_total", "Typed partial-coverage refusals returned to callers.",
+			func() uint64 { return fc.FanoutCounters().Refusals })
+	}
+}
+
+// handler renders the shared registry in the Prometheus text format.  It
+// is mounted outside the in-flight cap and authentication: a saturated
+// gateway must stay scrapable, and the counters reveal no sketch data.
+func (g *Gateway) metricsHandler() http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		counter := func(name, help string, v uint64) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-		}
-		counter("gateway_requests_total", "API requests received, before admission.", m.requests.Load())
-		counter("gateway_shed_overload_total", "Requests shed 503 at the global in-flight cap.", m.shedOverload.Load())
-		counter("gateway_auth_failures_total", "Requests refused 401 for a missing or unknown API key.", m.authFailures.Load())
-		fmt.Fprintf(w, "# HELP gateway_inflight Requests currently being served.\n# TYPE gateway_inflight gauge\ngateway_inflight %d\n", g.flight.cur.Load())
-
-		m.mu.RLock()
-		names := make([]string, 0, len(m.tenants))
-		for name := range m.tenants {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Fprintf(w, "# HELP gateway_tenant_queries_total Query requests admitted, per tenant.\n# TYPE gateway_tenant_queries_total counter\n")
-		for _, name := range names {
-			fmt.Fprintf(w, "gateway_tenant_queries_total{tenant=%q} %d\n", name, m.tenants[name].queries.Load())
-		}
-		fmt.Fprintf(w, "# HELP gateway_tenant_published_records_total Records accepted, per tenant.\n# TYPE gateway_tenant_published_records_total counter\n")
-		for _, name := range names {
-			fmt.Fprintf(w, "gateway_tenant_published_records_total{tenant=%q} %d\n", name, m.tenants[name].published.Load())
-		}
-		fmt.Fprintf(w, "# HELP gateway_tenant_shed_total Requests shed 429, per tenant and reason.\n# TYPE gateway_tenant_shed_total counter\n")
-		for _, name := range names {
-			fmt.Fprintf(w, "gateway_tenant_shed_total{tenant=%q,reason=\"rate\"} %d\n", name, m.tenants[name].shedRate.Load())
-			fmt.Fprintf(w, "gateway_tenant_shed_total{tenant=%q,reason=\"quota\"} %d\n", name, m.tenants[name].shedQuota.Load())
-		}
-		m.mu.RUnlock()
-
-		if fc, ok := g.backend.(FanoutCounterSource); ok {
-			c := fc.FanoutCounters()
-			counter("cluster_fanout_retries_total", "Full fan-out restarts (stale epochs, unrecoverable failures).", c.Retries)
-			counter("cluster_fanout_recoveries_total", "Replica-aware recovery rounds inside a fan-out attempt.", c.Recoveries)
-			counter("cluster_fanout_hedges_total", "Recoveries triggered by the hedge timer.", c.Hedges)
-			counter("cluster_fanout_refusals_total", "Typed partial-coverage refusals returned to callers.", c.Refusals)
-		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = g.reg.RenderText(w)
 	}
 }

@@ -1,0 +1,70 @@
+package gateway
+
+import (
+	"net/http"
+	"testing"
+
+	"sketchprivacy/internal/obs"
+)
+
+// TestGatewayMetricsExpositionLintClean drives traffic through every
+// counter the gateway exposes — admitted queries, published records, an
+// auth failure — and holds the /metrics output to the same exposition
+// lint CI runs against the live daemons.  It also pins the historical
+// series names: the refactor onto the shared registry must not rename
+// anything dashboards already graph.
+func TestGatewayMetricsExpositionLintClean(t *testing.T) {
+	tg := startGateway(t, defaultKeyring, nil)
+	tg.publishProfiles(t, acmeKey, 10, 4, []int{0, 2, 4})
+	if code, _, _ := tg.call(t, "POST", "/v1/query/conjunction",
+		acmeKey, map[string]any{"subset": []int{0, 2, 4}, "value": "111"}); code != http.StatusOK {
+		t.Fatalf("query: HTTP %d", code)
+	}
+	if code, _, _ := tg.call(t, "GET", "/v1/stats", "bogus-key-for-an-auth-failure", nil); code != http.StatusUnauthorized {
+		t.Fatalf("bogus key: HTTP %d, want 401", code)
+	}
+
+	code, _, raw := tg.call(t, "GET", "/metrics", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	text := string(raw)
+	if errs := obs.Lint(text); len(errs) > 0 {
+		t.Fatalf("exposition lint: %v\n%s", errs, text)
+	}
+	families, err := obs.ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*obs.Family, len(families))
+	for _, f := range families {
+		byName[f.Name] = f
+	}
+	for name, want := range map[string]float64{
+		"gateway_requests_total":      1, // well past one by now
+		"gateway_auth_failures_total": 1,
+	} {
+		f := byName[name]
+		if f == nil {
+			t.Fatalf("series %s missing from /metrics", name)
+		}
+		if len(f.Samples) != 1 || f.Samples[0].Value < want {
+			t.Fatalf("%s = %+v, want >= %v", name, f.Samples, want)
+		}
+	}
+	for _, name := range []string{"gateway_tenant_queries_total", "gateway_tenant_published_records_total", "gateway_tenant_shed_total"} {
+		f := byName[name]
+		if f == nil {
+			t.Fatalf("series %s missing from /metrics", name)
+		}
+		found := false
+		for _, s := range f.Samples {
+			if s.Label("tenant") == "acme" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s has no acme sample: %+v", name, f.Samples)
+		}
+	}
+}

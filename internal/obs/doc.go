@@ -1,0 +1,21 @@
+// Package obs is the fleet's observability core: a small, dependency-free
+// metrics library — atomic counters, gauges and fixed-bucket latency
+// histograms — with Prometheus text exposition, an HTTP exporter mounting
+// /metrics, /healthz and opt-in net/http/pprof, and a parser/lint for the
+// exposition format itself.
+//
+// Every daemon (sketchd, sketchrouter, sketchgate) serves one Registry, so
+// the whole fleet shares a single exposition codepath: the store's WAL and
+// compaction latencies, the engine's plan-execution and bitmap-cache
+// numbers, the router's fan-out RTTs, breaker states and rebalance
+// progress, and the gateway's per-tenant shedding counters all render
+// through RenderText and are validated by the same Lint the tests run.
+//
+// The hot-path contract is strict: Counter.Add, Gauge.Set and
+// Histogram.Observe are single atomic operations (the histogram adds a
+// short linear scan over its bucket bounds) and perform zero heap
+// allocations — proven by the obs-histogram-record kernel in BENCH.json
+// and an allocation test.  Everything render-time (label formatting,
+// sorting, dynamic series like per-node breaker gauges) happens in
+// collector callbacks on scrape, where a few microseconds are irrelevant.
+package obs

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Mount wires the observability endpoints onto an existing mux: GET
+// /metrics renders the registry, GET /healthz runs the health check (200
+// "ok" or 503 with the error text), and — only when enablePprof is set —
+// the net/http/pprof handlers under /debug/pprof/.  health may be nil for
+// always-healthy daemons.
+func Mount(mux *http.ServeMux, r *Registry, health func() error, enablePprof bool) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.RenderText(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if enablePprof {
+		MountPprof(mux)
+	}
+}
+
+// MountPprof registers the net/http/pprof handlers on mux.  Split out from
+// Mount so daemons that own their mux (the gateway) can opt in without the
+// rest of the wiring.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler builds a standalone observability mux (see Mount).
+func Handler(r *Registry, health func() error, enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, r, health, enablePprof)
+	return mux
+}
+
+// Server is a running metrics endpoint started by ListenAndServe.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr (":0" picks a free port) and serves h on it in
+// a background goroutine.  The bind happens synchronously so callers can
+// log the resolved Addr before returning; serve errors after a clean bind
+// are reported through errf when non-nil.
+func ListenAndServe(addr string, h http.Handler, errf func(error)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address, with the real port when ":0" was
+// requested.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener and server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.  By Prometheus convention a
+// counter's name ends in _total; Registry.Counter enforces it.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets are the upper bounds of the fleet's latency
+// histograms: 1µs to 10s in a 1-2.5-5 decade ladder.  The range covers
+// everything the daemons time — sub-microsecond WAL appends land in the
+// first bucket, a wedged 10s fan-out in the last finite one — with few
+// enough buckets that Observe's linear scan stays in one cache line pair.
+var DefaultLatencyBuckets = []time.Duration{
+	1 * time.Microsecond, 2500 * time.Nanosecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 25 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram.  Observe is allocation
+// free and lock free: one linear scan over the bucket bounds, one atomic
+// add into the bucket, one into the running sum and one into the count.
+// Bucket counts are stored per bucket (not cumulative) and cumulated at
+// render time, so concurrent observers never contend on more than one
+// bucket word.
+type Histogram struct {
+	boundsNs []uint64        // sorted upper bounds in nanoseconds
+	counts   []atomic.Uint64 // len(boundsNs)+1; the last is +Inf
+	sumNs    atomic.Uint64
+	total    atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (DefaultLatencyBuckets when bounds is empty).  Bounds must be positive
+// and strictly increasing; the +Inf bucket is implicit.  Histograms used
+// on hot paths should be created once and reused — construction allocates,
+// Observe never does.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		boundsNs: make([]uint64, len(bounds)),
+		counts:   make([]atomic.Uint64, len(bounds)+1),
+	}
+	prev := int64(0)
+	for i, b := range bounds {
+		if b <= time.Duration(prev) {
+			panic("obs: histogram bounds must be positive and strictly increasing")
+		}
+		h.boundsNs[i] = uint64(b)
+		prev = int64(b)
+	}
+	return h
+}
+
+// Observe records one latency sample.  Negative durations (a clock step
+// between the two time.Now calls) are clamped to zero so the sum stays
+// monotonic.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.sumNs.Add(ns)
+	h.total.Add(1)
+	for i, b := range h.boundsNs {
+		if ns <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.boundsNs)].Add(1)
+}
+
+// ObserveSince records the time elapsed since start — the one-liner for
+// `defer h.ObserveSince(time.Now())` instrumentation.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// snapshot copies the bucket counts cumulatively (Prometheus bucket
+// semantics), returning them with the sum and count.  The copy is not a
+// consistent point-in-time cut — observers keep running — but each bucket
+// is read once and the count is read last, so a scrape racing an Observe
+// sees a value the series legitimately passed through or slightly lags it;
+// cumulative counts in one render are made monotonic by construction.
+func (h *Histogram) snapshot() (cum []uint64, sumNs uint64, count uint64) {
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	// The per-bucket reads above may miss an Observe that has bumped
+	// total but not yet its bucket; report the buckets' own total so
+	// count == +Inf bucket always holds within one exposition.
+	return cum, h.sumNs.Load(), cum[len(cum)-1]
+}

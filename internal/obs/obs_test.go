@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.RenderText(&sb); err != nil {
+		t.Fatalf("RenderText: %v", err)
+	}
+	return sb.String()
+}
+
+func TestRegistryRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("demo_requests_total", "Requests handled.")
+	c.Add(3)
+	g := r.Gauge("demo_queue_depth", "Items queued.", L("shard", "0"))
+	g.Set(-2)
+	h := r.Histogram("demo_latency_seconds", "Request latency.", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Second)
+	r.CollectFunc("demo_tenant_bytes_total", "Per-tenant bytes.", TypeCounter, func(emit func(v float64, labels ...Label)) {
+		emit(10, L("tenant", `we"ird\te`+"\n"+`nant`))
+	})
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP demo_requests_total Requests handled.\n# TYPE demo_requests_total counter\ndemo_requests_total 3\n",
+		`demo_queue_depth{shard="0"} -2`,
+		`demo_latency_seconds_bucket{le="0.001"} 1`,
+		`demo_latency_seconds_bucket{le="0.01"} 2`,
+		`demo_latency_seconds_bucket{le="+Inf"} 3`,
+		"demo_latency_seconds_sum 1.0055\n",
+		"demo_latency_seconds_count 3\n",
+		`demo_tenant_bytes_total{tenant="we\"ird\\te\nnant"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out); len(errs) > 0 {
+		t.Fatalf("self-render fails lint: %v", errs)
+	}
+	// Round-trip: the parser must recover the escaped label value.
+	fams, err := ParseText(out)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for _, f := range fams {
+		if f.Name == "demo_tenant_bytes_total" {
+			if got := f.Samples[0].Label("tenant"); got != "we\"ird\\te\nnant" {
+				t.Errorf("label round-trip = %q", got)
+			}
+		}
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("counter without _total", func() { r.Counter("bad_name", "h") })
+	mustPanic("invalid name", func() { r.Gauge("0bad", "h") })
+	mustPanic("empty help", func() { r.Gauge("ok_name", "") })
+	r.Gauge("dup_gauge", "h")
+	mustPanic("duplicate series", func() { r.Gauge("dup_gauge", "h") })
+	mustPanic("type conflict", func() { r.Histogram("dup_gauge", "h", nil) })
+	mustPanic("bad bounds", func() { NewHistogram([]time.Duration{time.Second, time.Second}) })
+}
+
+func TestLintCatchesDrift(t *testing.T) {
+	cases := map[string]string{
+		"missing HELP":                  "# TYPE x_total counter\nx_total 1\n",
+		"missing TYPE":                  "# HELP x_total h\nx_total 1\n",
+		"counter without _total suffix": "# HELP x h\n# TYPE x counter\nx 1\n",
+		"missing +Inf bucket":           "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"1\"} 1\nh_s_sum 1\nh_s_count 1\n",
+		"cumulative count decreases":    "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"1\"} 2\nh_s_bucket{le=\"+Inf\"} 1\nh_s_sum 1\nh_s_count 1\n",
+		"_count":                        "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"+Inf\"} 2\nh_s_sum 1\nh_s_count 3\n",
+		"duplicate series":              "# HELP g h\n# TYPE g gauge\ng 1\ng 2\n",
+	}
+	for want, text := range cases {
+		errs := Lint(text)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lint of %q: want error containing %q, got %v", text, want, errs)
+		}
+	}
+	if errs := Lint("# HELP ok_total h\n# TYPE ok_total counter\nok_total 5\n"); len(errs) != 0 {
+		t.Errorf("clean text flagged: %v", errs)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram(nil)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(42 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Observe allocates %v per call", n)
+	}
+	c := &Counter{}
+	g := &Gauge{}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); g.Set(7) }); n != 0 {
+		t.Fatalf("Counter/Gauge allocate %v per call", n)
+	}
+}
+
+// TestConcurrentObserveAndRender is the -race hammer: GOMAXPROCS writer
+// goroutines pound one histogram and gauge while renders run concurrently,
+// and every intermediate render must still pass the lint.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer_latency_seconds", "Hammered latency.", nil)
+	g := r.Gauge("hammer_depth", "Hammered depth.")
+	c := r.Counter("hammer_ops_total", "Hammered ops.")
+
+	const perG = 2000
+	writers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(time.Duration(seed*j%5000) * time.Microsecond)
+				g.Add(1)
+				c.Inc()
+			}
+		}(i + 1)
+	}
+	stop := make(chan struct{})
+	renderDone := make(chan struct{})
+	go func() {
+		defer close(renderDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.RenderText(&sb); err != nil {
+				t.Errorf("mid-hammer render: %v", err)
+				return
+			}
+			if errs := Lint(sb.String()); len(errs) > 0 {
+				t.Errorf("mid-hammer render fails lint: %v", errs)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-renderDone
+
+	total := writers * perG
+	out := render(t, r)
+	if errs := Lint(out); len(errs) > 0 {
+		t.Fatalf("final render fails lint: %v", errs)
+	}
+	if got := h.Count(); got != uint64(total) {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	if got := c.Value(); got != uint64(total) {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != int64(total) {
+		t.Fatalf("gauge = %d, want %d", got, total)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("httptest_hits_total", "Hits.").Inc()
+	healthy := true
+	var mu sync.Mutex
+	h := Handler(r, func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if !healthy {
+			return io.ErrUnexpectedEOF
+		}
+		return nil
+	}, true)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "httptest_hits_total 1") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if errs := Lint(body); len(errs) > 0 {
+		t.Fatalf("/metrics fails lint: %v", errs)
+	}
+	if code, body = get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz = %d, want 503", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+
+	// pprof must be absent when not enabled.
+	srv2 := httptest.NewServer(Handler(r, nil, false))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("pprof served without opt-in")
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("lns_up", "Up.").Set(1)
+	srv, err := ListenAndServe("127.0.0.1:0", Handler(r, nil, false), nil)
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "lns_up 1") {
+		t.Fatalf("body = %q", body)
+	}
+}

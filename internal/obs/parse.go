@@ -1,0 +1,393 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name, its sorted labels,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family is one parsed metric family: the HELP/TYPE metadata plus every
+// sample whose base name matches (histogram _bucket/_sum/_count samples
+// attach to their base family).
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Sample returns the family's sample with exactly the given label key (as
+// produced by labelKey), or nil.
+func (f *Family) Sample(key string) *Sample {
+	for i := range f.Samples {
+		if labelKey(f.Samples[i].Labels) == key {
+			return &f.Samples[i]
+		}
+	}
+	return nil
+}
+
+// ParseText parses a Prometheus text exposition (format 0.0.4) into
+// families.  It is strict about line grammar — the point is to catch
+// hand-rolled drift — but permissive about ordering beyond requiring that
+// a sample's family metadata appear before the sample.
+func ParseText(text string) ([]*Family, error) {
+	byName := make(map[string]*Family)
+	var order []*Family
+	family := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			f := family(name)
+			switch kind {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.Help = rest
+			case "TYPE":
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := s.Name
+		if f, ok := byName[base]; !ok || f.Type == "histogram" {
+			// Histogram samples carry suffixed names; attach them to
+			// the declared base family when one exists.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				trimmed := strings.TrimSuffix(s.Name, suffix)
+				if trimmed != s.Name {
+					if bf, ok := byName[trimmed]; ok && bf.Type == "histogram" {
+						base = trimmed
+					}
+					break
+				}
+			}
+		}
+		f := family(base)
+		f.Samples = append(f.Samples, s)
+	}
+	return order, nil
+}
+
+// parseComment splits a # line into its kind (HELP/TYPE, or "" for plain
+// comments), metric name, and remainder.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	fields := strings.SplitN(body, " ", 3)
+	if fields[0] != "HELP" && fields[0] != "TYPE" {
+		return "", "", "", nil
+	}
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("malformed %s line %q", fields[0], line)
+	}
+	name = fields[1]
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("%s line with invalid metric name %q", fields[0], name)
+	}
+	if fields[0] == "TYPE" {
+		switch fields[2] {
+		case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+		default:
+			return "", "", "", fmt.Errorf("unknown TYPE %q for %s", fields[2], name)
+		}
+	}
+	return fields[0], name, fields[2], nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:end]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %v", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp is legal in the format; we emit none, but the
+	// parser tolerates one.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{name="value",...}` block, honoring \\ \" \n
+// escapes, and returns the remaining tail of the line.
+func parseLabels(in string) ([]Label, string, error) {
+	var labels []Label
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		j := i
+		for j < len(in) && in[j] != '=' {
+			j++
+		}
+		if j >= len(in) {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := in[i:j]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		i = j + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseValue parses a sample value, including the format's +Inf/-Inf/NaN
+// spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Lint parses an exposition and returns every convention violation it
+// finds: missing or mispaired HELP/TYPE, counters without the _total
+// suffix, histograms with non-monotonic buckets or a missing +Inf bucket,
+// _count disagreeing with the +Inf bucket, and duplicate series.  A nil
+// return means the text is clean.  It is the reusable check run against
+// all three daemons' /metrics output.
+func Lint(text string) []error {
+	families, err := ParseText(text)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	addf := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+	for _, f := range families {
+		if f.Help == "" {
+			addf("%s: missing HELP", f.Name)
+		}
+		if f.Type == "" {
+			addf("%s: missing TYPE", f.Name)
+			continue
+		}
+		if f.Type == TypeCounter && !strings.HasSuffix(f.Name, "_total") {
+			addf("%s: counter without _total suffix", f.Name)
+		}
+		seen := make(map[string]bool)
+		for _, s := range f.Samples {
+			key := s.Name + "{" + labelKey(s.Labels) + "}"
+			if seen[key] {
+				addf("%s: duplicate series %s", f.Name, key)
+			}
+			seen[key] = true
+			for _, l := range s.Labels {
+				if !validLabelName(l.Name) {
+					addf("%s: invalid label name %q", f.Name, l.Name)
+				}
+			}
+			if f.Type == TypeCounter && s.Value < 0 {
+				addf("%s: negative counter value %v", f.Name, s.Value)
+			}
+		}
+		if f.Type == TypeHistogram {
+			lintHistogram(f, addf)
+		}
+	}
+	return errs
+}
+
+// lintHistogram checks one histogram family's bucket/sum/count structure
+// per label set.
+func lintHistogram(f *Family, addf func(format string, args ...any)) {
+	type group struct {
+		buckets []Sample // le-labeled, in exposition order
+		sum     *Sample
+		count   *Sample
+	}
+	groups := make(map[string]*group)
+	var order []string
+	get := func(labels []Label) *group {
+		var rest []Label
+		for _, l := range labels {
+			if l.Name != "le" {
+				rest = append(rest, l)
+			}
+		}
+		key := labelKey(rest)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s.Labels)
+		switch {
+		case s.Name == f.Name+"_bucket":
+			g.buckets = append(g.buckets, s)
+		case s.Name == f.Name+"_sum":
+			sc := s
+			g.sum = &sc
+		case s.Name == f.Name+"_count":
+			sc := s
+			g.count = &sc
+		default:
+			addf("%s: unexpected histogram sample %s", f.Name, s.Name)
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		g := groups[key]
+		where := f.Name
+		if key != "" {
+			where += "{" + key + "}"
+		}
+		if g.sum == nil {
+			addf("%s: missing _sum", where)
+		}
+		if g.count == nil {
+			addf("%s: missing _count", where)
+		}
+		if len(g.buckets) == 0 {
+			addf("%s: no buckets", where)
+			continue
+		}
+		prevLe := math.Inf(-1)
+		prevCount := -1.0
+		sawInf := false
+		for _, b := range g.buckets {
+			leStr := b.Label("le")
+			le, err := parseValue(leStr)
+			if err != nil {
+				addf("%s: bad le %q", where, leStr)
+				continue
+			}
+			if le <= prevLe {
+				addf("%s: bucket bounds not increasing at le=%q", where, leStr)
+			}
+			if b.Value < prevCount {
+				addf("%s: cumulative count decreases at le=%q", where, leStr)
+			}
+			prevLe, prevCount = le, b.Value
+			if math.IsInf(le, 1) {
+				sawInf = true
+			}
+		}
+		if !sawInf {
+			addf("%s: missing +Inf bucket", where)
+		} else if g.count != nil && g.count.Value != prevCount {
+			addf("%s: _count %v != +Inf bucket %v", where, g.count.Value, prevCount)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric type names used in TYPE lines and collector registration.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// member is one registered series of a family: fixed labels plus exactly
+// one instrument.
+type member struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is every series sharing one metric name: one HELP, one TYPE, and
+// either direct instruments or a render-time collector.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	members []member
+	collect func(emit func(value float64, labels ...Label))
+}
+
+// Registry holds a daemon's metric families and renders them in the
+// Prometheus text exposition format.  Registration takes a lock and may
+// allocate; the returned instruments are lock-free atomics safe for
+// concurrent use with a concurrent RenderText.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates name/help/type consistency and returns the family,
+// creating it on first use.  Registration mistakes are programmer errors
+// (they would silently corrupt the exposition), so they panic.
+func (r *Registry) register(name, help, typ string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if help == "" {
+		panic(fmt.Sprintf("obs: metric %s needs help text", name))
+	}
+	if typ == TypeCounter && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: counter %s must end in _total", name))
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ || f.help != help {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s/%q, was %s/%q", name, typ, help, f.typ, f.help))
+	}
+	if f.collect != nil {
+		panic(fmt.Sprintf("obs: metric %s already has a collector; cannot add direct series", name))
+	}
+	return f
+}
+
+// checkLabels validates fixed label names and rejects duplicates of an
+// already-registered series.
+func (f *family) checkLabels(labels []Label) {
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", f.name, l.Name))
+		}
+	}
+	key := labelKey(labels)
+	for _, m := range f.members {
+		if labelKey(m.labels) == key {
+			panic(fmt.Sprintf("obs: metric %s{%s} registered twice", f.name, key))
+		}
+	}
+}
+
+// Counter registers (or extends, with new labels) a counter family and
+// returns the series' instrument.  Counter names must end in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.register(name, help, TypeCounter)
+	f.checkLabels(labels)
+	c := &Counter{}
+	f.members = append(f.members, member{labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers a gauge series and returns its instrument.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.register(name, help, TypeGauge)
+	f.checkLabels(labels)
+	g := &Gauge{}
+	f.members = append(f.members, member{labels: labels, gauge: g})
+	return g
+}
+
+// Histogram registers a latency histogram series (DefaultLatencyBuckets
+// when bounds is empty) and returns its instrument.
+func (r *Registry) Histogram(name, help string, bounds []time.Duration, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.register(name, help, TypeHistogram)
+	f.checkLabels(labels)
+	h := NewHistogram(bounds)
+	f.members = append(f.members, member{labels: labels, hist: h})
+	return h
+}
+
+// CollectFunc registers a render-time collector: fn runs on every scrape
+// and emits the family's current samples through emit.  Collectors carry
+// the dynamic label sets (per-node breaker states, per-tenant counters)
+// that would otherwise need registration churn; typ must be TypeCounter or
+// TypeGauge (histograms are always direct instruments).
+func (r *Registry) CollectFunc(name, help, typ string, fn func(emit func(value float64, labels ...Label))) {
+	if typ != TypeCounter && typ != TypeGauge {
+		panic(fmt.Sprintf("obs: collector %s: type must be counter or gauge, got %q", name, typ))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.register(name, help, typ)
+	if f.collect != nil || len(f.members) > 0 {
+		panic(fmt.Sprintf("obs: metric %s registered twice", name))
+	}
+	f.collect = fn
+}
+
+// GaugeFunc registers a single unlabeled gauge computed at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.CollectFunc(name, help, TypeGauge, func(emit func(value float64, labels ...Label)) {
+		emit(fn())
+	})
+}
+
+// CounterFunc registers a single unlabeled counter read at render time —
+// the bridge for subsystems that already keep their own atomics.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.CollectFunc(name, help, TypeCounter, func(emit func(value float64, labels ...Label)) {
+		emit(float64(fn()))
+	})
+}
+
+// RenderText writes every family in the Prometheus text exposition format
+// (version 0.0.4), families and series sorted by name so scrapes diff
+// cleanly.  Collector callbacks run while the registry lock is held; they
+// must not re-enter the registry.
+func (r *Registry) RenderText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ)
+		if f.collect != nil {
+			type collected struct {
+				key string
+				val float64
+			}
+			var rows []collected
+			f.collect(func(value float64, labels ...Label) {
+				rows = append(rows, collected{key: labelKey(labels), val: value})
+			})
+			sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+			for _, row := range rows {
+				writeSample(&b, f.name, row.key, formatFloat(row.val))
+			}
+		} else {
+			members := make([]member, len(f.members))
+			copy(members, f.members)
+			sort.Slice(members, func(i, j int) bool {
+				return labelKey(members[i].labels) < labelKey(members[j].labels)
+			})
+			for _, m := range members {
+				key := labelKey(m.labels)
+				switch {
+				case m.counter != nil:
+					writeSample(&b, f.name, key, strconv.FormatUint(m.counter.Value(), 10))
+				case m.gauge != nil:
+					writeSample(&b, f.name, key, strconv.FormatInt(m.gauge.Value(), 10))
+				case m.hist != nil:
+					writeHistogram(&b, f.name, key, m.hist)
+				}
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample writes one `name{labels} value` line (labels may be empty).
+func writeSample(b *strings.Builder, name, labelsKey, value string) {
+	b.WriteString(name)
+	if labelsKey != "" {
+		b.WriteByte('{')
+		b.WriteString(labelsKey)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// writeHistogram writes one series' _bucket/_sum/_count triplet with
+// cumulative bucket counts and the sum converted to seconds.
+func writeHistogram(b *strings.Builder, name, labelsKey string, h *Histogram) {
+	cum, sumNs, count := h.snapshot()
+	for i, bound := range h.boundsNs {
+		le := formatFloat(float64(bound) / 1e9)
+		writeSample(b, name+"_bucket", joinLabelKey(labelsKey, `le="`+le+`"`), strconv.FormatUint(cum[i], 10))
+	}
+	writeSample(b, name+"_bucket", joinLabelKey(labelsKey, `le="+Inf"`), strconv.FormatUint(cum[len(cum)-1], 10))
+	writeSample(b, name+"_sum", labelsKey, formatFloat(float64(sumNs)/1e9))
+	writeSample(b, name+"_count", labelsKey, strconv.FormatUint(count, 10))
+}
+
+// joinLabelKey appends the le pair to an existing (possibly empty) label
+// key.
+func joinLabelKey(key, le string) string {
+	if key == "" {
+		return le
+	}
+	return key + "," + le
+}
+
+// labelKey renders labels canonically (`a="x",b="y"`), escaping values.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// escapeLabelValue applies the exposition format's label escaping.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies HELP-line escaping (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validMetricName checks the Prometheus metric name grammar.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks the Prometheus label name grammar.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -57,6 +57,7 @@ type Server struct {
 	inflight chan struct{}
 
 	// Robustness counters, reported in stats.
+	frames           atomic.Uint64 // frames served, all message types
 	overloads        atomic.Uint64 // frames shed by the in-flight guard
 	idleCloses       atomic.Uint64 // connections closed by the idle timeout
 	checksumErrors   atomic.Uint64 // frames refused with a CRC mismatch
@@ -220,6 +221,7 @@ func (s *Server) handle(conn net.Conn) {
 // serveFrame executes one frame, reporting whether the connection should
 // stay open.
 func (s *Server) serveFrame(conn net.Conn, msgType byte, payload []byte) bool {
+	s.frames.Add(1)
 	switch msgType {
 	case wire.TypePublish:
 		pub, err := wire.DecodePublished(payload)

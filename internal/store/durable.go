@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"sketchprivacy/internal/obs"
 	"sketchprivacy/internal/sketch"
 )
 
@@ -57,6 +58,11 @@ type Options struct {
 	// DefaultCompactInterval).  Negative disables the background loop;
 	// CompactNow still works.
 	CompactInterval time.Duration
+	// Metrics, when non-nil, registers the store's instruments (WAL
+	// append/fsync latency histograms, roll/compaction counters, per-shard
+	// size gauges) on the given registry.  Nil leaves the store entirely
+	// uninstrumented at zero hot-path cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +102,8 @@ type dshard struct {
 	// touching the WAL — and everything the close-time Flush syncs is
 	// everything that was ever acknowledged.
 	closed bool
+	// m, when non-nil, records roll/compaction activity; see metrics.go.
+	m *metrics
 }
 
 // Durable is the sharded on-disk Store.
@@ -103,6 +111,9 @@ type Durable struct {
 	opts   Options
 	lock   *dirLock
 	shards []*dshard
+	// replayTime is how long Open spent replaying WALs and validating
+	// segments, exposed as the store_replay_seconds gauge.
+	replayTime time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -155,14 +166,23 @@ func Open(opts Options) (*Durable, error) {
 		return nil, fmt.Errorf("store: %s holds %d shard directories but its manifest says %d: refusing to open a mixed data directory", opts.Dir, found, nShards)
 	}
 	d := &Durable{opts: opts, lock: lock, done: make(chan struct{})}
+	var m *metrics
+	if opts.Metrics != nil {
+		m = newMetrics(opts.Metrics)
+	}
+	replayStart := time.Now()
 	for i := 0; i < nShards; i++ {
-		sh, err := openShard(opts, i)
+		sh, err := openShard(opts, i, m)
 		if err != nil {
 			d.closeShards()
 			lock.Unlock()
 			return nil, err
 		}
 		d.shards = append(d.shards, sh)
+	}
+	d.replayTime = time.Since(replayStart)
+	if opts.Metrics != nil {
+		d.registerCollectors(opts.Metrics)
 	}
 	if opts.Fsync {
 		// Make freshly-created shard directories durable before the first
@@ -269,7 +289,7 @@ func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
 
 // openShard opens shard i: lists and validates its segments, replays its
 // WAL and positions the log for appending.
-func openShard(opts Options, i int) (*dshard, error) {
+func openShard(opts Options, i int, m *metrics) (*dshard, error) {
 	dir := filepath.Join(opts.Dir, shardDirName(i))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -294,7 +314,7 @@ func openShard(opts Options, i int) (*dshard, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(walPath, size, records, opts.Fsync)
+	w, err := openWAL(walPath, size, records, opts.Fsync, m)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +330,7 @@ func openShard(opts Options, i int) (*dshard, error) {
 			return nil, err
 		}
 	}
-	return &dshard{id: i, dir: dir, wal: w, segs: segs, nextSeq: nextSeq}, nil
+	return &dshard{id: i, dir: dir, wal: w, segs: segs, nextSeq: nextSeq, m: m}, nil
 }
 
 // FNV-1a 64-bit constants, inlined so the per-append hash is
@@ -384,6 +404,9 @@ func (sh *dshard) rollLocked() error {
 	sh.segs = append(sh.segs, meta)
 	if err := sh.wal.Truncate(); err != nil {
 		return fmt.Errorf("store: shard %d truncating rolled wal: %w", sh.id, err)
+	}
+	if sh.m != nil {
+		sh.m.rolls.Inc()
 	}
 	return nil
 }
@@ -506,6 +529,7 @@ func (sh *dshard) compact(min int) error {
 		sh.mu.Unlock()
 	}()
 
+	start := now(sh.m)
 	var all []sketch.Published
 	for _, seg := range snap {
 		records, err := readSegment(seg.path)
@@ -518,6 +542,10 @@ func (sh *dshard) compact(min int) error {
 	meta, err := writeSegment(sh.dir, seq, all)
 	if err != nil {
 		return fmt.Errorf("store: shard %d compact: %w", sh.id, err)
+	}
+	if sh.m != nil {
+		sh.m.compactions.Inc()
+		sh.m.compactLatency.ObserveSince(start)
 	}
 	sh.mu.Lock()
 	sh.segs = append([]segmentMeta{meta}, sh.segs[len(snap):]...)

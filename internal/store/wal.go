@@ -41,6 +41,8 @@ type wal struct {
 	// enters pending only after its append fully succeeded, which keeps a
 	// NACKed-but-written record out of segments and query results.
 	pending []sketch.Published
+	// m, when non-nil, records append/fsync latency; see metrics.go.
+	m *metrics
 	// broken is set when a failed write could not be rolled back: the
 	// on-disk log may hold torn bytes at the tail that a later append
 	// would bury mid-file, where replay would truncate acknowledged
@@ -56,12 +58,12 @@ var ErrWALBroken = errors.New("store: wal broken by an unrecoverable write error
 // openWAL opens (creating if needed) the log at path for appending.
 // Callers must have replayed the file first and pass the replayed
 // records and post-truncation size.
-func openWAL(path string, size int64, records []sketch.Published, fsync bool) (*wal, error) {
+func openWAL(path string, size int64, records []sketch.Published, fsync bool, m *metrics) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &wal{f: f, path: path, size: size, records: uint64(len(records)), fsync: fsync, pending: records}, nil
+	return &wal{f: f, path: path, size: size, records: uint64(len(records)), fsync: fsync, pending: records, m: m}, nil
 }
 
 // Append writes one record.  The framed record is assembled in a reused
@@ -84,6 +86,7 @@ func (w *wal) Append(p sketch.Published) error {
 	payload := w.scratch[walHeaderSize:]
 	binary.BigEndian.PutUint32(w.scratch[0:], uint32(len(payload)))
 	binary.BigEndian.PutUint32(w.scratch[4:], crc32.ChecksumIEEE(payload))
+	start := now(w.m)
 	if n, err := w.f.Write(w.scratch); err != nil {
 		// A partial write leaves torn bytes that are NOT at the tail once
 		// a later append lands after them — replay would then truncate
@@ -96,9 +99,13 @@ func (w *wal) Append(p sketch.Published) error {
 		}
 		return fmt.Errorf("store: wal append: %w", err)
 	}
+	if w.m != nil {
+		w.m.appendLatency.ObserveSince(start)
+	}
 	w.size += int64(len(w.scratch))
 	w.records++
 	if w.fsync {
+		syncStart := now(w.m)
 		if err := w.f.Sync(); err != nil {
 			// The write reached the kernel but stable storage is in doubt
 			// and fsync error semantics make retrying unsafe.  Roll the
@@ -109,6 +116,9 @@ func (w *wal) Append(p sketch.Published) error {
 				w.broken = true
 			}
 			return fmt.Errorf("store: wal fsync: %w", err)
+		}
+		if w.m != nil {
+			w.m.fsyncLatency.ObserveSince(syncStart)
 		}
 	}
 	w.pending = append(w.pending, p)
