@@ -1,7 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sketchprivacy/internal/bitvec"
@@ -17,6 +20,19 @@ import (
 const (
 	storeReplayRecords      = 1_000_000
 	storeReplayRecordsQuick = 100_000
+
+	// storeBatchWriters is the concurrency of the group-commit append
+	// benchmark: enough writers that a commit window amortises its fsync
+	// across a full cohort, matching the gateway's batched ingest fan-in.
+	storeBatchWriters = 64
+	// storeBatchPerWriter is how many records one writer submits per
+	// AppendBatch call — a gateway-sized client batch.
+	storeBatchPerWriter = 64
+
+	// storeLookupRecords sizes the point-lookup benchmark's segment set;
+	// -quick shrinks it for CI.
+	storeLookupRecords      = 200_000
+	storeLookupRecordsQuick = 50_000
 )
 
 // storeRecord fabricates a valid published sketch; the store does not
@@ -64,12 +80,73 @@ func storeBenchmarks(quick bool) []struct {
 			}
 		}
 	}
+	lookupN := storeLookupRecords
+	if quick {
+		lookupN = storeLookupRecordsQuick
+	}
 	return []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
 		{"store-append", appendBench(false)},
 		{"store-append-fsync", appendBench(true)},
+		{"store-append-fsync-batch", func(b *testing.B) {
+			// The batched durable-ingest path the gateway drives: 64
+			// concurrent writers, each landing a batch of records through
+			// AppendBatch, so a batch costs one commit-window entry — and a
+			// shared fsync — per touched shard instead of one fsync (and one
+			// scheduler park) per record.  ns/op is per RECORD; compare
+			// against store-append-fsync (one fsync per record) for the
+			// group-commit win.
+			dir, err := os.MkdirTemp("", "sketchbench-store")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(store.Options{Dir: dir, Shards: 8, Fsync: true, CompactInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			writers := storeBatchWriters
+			if writers > b.N {
+				writers = b.N
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errc := make(chan error, writers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					batch := make([]sketch.Published, 0, storeBatchPerWriter)
+					for {
+						// Claim a contiguous chunk of the op budget; the last
+						// chunk may be short.
+						start := next.Add(storeBatchPerWriter) - storeBatchPerWriter
+						if start >= int64(b.N) {
+							return
+						}
+						n := min(int64(storeBatchPerWriter), int64(b.N)-start)
+						batch = batch[:0]
+						for i := int64(0); i < n; i++ {
+							batch = append(batch, storeRecord(uint64(start+i+1), subset))
+						}
+						if failed, err := st.AppendBatch(batch); err != nil || len(failed) > 0 {
+							errc <- fmt.Errorf("append batch: %d failed: %v", len(failed), err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errc)
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}},
 		{replayName, func(b *testing.B) {
 			dir, err := os.MkdirTemp("", "sketchbench-replay")
 			if err != nil {
@@ -107,6 +184,105 @@ func storeBenchmarks(quick bool) []struct {
 				}
 				if err := rst.Close(); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"store-replay-indexed", func(b *testing.B) {
+			// Cold start from indexed v2 segments rather than a raw WAL:
+			// the data directory is flushed and compacted before timing, so
+			// one op is open + segment load (k-way merge of sorted
+			// segments) + table rehydration.
+			dir, err := os.MkdirTemp("", "sketchbench-replay-indexed")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(store.Options{Dir: dir, Shards: 8, CompactInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < replayN; i++ {
+				if err := st.Append(storeRecord(uint64(i+1), subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.CompactNow(2); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
+			params := sketch.MustParams(0.3, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rst, err := store.Open(store.Options{Dir: dir, CompactInterval: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := engine.NewWithStore(h, params, rst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if eng.Sketches() != replayN {
+					b.Fatalf("replay recovered %d sketches, want %d", eng.Sketches(), replayN)
+				}
+				if err := rst.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"segment-point-lookup", func(b *testing.B) {
+			// One op = a single-record read through the segment machinery:
+			// bloom filter, sparse-index binary search, one-stride frame
+			// read.  The record set is flushed into segments first, so no
+			// lookup is served from the WAL mirror.
+			dir, err := os.MkdirTemp("", "sketchbench-lookup")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			seed, err := store.Open(store.Options{Dir: dir, Shards: 8, CompactInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < lookupN; i++ {
+				if err := seed.Append(storeRecord(uint64(i+1), subset)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := seed.Close(); err != nil {
+				b.Fatal(err)
+			}
+			// Reopen with a 1-byte flush threshold so Flush rolls EVERY
+			// record into segments and compaction merges each shard to one:
+			// the measured lookups must cross the bloom filter and sparse
+			// index, not the WAL mirror.
+			st, err := store.Open(store.Options{Dir: dir, FlushThreshold: 1, CompactInterval: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.CompactNow(2); err != nil {
+				b.Fatal(err)
+			}
+			key := subset.Key()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := bitvec.UserID(uint64(i)%uint64(lookupN) + 1)
+				p, ok, err := st.Lookup(id, key)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok || p.ID != id {
+					b.Fatalf("lookup of %d returned ok=%v id=%d", id, ok, p.ID)
 				}
 			}
 		}},

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sketchd -addr 127.0.0.1:7070 -p 0.3 -users 1000000 -tau 1e-6 -keyhex <hex> \
-//	        -data-dir /var/lib/sketchd -shards 8 -fsync \
+//	        -data-dir /var/lib/sketchd -shards 8 -fsync -fsync-window 2ms \
 //	        -metrics-addr 127.0.0.1:9070 [-pprof]
 //
 // With -metrics-addr the daemon serves Prometheus /metrics and /healthz on
@@ -60,7 +60,8 @@ func main() {
 		keyHex      = flag.String("keyhex", "", "hex-encoded generator key (>= 38 bytes)")
 		dataDir     = flag.String("data-dir", "", "durable store directory (empty: memory-only)")
 		shards      = flag.Int("shards", store.DefaultShards, "store shard count for a fresh -data-dir")
-		fsync       = flag.Bool("fsync", false, "fsync the WAL on every publish (survives machine crashes, not just process crashes)")
+		fsync       = flag.Bool("fsync", false, "fsync the WAL before acknowledging publishes (survives machine crashes, not just process crashes); concurrent publishes share group-commit fsyncs")
+		fsyncWindow = flag.Duration("fsync-window", store.DefaultFsyncWindow, "with -fsync, how long a commit window waits for straggling concurrent publishes before fsyncing (0 commits the instant the cohort is complete; windows always close early when no publish is in flight)")
 		idle        = flag.Duration("read-idle-timeout", 5*time.Minute, "close a connection silent for this long between frames")
 		maxInFl     = flag.Int("max-inflight", 256, "frames executing concurrently before requests are shed with an overload refusal")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty: disabled)")
@@ -105,7 +106,13 @@ func main() {
 	var st *store.Durable
 	if *dataDir != "" {
 		start := time.Now()
-		st, err = store.Open(store.Options{Dir: *dataDir, Shards: *shards, Fsync: *fsync, Metrics: reg})
+		window := *fsyncWindow
+		if window == 0 {
+			// Options treats zero as "use the default"; the flag's zero
+			// means "no straggler wait", which Options spells negative.
+			window = -1
+		}
+		st, err = store.Open(store.Options{Dir: *dataDir, Shards: *shards, Fsync: *fsync, FsyncWindow: window, Metrics: reg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -144,6 +144,21 @@ func (f *Frontend) handle(conn net.Conn) {
 				continue
 			}
 			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+		case wire.TypePublishBatch:
+			ps, err := wire.DecodePublishBatch(payload)
+			if err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			// The router's replicated batch publish: a pipelined fan-out
+			// with the same earliest-failure semantics the node's batched
+			// ingest gives, so wire clients see one ack per batch on both
+			// surfaces.
+			if err := f.r.PublishAll(ps); err != nil {
+				f.writeError(conn, err)
+				continue
+			}
+			_ = wire.WriteFrame(conn, wire.TypeAck, nil)
 		case wire.TypeQuery:
 			q, err := wire.DecodeQuery(payload)
 			if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/prf"
@@ -225,15 +226,136 @@ func (e *Engine) SnapshotBatch(cursor uint64, max int) ([]sketch.Published, uint
 	return out, uint64(si)<<32 | uint64(off), si >= len(subsets), nil
 }
 
-// IngestBatch stores a batch of published sketches, stopping at the first
-// error.
+// ingestBatchConcurrency is how many records of one batch ingest in
+// flight at once.  With a durable store in fsync mode the co-arriving
+// appends park on the same WAL commit windows and share fsyncs, so one
+// client batch lands as roughly one commit per touched shard instead of
+// one fsync per record; the bound mirrors Router.PublishAll's pipeline
+// width.
+const ingestBatchConcurrency = 16
+
+// IngestBatch stores a batch of published sketches.  With a durable
+// store that supports batched appends, the whole batch lands through
+// one store.AppendBatch call — roughly one commit window per touched
+// shard — and only the records the store reports failed are rolled
+// back.  Other stores ingest with bounded concurrency.  Either way,
+// after a failure no new records are started and the error of the
+// earliest failed record is returned, mirroring Router.PublishAll so
+// callers see the same earliest-failure semantics on both backends.
 func (e *Engine) IngestBatch(ps []sketch.Published) error {
+	if len(ps) <= 1 || e.st == nil {
+		// Without a store there is no fsync to amortize — sequential
+		// ingestion keeps the memory path allocation-free.
+		for _, p := range ps {
+			if err := e.Ingest(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if ba, ok := e.st.(store.BatchAppender); ok {
+		return e.ingestBatchStore(ba, ps)
+	}
+	workers := ingestBatchConcurrency
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errAt  = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) || failed.Load() {
+					return
+				}
+				if err := e.Ingest(ps[i]); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errAt < 0 || i < errAt {
+						errAt, first = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// ingestBatchStore lands one client batch through the store's batched
+// append.  Table adds run first, under EVERY touched ingest stripe —
+// acquired in ascending order, so batches cannot deadlock each other or
+// a single Ingest (which locks exactly one stripe) — meaning a
+// concurrent publish for any pair in the batch waits for the batch's
+// durability outcome instead of acknowledging against a record that may
+// roll back.  Then one store.AppendBatch call carries every admitted
+// record (one commit window per touched shard), and exactly the records
+// the store reports failed are removed from the table again: the PR-2
+// rollback invariant, at batch granularity.
+func (e *Engine) ingestBatchStore(ba store.BatchAppender, ps []sketch.Published) error {
+	touched := make([]bool, len(e.ingestMu))
 	for _, p := range ps {
-		if err := e.Ingest(p); err != nil {
-			return err
+		touched[uint64(p.ID)%uint64(len(e.ingestMu))] = true
+	}
+	for i := range e.ingestMu {
+		if touched[i] {
+			e.ingestMu[i].Lock()
 		}
 	}
-	return nil
+	defer func() {
+		for i := range e.ingestMu {
+			if touched[i] {
+				e.ingestMu[i].Unlock()
+			}
+		}
+	}()
+
+	// Admission, in input order: identical re-publishes are idempotent
+	// no-ops (never re-logged), a conflicting sketch is rejected and —
+	// matching the concurrent path's no-new-starts rule — stops
+	// admission of everything after it.  Records admitted before the
+	// rejection still proceed to the store.
+	admitted := make([]sketch.Published, 0, len(ps))
+	admittedIdx := make([]int, 0, len(ps))
+	var tabErr error
+	tabAt := -1
+	for i, p := range ps {
+		added, err := e.add(p)
+		if err != nil {
+			tabErr, tabAt = err, i
+			break
+		}
+		if added {
+			admitted = append(admitted, p)
+			admittedIdx = append(admittedIdx, i)
+		}
+	}
+	var aerr error
+	var failed []int
+	if len(admitted) > 0 {
+		failed, aerr = ba.AppendBatch(admitted)
+		for _, f := range failed {
+			e.table.Remove(admitted[f].ID, admitted[f].Subset)
+		}
+		if e.m != nil {
+			e.m.ingests.Add(uint64(len(admitted) - len(failed)))
+		}
+	}
+	if aerr != nil && (tabAt < 0 || admittedIdx[failed[0]] < tabAt) {
+		return aerr
+	}
+	return tabErr
 }
 
 // Sketches returns the total number of stored sketches.

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/store"
+)
+
+// fakeBatchStore records AppendBatch traffic and fails configurable
+// indices, standing in for the durable store so the tests can pin down
+// the engine's admission/rollback bookkeeping exactly.
+type fakeBatchStore struct {
+	store.Store
+	failIdx map[int]bool // indices within the next AppendBatch call to fail
+	err     error        // error returned when any index failed
+	batches [][]sketch.Published
+}
+
+func (f *fakeBatchStore) AppendBatch(ps []sketch.Published) (failed []int, err error) {
+	f.batches = append(f.batches, append([]sketch.Published(nil), ps...))
+	for i, p := range ps {
+		if f.failIdx[i] {
+			failed = append(failed, i)
+			continue
+		}
+		if err := f.Store.Append(p); err != nil {
+			return nil, err
+		}
+	}
+	if len(failed) > 0 {
+		return failed, f.err
+	}
+	return nil, nil
+}
+
+func batchPub(id uint64, subset bitvec.Subset) sketch.Published {
+	return sketch.Published{ID: bitvec.UserID(id), Subset: subset, S: sketch.Sketch{Key: id % 1024, Length: 10}}
+}
+
+// TestIngestBatchLandsAsOneStoreCall: a batch against a BatchAppender
+// store goes through exactly one AppendBatch call — the property that
+// turns a gateway batch into one commit window per shard — and every
+// record is admitted and stored.
+func TestIngestBatchLandsAsOneStoreCall(t *testing.T) {
+	p := 0.3
+	fs := &fakeBatchStore{Store: store.NewMem()}
+	eng, err := NewWithStore(testSource(p), sketch.MustParams(p, 10), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	batch := make([]sketch.Published, 50)
+	for i := range batch {
+		batch[i] = batchPub(uint64(i+1), subset)
+	}
+	if err := eng.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.batches) != 1 || len(fs.batches[0]) != len(batch) {
+		t.Fatalf("batch landed as %d store calls, want 1 call carrying all %d records", len(fs.batches), len(batch))
+	}
+	if eng.Sketches() != len(batch) {
+		t.Fatalf("engine has %d sketches, want %d", eng.Sketches(), len(batch))
+	}
+}
+
+// TestIngestBatchIdempotentDuplicatesSkipped: identical re-publishes in
+// a batch are acknowledged without being re-logged — the store call must
+// carry only the genuinely new records.
+func TestIngestBatchIdempotentDuplicatesSkipped(t *testing.T) {
+	p := 0.3
+	fs := &fakeBatchStore{Store: store.NewMem()}
+	eng, err := NewWithStore(testSource(p), sketch.MustParams(p, 10), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	a, b := batchPub(1, subset), batchPub(2, subset)
+	if err := eng.Ingest(a); err != nil {
+		t.Fatal(err)
+	}
+	fs.batches = nil
+	if err := eng.IngestBatch([]sketch.Published{a, b, a}); err != nil {
+		t.Fatalf("batch with idempotent duplicates = %v, want acknowledged", err)
+	}
+	if len(fs.batches) != 1 || len(fs.batches[0]) != 1 || fs.batches[0][0].ID != b.ID {
+		t.Fatalf("store received %v, want exactly the one new record", fs.batches)
+	}
+	if eng.Sketches() != 2 {
+		t.Fatalf("engine has %d sketches, want 2", eng.Sketches())
+	}
+}
+
+// TestIngestBatchConflictStopsAdmission: a conflicting sketch mid-batch
+// is rejected, nothing after it is admitted (the concurrent path's
+// no-new-starts rule), and the records admitted before it still land
+// durably.
+func TestIngestBatchConflictStopsAdmission(t *testing.T) {
+	p := 0.3
+	fs := &fakeBatchStore{Store: store.NewMem()}
+	eng, err := NewWithStore(testSource(p), sketch.MustParams(p, 10), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	if err := eng.Ingest(batchPub(1, subset)); err != nil {
+		t.Fatal(err)
+	}
+	conflict := batchPub(1, subset)
+	conflict.S.Key++ // a different sketch for an existing (user, subset)
+	fs.batches = nil
+	err = eng.IngestBatch([]sketch.Published{batchPub(2, subset), conflict, batchPub(3, subset)})
+	if err == nil {
+		t.Fatal("conflicting sketch mid-batch was accepted")
+	}
+	if len(fs.batches) != 1 || len(fs.batches[0]) != 1 || fs.batches[0][0].ID != 2 {
+		t.Fatalf("store received %v, want only the record admitted before the conflict", fs.batches)
+	}
+	if _, ok := eng.Table().Get(2, subset); !ok {
+		t.Fatal("record admitted before the conflict was lost")
+	}
+	if _, ok := eng.Table().Get(3, subset); ok {
+		t.Fatal("record after the conflict was admitted despite no-new-starts")
+	}
+	if got, _ := eng.Table().Get(1, subset); got != batchPub(1, subset).S {
+		t.Fatal("conflicting sketch overwrote the original")
+	}
+}
+
+// TestIngestBatchRollsBackExactlyFailedRecords: when the store reports a
+// partial failure, the engine removes exactly the failed records from
+// the table — durable records must stay (replay would resurrect them),
+// non-durable ones must not answer queries — and the failed records are
+// retryable once the store recovers.
+func TestIngestBatchRollsBackExactlyFailedRecords(t *testing.T) {
+	p := 0.3
+	fs := &fakeBatchStore{Store: store.NewMem(), failIdx: map[int]bool{1: true}, err: errDiskFull}
+	eng, err := NewWithStore(testSource(p), sketch.MustParams(p, 10), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	batch := []sketch.Published{batchPub(1, subset), batchPub(2, subset), batchPub(3, subset)}
+	if err := eng.IngestBatch(batch); !errors.Is(err, errDiskFull) {
+		t.Fatalf("IngestBatch with a failing store = %v, want errDiskFull", err)
+	}
+	if _, ok := eng.Table().Get(2, subset); ok {
+		t.Fatal("record the store failed is still queryable")
+	}
+	for _, id := range []uint64{1, 3} {
+		if _, ok := eng.Table().Get(bitvec.UserID(id), subset); !ok {
+			t.Fatalf("durable record %d was rolled back alongside the failed one", id)
+		}
+	}
+	// Store recovers; retrying just the failed record succeeds.
+	fs.failIdx = nil
+	if err := eng.IngestBatch([]sketch.Published{batch[1]}); err != nil {
+		t.Fatalf("retry after recovery = %v", err)
+	}
+	if eng.Sketches() != 3 {
+		t.Fatalf("engine has %d sketches after retry, want 3", eng.Sketches())
+	}
+}
+
+// TestIngestBatchDurableRoundTrip drives the integrated path — engine
+// over the real durable store in fsync mode — and checks a batch is
+// queryable immediately and intact after a restart.
+func TestIngestBatchDurableRoundTrip(t *testing.T) {
+	p := 0.3
+	params := sketch.MustParams(p, 10)
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir, Shards: 4, Fsync: true, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewWithStore(testSource(p), params, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := bitvec.Range(0, 2)
+	const n = 300
+	batch := make([]sketch.Published, n)
+	for i := range batch {
+		batch[i] = batchPub(uint64(i+1), subset)
+	}
+	if err := eng.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Sketches() != n {
+		t.Fatalf("engine has %d sketches, want %d", eng.Sketches(), n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(store.Options{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	eng2, err := NewWithStore(testSource(p), params, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Sketches() != n {
+		t.Fatalf("rehydrated engine has %d sketches, want %d", eng2.Sketches(), n)
+	}
+}

@@ -129,11 +129,31 @@ func (c *Client) Publish(p sketch.Published) error {
 	}
 }
 
-// PublishAll publishes a batch, stopping at the first error.
+// PublishAll publishes a batch in chunked TypePublishBatch frames (at
+// most MaxTransferBatch records each), stopping at the first error.
+// Each frame lands through the server's batched ingest — roughly one
+// fsync'd commit window per touched store shard — and its single ack
+// means every record in the chunk is durable.  On error the caller
+// cannot assume which records of the failed chunk landed; re-publishing
+// the whole batch is safe because ingestion is idempotent.
 func (c *Client) PublishAll(ps []sketch.Published) error {
-	for _, p := range ps {
-		if err := c.Publish(p); err != nil {
+	for len(ps) > 0 {
+		n := min(len(ps), wire.MaxTransferBatch)
+		chunk := ps[:n]
+		ps = ps[n:]
+		if err := wire.WriteFrame(c.conn, wire.TypePublishBatch, wire.EncodePublishBatch(chunk)); err != nil {
 			return err
+		}
+		msgType, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return err
+		}
+		switch msgType {
+		case wire.TypeAck:
+		case wire.TypeError:
+			return fmt.Errorf("%w: %s", ErrRemote, payload)
+		default:
+			return fmt.Errorf("%w: unexpected reply type %d", ErrRemote, msgType)
 		}
 	}
 	return nil

@@ -234,6 +234,21 @@ func (s *Server) serveFrame(conn net.Conn, msgType byte, payload []byte) bool {
 			return true
 		}
 		_ = wire.WriteFrame(conn, wire.TypeAck, nil)
+	case wire.TypePublishBatch:
+		ps, err := wire.DecodePublishBatch(payload)
+		if err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		// The batched ingest path: one commit-window entry per touched
+		// store shard for the whole batch.  The single ack means every
+		// record is durable; on error the client re-publishes the batch
+		// through the idempotent path.
+		if err := s.eng.IngestBatch(ps); err != nil {
+			s.writeError(conn, err)
+			return true
+		}
+		_ = wire.WriteFrame(conn, wire.TypeAck, nil)
 	case wire.TypeQuery:
 		q, err := wire.DecodeQuery(payload)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"sketchprivacy/internal/bitvec"
 	"sketchprivacy/internal/obs"
 	"sketchprivacy/internal/sketch"
 )
@@ -30,6 +31,14 @@ const (
 	// DefaultCompactInterval is how often the background loop checks
 	// shards for compaction work.
 	DefaultCompactInterval = 2 * time.Second
+	// DefaultFsyncWindow is the default group-commit window: how long a
+	// shard's committer waits for in-flight Appends to join an open
+	// window before fsyncing it.  The window closes early the moment no
+	// Append is mid-entry, so a lone writer never pays it.
+	DefaultFsyncWindow = 2 * time.Millisecond
+	// DefaultCommitBytes caps one commit window's framed bytes — the
+	// size of the single write(2) a full window becomes.
+	DefaultCommitBytes = 1 << 20
 )
 
 // ErrClosed is returned by operations on a closed store.
@@ -44,10 +53,24 @@ type Options struct {
 	// shard count found on disk, since records are placed by
 	// hash(userID) % shards.
 	Shards int
-	// Fsync, when true, fsyncs the WAL on every append, extending the
-	// durability guarantee from process crashes to machine crashes at a
-	// substantial throughput cost.
+	// Fsync, when true, fsyncs the WAL before any append is acknowledged,
+	// extending the durability guarantee from process crashes to machine
+	// crashes.  Appends are group-committed: concurrent Appends to a shard
+	// share one write and one fsync (see FsyncWindow), so durable
+	// throughput scales with writer concurrency instead of paying one
+	// fsync per record.
 	Fsync bool
+	// FsyncWindow bounds how long a shard's group-commit leader waits for
+	// straggling concurrent Appends to join an open commit window before
+	// fsyncing it (default DefaultFsyncWindow; negative means zero — commit
+	// the instant the cohort is complete).  The window always closes early
+	// when no Append is in flight, so this is a latency ceiling for
+	// stragglers, not a floor added to every append.  Only meaningful with
+	// Fsync; without it appends need no batching to be fast.
+	FsyncWindow time.Duration
+	// CommitBytes caps the framed size of one commit window (default
+	// DefaultCommitBytes); a full window commits immediately.
+	CommitBytes int
 	// FlushThreshold is the WAL size in bytes that triggers a roll into a
 	// segment (default DefaultFlushThreshold).
 	FlushThreshold int64
@@ -78,6 +101,14 @@ func (o Options) withDefaults() Options {
 	if o.CompactInterval == 0 {
 		o.CompactInterval = DefaultCompactInterval
 	}
+	if o.FsyncWindow == 0 {
+		o.FsyncWindow = DefaultFsyncWindow
+	} else if o.FsyncWindow < 0 {
+		o.FsyncWindow = 0
+	}
+	if o.CommitBytes <= 0 {
+		o.CommitBytes = DefaultCommitBytes
+	}
 	return o
 }
 
@@ -102,6 +133,13 @@ type dshard struct {
 	// touching the WAL — and everything the close-time Flush syncs is
 	// everything that was ever acknowledged.
 	closed bool
+	// flushThreshold is Options.FlushThreshold, copied per shard so the
+	// group-commit leader can roll without reaching back into the store.
+	flushThreshold int64
+	// gc, when non-nil (Options.Fsync), is the shard's group-commit
+	// pipeline: Appends park on it and a single leader pays one fsync for
+	// the whole window.  See groupcommit.go.
+	gc *groupCommit
 	// m, when non-nil, records roll/compaction activity; see metrics.go.
 	m *metrics
 }
@@ -171,14 +209,26 @@ func Open(opts Options) (*Durable, error) {
 		m = newMetrics(opts.Metrics)
 	}
 	replayStart := time.Now()
+	// Shards touch disjoint directories, so replay and segment validation
+	// parallelize perfectly — cold starts are bounded by the largest
+	// shard, not the sum.
+	d.shards = make([]*dshard, nShards)
+	openErrs := make([]error, nShards)
+	var openWG sync.WaitGroup
 	for i := 0; i < nShards; i++ {
-		sh, err := openShard(opts, i, m)
+		openWG.Add(1)
+		go func(i int) {
+			defer openWG.Done()
+			d.shards[i], openErrs[i] = openShard(opts, i, m)
+		}(i)
+	}
+	openWG.Wait()
+	for _, err := range openErrs {
 		if err != nil {
 			d.closeShards()
 			lock.Unlock()
 			return nil, err
 		}
-		d.shards = append(d.shards, sh)
 	}
 	d.replayTime = time.Since(replayStart)
 	if opts.Metrics != nil {
@@ -300,11 +350,12 @@ func openShard(opts Options, i int, m *metrics) (*dshard, error) {
 	}
 	nextSeq := uint64(1)
 	for si := range segs {
-		n, err := statSegment(segs[si].path)
+		n, idx, err := openSegment(segs[si].path)
 		if err != nil {
 			return nil, err
 		}
 		segs[si].records = n
+		segs[si].idx = idx
 		if segs[si].seq >= nextSeq {
 			nextSeq = segs[si].seq + 1
 		}
@@ -330,7 +381,11 @@ func openShard(opts Options, i int, m *metrics) (*dshard, error) {
 			return nil, err
 		}
 	}
-	return &dshard{id: i, dir: dir, wal: w, segs: segs, nextSeq: nextSeq, m: m}, nil
+	sh := &dshard{id: i, dir: dir, wal: w, segs: segs, nextSeq: nextSeq, flushThreshold: opts.FlushThreshold, m: m}
+	if opts.Fsync {
+		sh.gc = newGroupCommit(sh, opts.FsyncWindow, opts.CommitBytes)
+	}
+	return sh, nil
 }
 
 // FNV-1a 64-bit constants, inlined so the per-append hash is
@@ -340,23 +395,33 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-// shardOf places a record by hash(userID) % shards.
-func (d *Durable) shardOf(p sketch.Published) *dshard {
+// userShard places a user by hash(userID) % shards.
+func userShard(id bitvec.UserID, shards int) int {
 	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], uint64(p.ID))
+	binary.BigEndian.PutUint64(b[:], uint64(id))
 	h := uint64(fnvOffset64)
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= fnvPrime64
 	}
-	return d.shards[h%uint64(len(d.shards))]
+	return int(h % uint64(shards))
+}
+
+// shardOf places a record by its user id.
+func (d *Durable) shardOf(p sketch.Published) *dshard {
+	return d.shards[userShard(p.ID, len(d.shards))]
 }
 
 // Append implements Store: the record is framed, CRC'd and written to its
-// shard's WAL before Append returns.  A WAL past the flush threshold is
-// rolled into a segment inline.
+// shard's WAL before Append returns.  In fsync mode the append parks on
+// the shard's group-commit window and returns only after the window's
+// shared fsync — acknowledged still means durable.  A WAL past the flush
+// threshold is rolled into a segment inline.
 func (d *Durable) Append(p sketch.Published) error {
 	sh := d.shardOf(p)
+	if sh.gc != nil {
+		return sh.gc.submit([]sketch.Published{p})
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.closed {
@@ -365,14 +430,108 @@ func (d *Durable) Append(p sketch.Published) error {
 	if err := sh.wal.Append(p); err != nil {
 		return err
 	}
-	if sh.wal.size >= d.opts.FlushThreshold &&
-		(sh.rollFailedAt == 0 || sh.wal.size >= sh.rollFailedAt+d.opts.FlushThreshold) {
-		// A failed roll is a maintenance problem, not an append failure:
-		// the record is already durable in the WAL, and surfacing the
-		// error here would make the engine NACK and roll back a record
-		// the log would resurrect on replay.  Log the transition into
-		// the failing state, back off until the WAL grows by another
-		// threshold, and let Flush/Close surface persistent errors.
+	sh.maybeRollLocked()
+	return nil
+}
+
+// appendGroup lands one shard's slice of an AppendBatch: through the
+// commit window in fsync mode (one park and one shared fsync for the
+// whole group), or directly into the WAL otherwise.  All-or-nothing per
+// group, like wal.AppendBatch itself.
+func (sh *dshard) appendGroup(ps []sketch.Published) error {
+	if sh.gc != nil {
+		return sh.gc.submit(ps)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	if err := sh.wal.AppendBatch(ps); err != nil {
+		return err
+	}
+	sh.maybeRollLocked()
+	return nil
+}
+
+// AppendBatch implements BatchAppender: it partitions ps by shard and
+// lands each shard's records as ONE commit-window entry, so a client
+// batch costs roughly one fsync — and one scheduler park — per touched
+// shard instead of one per record.  Durability on success matches
+// Append: when a record's index is absent from failed, it survives a
+// crash.
+//
+// Atomicity is per shard, not per call: each shard group is
+// all-or-nothing (a failed write truncates the whole group off that
+// shard's log), but other shards' groups may already be durable and are
+// NOT undone — fsynced records cannot be taken back without breaking
+// replay.  failed reports exactly the records that did not become
+// durable, in ascending input order, so callers roll back precisely
+// those and nothing else.
+func (d *Durable) AppendBatch(ps []sketch.Published) (failed []int, err error) {
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return seqIndices(len(ps)), ErrClosed
+	}
+	groups := make([][]sketch.Published, len(d.shards))
+	idxs := make([][]int, len(d.shards))
+	for i, p := range ps {
+		s := userShard(p.ID, len(d.shards))
+		groups[s] = append(groups[s], p)
+		idxs[s] = append(idxs[s], i)
+	}
+	errs := make([]error, len(d.shards))
+	var wg sync.WaitGroup
+	for s := range groups {
+		if len(groups[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = d.shards[s].appendGroup(groups[s])
+		}(s)
+	}
+	wg.Wait()
+	errAt := -1
+	for s, serr := range errs {
+		if serr == nil {
+			continue
+		}
+		failed = append(failed, idxs[s]...)
+		if errAt < 0 || idxs[s][0] < errAt {
+			errAt, err = idxs[s][0], serr
+		}
+	}
+	sort.Ints(failed)
+	return failed, err
+}
+
+// seqIndices returns [0, 1, ..., n-1].
+func seqIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// maybeRollLocked rolls the WAL into a segment once it crosses the flush
+// threshold, backing off after a failed roll.  The shard lock must be
+// held.  A failed roll is a maintenance problem, not an append failure:
+// the records are already durable in the WAL, and surfacing the error to
+// the appender would make the engine NACK and roll back records the log
+// would resurrect on replay.  Log the transition into the failing state,
+// back off until the WAL grows by another threshold, and let Flush/Close
+// surface persistent errors.
+func (sh *dshard) maybeRollLocked() {
+	if sh.wal.size >= sh.flushThreshold &&
+		(sh.rollFailedAt == 0 || sh.wal.size >= sh.rollFailedAt+sh.flushThreshold) {
 		if err := sh.rollLocked(); err != nil {
 			if sh.rollFailedAt == 0 {
 				log.Printf("store: shard %d wal roll failed (records stay in the wal; will retry): %v", sh.id, err)
@@ -382,7 +541,6 @@ func (d *Durable) Append(p sketch.Published) error {
 			sh.rollFailedAt = 0
 		}
 	}
-	return nil
 }
 
 // rollLocked flushes the shard's WAL into a fresh segment and truncates
@@ -411,22 +569,77 @@ func (sh *dshard) rollLocked() error {
 	return nil
 }
 
-// loadShardLocked returns a shard's full deduplicated contents, oldest
-// sources first so newest-wins is a map overwrite.  The WAL part comes
+// loadShardLocked returns a shard's full deduplicated contents as a
+// k-way merge of its sources, oldest first so the newest duplicate wins:
+// segments are written in canonical order, so the merge is linear
+// instead of the former sort over the concatenation.  The WAL part comes
 // from the in-memory mirror, which holds exactly the acknowledged
 // records — a NACKed-but-written record never appears here.  The shard
 // lock must be held.
 func (sh *dshard) loadShardLocked() ([]sketch.Published, error) {
-	var all []sketch.Published
+	sources := make([][]sketch.Published, 0, len(sh.segs)+1)
 	for _, seg := range sh.segs {
 		records, err := readSegment(seg.path)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, records...)
+		sources = append(sources, records)
 	}
-	all = append(all, sh.wal.pending...)
-	return normalize(all), nil
+	sources = append(sources, normalize(sh.wal.pending))
+	return mergeSorted(sources), nil
+}
+
+// Lookup returns the newest record for one (user, subset) pair, seeking
+// through the WAL mirror and then each segment newest-first — bloom
+// filters skip segments without the user, the sparse index turns the
+// rest into one-stride reads — instead of materialising the shard.  A
+// segment compacted away mid-lookup triggers a retry against the fresh
+// segment list.
+func (d *Durable) Lookup(id bitvec.UserID, subset string) (sketch.Published, bool, error) {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return sketch.Published{}, false, ErrClosed
+	}
+	key := recordKey{id: id, subset: subset}
+	sh := d.shards[userShard(id, len(d.shards))]
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		// Newest wins: the WAL is newer than any segment, and within it
+		// the latest append wins, so scan the mirror backwards.  The id
+		// check goes first so the subset key — whose encoding allocates —
+		// is only materialised for the scanned user's own records.
+		for i := len(sh.wal.pending) - 1; i >= 0; i-- {
+			if p := sh.wal.pending[i]; p.ID == id && p.Subset.Key() == subset {
+				sh.mu.Unlock()
+				return p, true, nil
+			}
+		}
+		segs := append([]segmentMeta(nil), sh.segs...)
+		sh.mu.Unlock()
+		// Segments newest-first: a roll always outranks prior segments,
+		// and a compaction's merged output is itself newest-wins, so the
+		// first hit is the newest record.
+		p, ok, err := lookupSegments(segs, sh.m, key)
+		if err != nil && os.IsNotExist(err) && attempt < 3 {
+			// Compacted away between the snapshot and the read; the fresh
+			// segment list has the survivor.
+			continue
+		}
+		return p, ok, err
+	}
+}
+
+// lookupSegments probes segs newest-first for key.
+func lookupSegments(segs []segmentMeta, m *metrics, key recordKey) (sketch.Published, bool, error) {
+	for i := len(segs) - 1; i >= 0; i-- {
+		p, ok, err := lookupSegment(segs[i], m, key)
+		if err != nil || ok {
+			return p, ok, err
+		}
+	}
+	return sketch.Published{}, false, nil
 }
 
 // Iterate implements Store: shards are visited in order, each yielding
@@ -530,15 +743,17 @@ func (sh *dshard) compact(min int) error {
 	}()
 
 	start := now(sh.m)
-	var all []sketch.Published
+	sources := make([][]sketch.Published, 0, len(snap))
 	for _, seg := range snap {
 		records, err := readSegment(seg.path)
 		if err != nil {
 			return fmt.Errorf("store: shard %d compact: %w", sh.id, err)
 		}
-		all = append(all, records...)
+		sources = append(sources, records)
 	}
-	all = normalize(all)
+	// Segments are individually sorted and deduplicated, so the merge is
+	// a linear k-way pass, newest (highest-seq) source winning ties.
+	all := mergeSorted(sources)
 	meta, err := writeSegment(sh.dir, seq, all)
 	if err != nil {
 		return fmt.Errorf("store: shard %d compact: %w", sh.id, err)
@@ -586,11 +801,18 @@ func (d *Durable) Close() error {
 	d.closed = true
 	d.mu.Unlock()
 	// Fence appends first: once every shard is marked closed, the Flush
-	// below covers every record any Append ever acknowledged.
+	// below covers every record any Append ever acknowledged.  Draining
+	// the group-commit pipelines after the fence commits every window an
+	// in-flight Append already joined — accepted work resolves, it is
+	// never abandoned — and happens before Flush so those records are in
+	// its durability net too.
 	for _, sh := range d.shards {
 		sh.mu.Lock()
 		sh.closed = true
 		sh.mu.Unlock()
+		if sh.gc != nil {
+			sh.gc.close()
+		}
 	}
 	close(d.done)
 	d.wg.Wait()
@@ -607,6 +829,14 @@ func (d *Durable) Close() error {
 func (d *Durable) closeShards() error {
 	var err error
 	for _, sh := range d.shards {
+		if sh == nil {
+			continue // a shard that failed a parallel open
+		}
+		if sh.gc != nil {
+			// Idempotent: Close already drained it; the failed-open path
+			// has not, and must not leak the committer goroutine.
+			sh.gc.close()
+		}
 		sh.mu.Lock()
 		if cerr := sh.wal.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchprivacy/internal/sketch"
+	"sketchprivacy/internal/wire"
+)
+
+// Group commit: with Options.Fsync set, every production WAL's trick for
+// durable ingest at ingest-pipeline speeds.  Concurrent Appends to a shard
+// park on a commit window; a single committer goroutine (the leader)
+// drains the window, writes every framed record in one write(2), pays ONE
+// fsync for the whole cohort and wakes everyone with the shared outcome.
+// Acknowledged still means durable — no Append returns before its record's
+// fsync — but the fsync cost is amortized over the window, so durable
+// throughput scales with the number of concurrent writers instead of being
+// pinned at one fsync per record.
+//
+// A window closes at the earliest of:
+//
+//   - cohort completion: no Append is in flight (entered the store but not
+//     yet queued).  This is the common close: a lone writer commits
+//     immediately with no added latency, and N parked writers commit as one
+//     batch the moment the previous commit's fsync returns — the window IS
+//     the in-flight commit, à la LevelDB's writer queue.
+//   - the size cap (Options.CommitBytes): bounds one write's memory and
+//     the blast radius of a torn batch.
+//   - the window deadline (Options.FsyncWindow, measured from the first
+//     queued record): bounds how long a descheduled straggler can hold the
+//     cohort's latency hostage.
+//
+// Failure keeps the PR-2 NACK invariants: a failed write or fsync rolls
+// the WHOLE batch off the log (wal.AppendBatch truncates to the pre-batch
+// size) and every parked Append returns the error, so each engine caller
+// rolls its own record back out of the table and nothing non-durable stays
+// queryable or can resurrect on replay.
+type groupCommit struct {
+	sh      *dshard
+	window  time.Duration
+	maxByte int
+
+	// entering counts Appends between store entry and enqueue — the
+	// stragglers the committer gives a beat to join the open window.
+	entering atomic.Int32
+
+	mu    sync.Mutex
+	queue []commitWaiter
+	bytes int
+	// windowStart is when the oldest queued record arrived; the window
+	// deadline is measured from it.
+	windowStart time.Time
+	closed      bool
+
+	// arrived is poked (non-blocking, cap 1) on every enqueue so the
+	// committer re-evaluates its close conditions event-driven, never by
+	// polling.
+	arrived chan struct{}
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	// flat is the committer-owned scratch the queued groups are flattened
+	// into each commit, reused across windows.
+	flat []sketch.Published
+}
+
+// commitWaiter is one parked appender: its records — one for a plain
+// Append, a whole per-shard group for an AppendBatch — and the channel
+// the committer delivers the batch outcome on.  A multi-record waiter
+// costs one park and one wake regardless of its size, which is what
+// lets batched ingest amortize the scheduler alongside the fsync.
+type commitWaiter struct {
+	ps   []sketch.Published
+	errc chan error
+}
+
+func newGroupCommit(sh *dshard, window time.Duration, maxBytes int) *groupCommit {
+	gc := &groupCommit{
+		sh:      sh,
+		window:  window,
+		maxByte: maxBytes,
+		arrived: make(chan struct{}, 1),
+		closing: make(chan struct{}),
+	}
+	gc.wg.Add(1)
+	go gc.run()
+	return gc
+}
+
+// submit parks the caller on the shard's open commit window and returns
+// the batch outcome: nil only after every submitted record's write — and
+// in fsync mode its fsync — succeeded.  ps joins the window as one
+// all-or-nothing group.
+func (gc *groupCommit) submit(ps []sketch.Published) error {
+	frameBytes := 0
+	for _, p := range ps {
+		if n := wire.PublishedEncodedLen(p); n > maxRecordSize {
+			// Refused before joining a window: one oversized record must
+			// not fail its whole cohort.
+			return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, n)
+		}
+		frameBytes += walFrameLen(p)
+	}
+	gc.entering.Add(1)
+	w := commitWaiter{ps: ps, errc: make(chan error, 1)}
+	gc.mu.Lock()
+	if gc.closed {
+		gc.mu.Unlock()
+		gc.entering.Add(-1)
+		return ErrClosed
+	}
+	if len(gc.queue) == 0 {
+		gc.windowStart = time.Now()
+	}
+	gc.queue = append(gc.queue, w)
+	gc.bytes += frameBytes
+	gc.mu.Unlock()
+	// Decrement before poking: the committer woken by this poke must see
+	// this record queued, not counted as a straggler it should wait for.
+	gc.entering.Add(-1)
+	poke(gc.arrived)
+	return <-w.errc
+}
+
+// poke delivers a non-blocking wakeup on a capacity-1 channel.
+func poke(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// run is the committer: it sleeps until a window opens, waits for the
+// cohort to complete (bounded by the window deadline and the size cap)
+// and commits the batch.  On close it drains and commits everything still
+// queued — in-flight Appends resolve, they are never abandoned.
+func (gc *groupCommit) run() {
+	defer gc.wg.Done()
+	for {
+		gc.mu.Lock()
+		n, bytes, closed, start := len(gc.queue), gc.bytes, gc.closed, gc.windowStart
+		gc.mu.Unlock()
+		if n == 0 {
+			if closed {
+				return
+			}
+			select {
+			case <-gc.arrived:
+			case <-gc.closing:
+			}
+			continue
+		}
+		if !closed && bytes < gc.maxByte && gc.entering.Load() > 0 {
+			// Stragglers are mid-Append; give them until the window
+			// deadline to join, re-evaluating on every enqueue.
+			if wait := gc.window - time.Since(start); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-gc.arrived:
+				case <-t.C:
+				case <-gc.closing:
+				}
+				t.Stop()
+				continue
+			}
+		}
+		gc.commit()
+	}
+}
+
+// commit drains the open window and appends it to the WAL as one batch,
+// rolling the log into a segment when it crossed the flush threshold, then
+// wakes the cohort with the shared outcome.
+func (gc *groupCommit) commit() {
+	gc.mu.Lock()
+	batch := gc.queue
+	gc.queue = nil
+	gc.bytes = 0
+	gc.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	ps := gc.flat[:0]
+	for _, w := range batch {
+		ps = append(ps, w.ps...)
+	}
+	gc.flat = ps // keep the grown buffer; AppendBatch copies, never retains
+	sh := gc.sh
+	start := now(sh.m)
+	sh.mu.Lock()
+	// No sh.closed check: Close drains the committer before closing the
+	// log files, and a queued record belongs to an Append that was
+	// accepted before the close fence — it must resolve, not leak.
+	err := sh.wal.AppendBatch(ps)
+	if err == nil {
+		if sh.m != nil {
+			sh.m.commitLatency.ObserveSince(start)
+			sh.m.commitRecords.Observe(time.Duration(len(ps)) * time.Second)
+			sh.m.commits.Inc()
+		}
+		sh.maybeRollLocked()
+	}
+	sh.mu.Unlock()
+	for _, w := range batch {
+		w.errc <- err
+	}
+	// Yield so the writers just woken re-enter Append and join the next
+	// window before it is drained.  Without this, on a loaded scheduler the
+	// committer can loop around and commit a 1-record straggler batch
+	// between every full cohort, doubling the fsync count.
+	runtime.Gosched()
+}
+
+// close fences new submissions, lets the committer drain every queued
+// record and waits for it to exit.
+func (gc *groupCommit) close() {
+	gc.mu.Lock()
+	already := gc.closed
+	gc.closed = true
+	gc.mu.Unlock()
+	if !already {
+		close(gc.closing)
+	}
+	gc.wg.Wait()
+}

@@ -16,7 +16,30 @@ type metrics struct {
 	rolls          *obs.Counter
 	compactions    *obs.Counter
 	compactLatency *obs.Histogram
+	// Group-commit instruments: one observation per committed window.
+	commits       *obs.Counter
+	commitLatency *obs.Histogram
+	// commitRecords abuses the duration histogram as a size histogram:
+	// windows observe 1s per record, so bucket bounds and the rendered
+	// sum read directly as record counts.
+	commitRecords *obs.Histogram
+	// Indexed-segment instruments: seeks answered by the sparse index,
+	// reads that fell back to a linear scan (v1 segments or a failed
+	// index parse), and point lookups a bloom filter skipped entirely.
+	indexSeeks     *obs.Counter
+	indexFallbacks *obs.Counter
+	bloomSkips     *obs.Counter
 }
+
+// commitRecordBuckets are the store_commit_records bounds: powers of two
+// from 1 to 1024 records (encoded as seconds, see metrics.commitRecords).
+var commitRecordBuckets = func() []time.Duration {
+	var b []time.Duration
+	for n := 1; n <= 1024; n *= 2 {
+		b = append(b, time.Duration(n)*time.Second)
+	}
+	return b
+}()
 
 // newMetrics registers the store's instrument families on reg.
 func newMetrics(reg *obs.Registry) *metrics {
@@ -26,6 +49,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 		rolls:          reg.Counter("store_wal_rolls_total", "WAL-to-segment rolls completed."),
 		compactions:    reg.Counter("store_compactions_total", "Segment compaction merges completed."),
 		compactLatency: reg.Histogram("store_compaction_seconds", "Duration of one shard's segment compaction merge.", nil),
+		commits:        reg.Counter("store_commits_total", "Group-commit windows committed (each is one WAL write and, in fsync mode, one fsync)."),
+		commitLatency:  reg.Histogram("store_commit_seconds", "Latency of one group-commit window's WAL write+fsync.", nil),
+		commitRecords:  reg.Histogram("store_commit_records", "Records per committed group-commit window (bounds are record counts, not seconds).", commitRecordBuckets),
+		indexSeeks:     reg.Counter("store_segment_index_seeks_total", "Segment reads answered through the sparse key index (seek instead of full scan)."),
+		indexFallbacks: reg.Counter("store_segment_index_fallbacks_total", "Segment reads that fell back to a linear scan (v1 segment or unusable index)."),
+		bloomSkips:     reg.Counter("store_segment_bloom_skips_total", "Point lookups skipped entirely by a segment's per-user bloom filter."),
 	}
 }
 

@@ -149,41 +149,43 @@ func (d *Durable) ReadBatch(cursor uint64, max int) ([]sketch.Published, uint64,
 			c.phase, c.seq, c.off = curPhaseSeg, next.seq, 0
 		case curPhaseSeg:
 			sh.mu.Lock()
-			path := ""
+			var meta segmentMeta
+			found := false
 			for _, seg := range sh.segs {
 				if seg.seq == c.seq {
-					path = seg.path
+					meta, found = seg, true
 					break
 				}
 			}
 			sh.mu.Unlock()
-			if path == "" {
+			if !found {
 				// Compacted away mid-stream; its records live in a
 				// higher-seq segment now.
 				c.phase = curPhaseSeek
 				continue
 			}
-			records, err := readSegment(path)
+			if meta.records > curOffMax {
+				return nil, 0, false, fmt.Errorf("store: shard %d segment %d holds %d records, exceeding the streaming cursor range", sh.id, c.seq, meta.records)
+			}
+			if c.off >= meta.records {
+				c.phase = curPhaseSeek
+				continue
+			}
+			// An indexed segment serves just the cursor's slice via a
+			// seek; a v1 segment falls back to the full read inside.
+			records, err := readSegmentRange(meta, sh.m, int(c.off), max-len(out))
 			if err != nil {
 				if os.IsNotExist(err) {
-					// Compacted away between the path lookup and the read;
-					// its records live in a higher-seq segment now.
+					// Compacted away between the lookup and the read; its
+					// records live in a higher-seq segment now.
 					c.phase = curPhaseSeek
 					continue
 				}
 				return nil, cursor, false, err
 			}
-			if c.off >= uint64(len(records)) {
-				c.phase = curPhaseSeek
-				continue
-			}
-			if uint64(len(records)) > curOffMax {
-				return nil, 0, false, fmt.Errorf("store: shard %d segment %d holds %d records, exceeding the streaming cursor range", sh.id, c.seq, len(records))
-			}
-			take := min(max-len(out), len(records)-int(c.off))
-			out = append(out, records[c.off:int(c.off)+take]...)
-			c.off += uint64(take)
-			if c.off >= uint64(len(records)) {
+			out = append(out, records...)
+			c.off += uint64(len(records))
+			if c.off >= meta.records {
 				c.phase = curPhaseSeek
 			}
 		}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sketchprivacy/internal/bitvec"
+	"sketchprivacy/internal/sketch"
+)
+
+// fuzzSegmentRecords deterministically fabricates a normalized record set
+// from a seed: the fuzzer varies segment shape through (seed, n) while
+// the test always knows the exact expected contents.
+func fuzzSegmentRecords(seed uint64, n int) []sketch.Published {
+	subsets := []bitvec.Subset{
+		bitvec.MustSubset(0),
+		bitvec.MustSubset(0, 3, 5),
+		bitvec.MustSubset(1, 4),
+		bitvec.MustSubset(2, 6, 7, 9),
+	}
+	records := make([]sketch.Published, 0, n)
+	x := seed
+	for i := 0; i < n; i++ {
+		x = splitmix64(x + uint64(i))
+		records = append(records, sketch.Published{
+			ID:     bitvec.UserID(x % 100_000),
+			Subset: subsets[int(x>>32)%len(subsets)],
+			S:      sketch.Sketch{Key: x % 1024, Length: 10},
+		})
+	}
+	return normalize(records)
+}
+
+// samePub compares records field-wise (Subset is not ==-comparable).
+func samePub(a, b sketch.Published) bool {
+	return a.ID == b.ID && a.S == b.S && a.Subset.Equal(b.Subset)
+}
+
+// FuzzSegmentIndex round-trips fuzzer-shaped record sets through the
+// indexed segment writer, corrupts an arbitrary byte — index entries,
+// footer lengths, bloom bits, frames, anywhere — optionally recomputing
+// the whole-file checksum so the corruption reaches the index parsers
+// instead of being caught at the outer wall, and then drives every read
+// path.  The contract: reads either fail loudly or return exactly the
+// written records (falling back past the broken index); they never
+// panic, never return a wrong, missing or misattributed record, and
+// hostile 64-bit lengths never drive huge allocations.
+func FuzzSegmentIndex(f *testing.F) {
+	f.Add(uint64(1), 10, -1, byte(0), false)
+	f.Add(uint64(2), 0, -1, byte(0), false)
+	f.Add(uint64(3), 40, 9, byte(0xFF), true)     // record count, outer CRC fixed
+	f.Add(uint64(4), 40, 20, byte(0x01), true)    // early frame byte
+	f.Add(uint64(5), 200, 4000, byte(0x80), true) // likely index/bloom territory
+	f.Add(uint64(6), 33, -9, byte(0xFF), true)    // footer: indexOff bytes
+	f.Add(uint64(7), 33, -16, byte(0xFF), true)   // footer: inner CRC
+	f.Add(uint64(8), 64, -20, byte(0x40), true)   // bloom tail
+	f.Fuzz(func(t *testing.T, seed uint64, n, corruptAt int, corruptXor byte, fixOuter bool) {
+		if n < 0 || n > 300 {
+			n = int(uint(n) % 301)
+		}
+		want := fuzzSegmentRecords(seed, n)
+		image, _ := encodeSegmentV2(want)
+		// Negative offsets index from the end (the footer); the fuzzer
+		// reaches it without knowing the image length.
+		if corruptAt < 0 {
+			corruptAt = len(image) + corruptAt
+		}
+		corrupted := false
+		if corruptAt >= 0 && corruptAt < len(image) && corruptXor != 0 {
+			image[corruptAt] ^= corruptXor
+			corrupted = true
+			if fixOuter && corruptAt < len(image)-4 {
+				// Recompute the whole-file checksum over the corrupt body:
+				// models the adversarial case the inner checks exist for,
+				// where the outer wall no longer catches the damage.
+				binary.BigEndian.PutUint32(image[len(image)-4:], crc32.ChecksumIEEE(image[:len(image)-4]))
+			}
+		}
+		path := filepath.Join(t.TempDir(), "seg-00000001.seg")
+		if err := os.WriteFile(path, image, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		count, idx, err := openSegment(path)
+		if err != nil {
+			if !corrupted {
+				t.Fatalf("clean segment failed open: %v", err)
+			}
+			return // loud failure is a correct outcome for corruption
+		}
+		meta := segmentMeta{seq: 1, path: path, bytes: int64(len(image)), records: count, idx: idx}
+
+		checkAll := func(got []sketch.Published, err error) {
+			t.Helper()
+			if err != nil {
+				if !corrupted {
+					t.Fatalf("clean segment failed read: %v", err)
+				}
+				return
+			}
+			if len(got) != len(want) {
+				t.Fatalf("read %d records, want %d (corrupted=%v)", len(got), len(want), corrupted)
+			}
+			for i := range got {
+				if !samePub(got[i], want[i]) {
+					t.Fatalf("record %d differs: got %+v want %+v", i, got[i], want[i])
+				}
+			}
+		}
+		checkAll(readSegment(path))
+
+		// Range reads across several windows, including past the end.
+		for _, from := range []int{0, 1, len(want) / 2, len(want) - 1, len(want) + 3} {
+			if from < 0 {
+				continue
+			}
+			got, err := readSegmentRange(meta, nil, from, 7)
+			if err != nil {
+				if !corrupted {
+					t.Fatalf("clean segment failed range read at %d: %v", from, err)
+				}
+				continue
+			}
+			wantEnd := min(from+7, len(want))
+			if from > len(want) {
+				wantEnd = from
+			}
+			if from >= len(want) {
+				if len(got) != 0 {
+					t.Fatalf("range past the end returned %d records", len(got))
+				}
+				continue
+			}
+			if len(got) != wantEnd-from {
+				t.Fatalf("range [%d,+7) returned %d records, want %d", from, len(got), wantEnd-from)
+			}
+			for i, p := range got {
+				if !samePub(p, want[from+i]) {
+					t.Fatalf("range record %d differs: got %+v want %+v", from+i, p, want[from+i])
+				}
+			}
+		}
+
+		// Point lookups: every present key must resolve to its exact
+		// record or fail loudly — never to a different record, and on a
+		// clean segment never to a miss.  A key never written must never
+		// be found.
+		for i, p := range want {
+			if i%5 != 0 && len(want) > 20 {
+				continue // sample large sets to keep fuzz iterations fast
+			}
+			got, ok, err := lookupSegment(meta, nil, keyOf(p))
+			if err != nil {
+				if !corrupted {
+					t.Fatalf("clean segment lookup failed: %v", err)
+				}
+				continue
+			}
+			if ok && !samePub(got, p) {
+				t.Fatalf("lookup of %v returned a different record: %+v", keyOf(p), got)
+			}
+			if !ok && !corrupted {
+				t.Fatalf("clean segment lost record %v", keyOf(p))
+			}
+		}
+		absent := recordKey{id: bitvec.UserID(7_777_777), subset: bitvec.MustSubset(8).Key()}
+		if got, ok, err := lookupSegment(meta, nil, absent); err == nil && ok {
+			t.Fatalf("lookup of a never-written key found %+v", got)
+		}
+	})
+}

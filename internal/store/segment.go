@@ -15,7 +15,8 @@ import (
 	"sketchprivacy/internal/wire"
 )
 
-// Segment file layout:
+// Segment files come in two versions, dispatched on the magic's last
+// byte.  Version 1 (the original, still fully readable):
 //
 //	8  bytes magic "SKSEG\x00\x00\x01"
 //	4  bytes big-endian record count
@@ -23,10 +24,20 @@ import (
 //	         sorted by (subset key, user id)
 //	4  bytes big-endian CRC32 (IEEE) of everything above
 //
-// Segments are written to a temporary file, fsynced and renamed into
-// place, so a segment either exists completely or not at all; any
-// checksum failure on load is real corruption and reported as an error.
-var segMagic = [8]byte{'S', 'K', 'S', 'E', 'G', 0, 0, 1}
+// Version 2 adds per-record checksums, a sparse key index and a per-user
+// bloom filter so reads seek instead of scanning; see segindex.go for the
+// layout.  All new segments are written as v2; v1 segments are read via
+// the linear path (no index to seek with) so existing data directories
+// open unchanged.
+//
+// Segments of either version are written to a temporary file, fsynced
+// and renamed into place, so a segment either exists completely or not
+// at all; a whole-file checksum failure on load is real corruption and
+// reported as an error.
+var (
+	segMagicV1 = [8]byte{'S', 'K', 'S', 'E', 'G', 0, 0, 1}
+	segMagicV2 = [8]byte{'S', 'K', 'S', 'E', 'G', 0, 0, 2}
+)
 
 // ErrSegmentCorrupt is returned when a segment file fails validation.
 var ErrSegmentCorrupt = errors.New("store: corrupt segment")
@@ -37,6 +48,9 @@ type segmentMeta struct {
 	path    string
 	bytes   int64
 	records uint64
+	// idx is the parsed v2 index, nil for v1 segments (reads scan).  It
+	// is immutable once set, like the segment itself.
+	idx *segIndex
 }
 
 // segmentName renders the canonical file name for sequence number seq.
@@ -54,19 +68,13 @@ func parseSegmentName(name string) (uint64, bool) {
 	return seq, true
 }
 
-// writeSegment atomically writes records as segment seq in dir and
-// returns its metadata.  Records must already be in canonical segment
-// order (normalize does this for every caller).
+// writeSegment atomically writes records as an indexed v2 segment seq in
+// dir and returns its metadata, index included (the writer builds the
+// index in memory, so its own output is never re-parsed).  Records must
+// already be in canonical segment order (normalize and mergeSorted do
+// this for every caller).
 func writeSegment(dir string, seq uint64, records []sketch.Published) (segmentMeta, error) {
-	buf := make([]byte, 0, 16+len(records)*48)
-	buf = append(buf, segMagic[:]...)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(records)))
-	for _, p := range records {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(wire.PublishedEncodedLen(p)))
-		buf = wire.AppendPublished(buf, p)
-	}
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-
+	buf, idx := encodeSegmentV2(records)
 	final := filepath.Join(dir, segmentName(seq))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -94,56 +102,100 @@ func writeSegment(dir string, seq uint64, records []sketch.Published) (segmentMe
 	if err := syncDir(dir); err != nil {
 		return segmentMeta{}, err
 	}
-	return segmentMeta{seq: seq, path: final, bytes: int64(len(buf)), records: uint64(len(records))}, nil
+	return segmentMeta{seq: seq, path: final, bytes: int64(len(buf)), records: uint64(len(records)), idx: idx}, nil
 }
 
-// segmentBody validates the file at path — length, checksum, magic —
-// and returns its declared record count and the record bytes.
-func segmentBody(path string) (uint32, []byte, error) {
-	data, err := os.ReadFile(path)
+// segmentBody validates the file at path — length, whole-file checksum,
+// magic — and returns its version, declared record count and the full
+// checksummed image.
+func segmentBody(path string) (version int, count uint32, data []byte, err error) {
+	data, err = os.ReadFile(path)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	if len(data) < len(segMagic)+8 {
-		return 0, nil, fmt.Errorf("%w: %s is %d bytes", ErrSegmentCorrupt, path, len(data))
+	if len(data) < len(segMagicV1)+8 {
+		return 0, 0, nil, fmt.Errorf("%w: %s is %d bytes", ErrSegmentCorrupt, path, len(data))
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
-		return 0, nil, fmt.Errorf("%w: %s fails checksum", ErrSegmentCorrupt, path)
+		return 0, 0, nil, fmt.Errorf("%w: %s fails checksum", ErrSegmentCorrupt, path)
 	}
-	if string(body[:len(segMagic)]) != string(segMagic[:]) {
-		return 0, nil, fmt.Errorf("%w: %s has bad magic", ErrSegmentCorrupt, path)
+	switch {
+	case string(body[:len(segMagicV1)]) == string(segMagicV1[:]):
+		version = 1
+	case string(body[:len(segMagicV2)]) == string(segMagicV2[:]):
+		version = 2
+	default:
+		return 0, 0, nil, fmt.Errorf("%w: %s has bad magic", ErrSegmentCorrupt, path)
 	}
-	return binary.BigEndian.Uint32(body[len(segMagic):]), body[len(segMagic)+4:], nil
+	return version, binary.BigEndian.Uint32(body[len(segMagicV1):]), data, nil
 }
 
-// statSegment validates a segment and returns its record count without
-// decoding the records: open-time validation needs one pass over the
-// bytes, not a per-record decode — rehydration decodes via Iterate.
-func statSegment(path string) (uint64, error) {
-	count, _, err := segmentBody(path)
-	return uint64(count), err
+// openSegment validates a segment and returns its record count and, for
+// v2, its parsed index.  An index that fails any consistency check on an
+// otherwise checksum-clean file returns nil (reads fall back to the
+// linear path) rather than failing the open: the index is advisory.
+func openSegment(path string) (uint64, *segIndex, error) {
+	version, count, data, err := segmentBody(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if version < 2 {
+		return uint64(count), nil, nil
+	}
+	idx, err := parseSegIndex(data, count, path)
+	if err != nil {
+		return uint64(count), nil, nil
+	}
+	return uint64(count), idx, nil
 }
 
-// readSegment loads and validates one segment file.
+// readSegment loads and validates one segment file of either version,
+// depending only on the header count and record framing — never on the
+// v2 index section, which makes it the safe fallback when an index is
+// absent or inconsistent.
 func readSegment(path string) ([]sketch.Published, error) {
-	count, rest, err := segmentBody(path)
+	version, count, data, err := segmentBody(path)
 	if err != nil {
 		return nil, err
 	}
+	rest := data[len(segMagicV1)+4 : len(data)-4]
+	frameHdr := 4
+	if version >= 2 {
+		frameHdr = segV2FrameHdr
+		if len(data) < segV2HeaderSize+segV2FooterSize {
+			return nil, fmt.Errorf("%w: %s lacks a v2 footer", ErrSegmentCorrupt, path)
+		}
+		// The frame area ends exactly at the footer's index offset.  The
+		// count and the offset cross-check each other: truncating the walk
+		// anywhere else fails below as trailing bytes, so a corrupted count
+		// cannot silently return a prefix of the records.
+		indexOff := binary.BigEndian.Uint64(data[len(data)-12:])
+		if indexOff < segV2HeaderSize || indexOff > uint64(len(data)-segV2FooterSize) {
+			return nil, fmt.Errorf("%w: %s index offset %d out of range", ErrSegmentCorrupt, path, indexOff)
+		}
+		rest = data[segV2HeaderSize:indexOff]
+	}
 	// Cap the preallocation by what the bytes could possibly hold (each
-	// record needs at least its 4-byte length prefix): the count is
-	// checksummed but still input, and a crafted value must produce a
-	// decode error below, not a huge allocation here.
-	records := make([]sketch.Published, 0, min(int(count), len(rest)/4))
+	// record needs at least its frame header): the count is checksummed
+	// but still input, and a crafted value must produce a decode error
+	// below, not a huge allocation here.
+	records := make([]sketch.Published, 0, min(int(count), len(rest)/frameHdr))
 	for i := uint32(0); i < count; i++ {
-		if len(rest) < 4 {
+		if len(rest) < frameHdr {
 			return nil, fmt.Errorf("%w: %s truncated at record %d", ErrSegmentCorrupt, path, i)
 		}
 		n := binary.BigEndian.Uint32(rest)
-		rest = rest[4:]
+		var sum uint32
+		if version >= 2 {
+			sum = binary.BigEndian.Uint32(rest[4:])
+		}
+		rest = rest[frameHdr:]
 		if uint32(len(rest)) < n {
 			return nil, fmt.Errorf("%w: %s truncated at record %d", ErrSegmentCorrupt, path, i)
+		}
+		if version >= 2 && crc32.ChecksumIEEE(rest[:n]) != sum {
+			return nil, fmt.Errorf("%w: %s record %d fails checksum", ErrSegmentCorrupt, path, i)
 		}
 		p, err := wire.DecodePublished(rest[:n])
 		if err != nil {

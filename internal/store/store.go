@@ -30,6 +30,22 @@ type Store interface {
 	Stats() Stats
 }
 
+// BatchAppender is implemented by stores that can land many records in
+// one durability operation — the durable store groups a batch into one
+// commit-window entry (one fsync, one scheduler park) per touched
+// shard, which is what carries batched ingest to millions of records
+// per second while every acknowledged record is still durable.
+type BatchAppender interface {
+	// AppendBatch appends every record of ps whose index is absent from
+	// failed with Append's durability guarantee.  Atomicity is per
+	// internal grouping (per shard for the durable store), not per call:
+	// on error, failed lists exactly the records that did NOT become
+	// durable, in ascending input order, and err is the earliest failed
+	// record's cause.  Records outside failed are durable and stay —
+	// callers reconcile by rolling back precisely the failed ones.
+	AppendBatch(ps []sketch.Published) (failed []int, err error)
+}
+
 // ShardStats describes one shard of a durable store.
 type ShardStats struct {
 	// Shard is the shard index.
@@ -160,28 +176,43 @@ func (m *Mem) Stats() Stats {
 // compaction and cold-start replay all funnel through here, so the sort
 // must not allocate O(n log n) tag encodings.
 func normalize(records []sketch.Published) []sketch.Published {
+	// Ingest runs tend to repeat the same subset back to back, so reuse
+	// the previous record's key string when the subsets match — that
+	// skips the tag encoding AND makes the sort's equal-key compares a
+	// pointer check.
 	keys := make([]string, len(records))
-	last := make(map[recordKey]int, len(records))
 	for i, p := range records {
-		keys[i] = p.Subset.Key()
-		last[recordKey{id: p.ID, subset: keys[i]}] = i
-	}
-	idx := make([]int, 0, len(last))
-	for i, p := range records {
-		if last[recordKey{id: p.ID, subset: keys[i]}] == i {
-			idx = append(idx, i)
+		if i > 0 && p.Subset.Equal(records[i-1].Subset) {
+			keys[i] = keys[i-1]
+		} else {
+			keys[i] = p.Subset.Key()
 		}
+	}
+	idx := make([]int, len(records))
+	for i := range idx {
+		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		ia, ib := idx[a], idx[b]
 		if keys[ia] != keys[ib] {
 			return keys[ia] < keys[ib]
 		}
-		return records[ia].ID < records[ib].ID
+		if records[ia].ID != records[ib].ID {
+			return records[ia].ID < records[ib].ID
+		}
+		// Arrival order breaks key ties, so duplicates of a pair sort
+		// oldest to newest and the dedup pass below keeps the last.
+		return ia < ib
 	})
-	out := make([]sketch.Published, len(idx))
+	out := make([]sketch.Published, 0, len(records))
 	for j, i := range idx {
-		out[j] = records[i]
+		if j+1 < len(idx) {
+			ni := idx[j+1]
+			if keys[ni] == keys[i] && records[ni].ID == records[i].ID {
+				continue // a newer record for the same pair follows
+			}
+		}
+		out = append(out, records[i])
 	}
 	return out
 }

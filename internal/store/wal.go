@@ -35,6 +35,9 @@ type wal struct {
 	records uint64
 	fsync   bool
 	scratch []byte
+	// one is the reused single-record batch Append wraps around
+	// AppendBatch, keeping the lone-writer path allocation-free.
+	one [1]sketch.Published
 	// pending mirrors the log's acknowledged records in append order, so
 	// rolls and reads never re-read the file from disk (bounded by the
 	// flush threshold, a few MiB of tiny records per shard).  A record
@@ -66,28 +69,57 @@ func openWAL(path string, size int64, records []sketch.Published, fsync bool, m 
 	return &wal{f: f, path: path, size: size, records: uint64(len(records)), fsync: fsync, pending: records, m: m}, nil
 }
 
-// Append writes one record.  The framed record is assembled in a reused
-// scratch buffer and written with one call, so a crash can tear at most
-// the final record.
+// Append writes one record: a one-record commit batch.
 func (w *wal) Append(p sketch.Published) error {
-	if n := wire.PublishedEncodedLen(p); n > maxRecordSize {
-		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, n)
+	w.one[0] = p
+	return w.AppendBatch(w.one[:])
+}
+
+// walFrameLen is the framed on-disk size of one record.
+func walFrameLen(p sketch.Published) int {
+	return walHeaderSize + wire.PublishedEncodedLen(p)
+}
+
+// zeroHeader is appended as a placeholder while framing a batch record,
+// then overwritten with the real length and checksum.
+var zeroHeader [walHeaderSize]byte
+
+// AppendBatch writes a batch of records — a commit window — with one
+// write(2) and, in fsync mode, one fsync covering every record: the
+// group-commit primitive that amortizes the durability cost over all
+// writers parked on the window.  The batch is all-or-nothing: every frame
+// is assembled in the reused scratch buffer and written in a single call,
+// and a failed write or fsync truncates the log back to its pre-batch
+// size, so no record the callers will be NACKed for can resurrect on
+// replay.  A crash mid-write can tear only the batch's tail, which replay
+// cuts back to the last fully-written record — exactly the acknowledged-
+// prefix rule, since no record of a torn batch was ever acknowledged.
+func (w *wal) AppendBatch(ps []sketch.Published) error {
+	if len(ps) == 0 {
+		return nil
 	}
-	// Reserve the header, encode the payload in place, then frame it.
-	if cap(w.scratch) < walHeaderSize {
-		w.scratch = make([]byte, walHeaderSize, 64)
+	for _, p := range ps {
+		if n := wire.PublishedEncodedLen(p); n > maxRecordSize {
+			return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, n)
+		}
 	}
 	if w.broken {
 		if err := w.repair(); err != nil {
 			return fmt.Errorf("%w: %v", ErrWALBroken, err)
 		}
 	}
-	w.scratch = wire.AppendPublished(w.scratch[:walHeaderSize], p)
-	payload := w.scratch[walHeaderSize:]
-	binary.BigEndian.PutUint32(w.scratch[0:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(w.scratch[4:], crc32.ChecksumIEEE(payload))
+	buf := w.scratch[:0]
+	for _, p := range ps {
+		hdr := len(buf)
+		buf = append(buf, zeroHeader[:]...)
+		buf = wire.AppendPublished(buf, p)
+		payload := buf[hdr+walHeaderSize:]
+		binary.BigEndian.PutUint32(buf[hdr:], uint32(len(payload)))
+		binary.BigEndian.PutUint32(buf[hdr+4:], crc32.ChecksumIEEE(payload))
+	}
+	w.scratch = buf
 	start := now(w.m)
-	if n, err := w.f.Write(w.scratch); err != nil {
+	if n, err := w.f.Write(buf); err != nil {
 		// A partial write leaves torn bytes that are NOT at the tail once
 		// a later append lands after them — replay would then truncate
 		// acknowledged records.  Cut the file back to the last good
@@ -102,16 +134,12 @@ func (w *wal) Append(p sketch.Published) error {
 	if w.m != nil {
 		w.m.appendLatency.ObserveSince(start)
 	}
-	w.size += int64(len(w.scratch))
-	w.records++
 	if w.fsync {
 		syncStart := now(w.m)
 		if err := w.f.Sync(); err != nil {
 			// The write reached the kernel but stable storage is in doubt
 			// and fsync error semantics make retrying unsafe.  Roll the
-			// record back out so a NACKed publish cannot resurrect.
-			w.size -= int64(len(w.scratch))
-			w.records--
+			// whole batch back out so no NACKed publish can resurrect.
 			if terr := w.f.Truncate(w.size); terr != nil {
 				w.broken = true
 			}
@@ -121,7 +149,9 @@ func (w *wal) Append(p sketch.Published) error {
 			w.m.fsyncLatency.ObserveSince(syncStart)
 		}
 	}
-	w.pending = append(w.pending, p)
+	w.size += int64(len(buf))
+	w.records += uint64(len(ps))
+	w.pending = append(w.pending, ps...)
 	return nil
 }
 
@@ -166,7 +196,10 @@ func (w *wal) Truncate() error {
 	}
 	w.size = 0
 	w.records = 0
-	w.pending = nil
+	// Keep the mirror's capacity: every consumer copies records out under
+	// the shard lock, so the backing array is never retained past a roll,
+	// and the next fill cycle skips the regrowth.
+	w.pending = w.pending[:0]
 	if err := w.f.Sync(); err != nil {
 		return err
 	}

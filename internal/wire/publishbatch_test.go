@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestPublishBatchRoundTrip(t *testing.T) {
+	records := transferRecords()
+	enc := EncodePublishBatch(records)
+	got, err := DecodePublishBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("round trip: got %+v want %+v", got, records)
+	}
+	// Canonical: re-encoding reproduces the bytes.
+	if !bytes.Equal(EncodePublishBatch(got), enc) {
+		t.Fatal("publish batch encoding is not canonical")
+	}
+	// An empty batch round-trips to nil records.
+	got, err = DecodePublishBatch(EncodePublishBatch(nil))
+	if err != nil || got != nil {
+		t.Fatalf("empty batch round trip: (%v, %v)", got, err)
+	}
+}
+
+func TestPublishBatchCRCDetectsCorruption(t *testing.T) {
+	enc := EncodePublishBatch(transferRecords())
+	for _, flip := range []int{0, 4, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[flip] ^= 0x40
+		if _, err := DecodePublishBatch(bad); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", flip)
+		}
+	}
+	// Truncation is detected too, down to the empty payload.
+	if _, err := DecodePublishBatch(enc[:len(enc)-5]); err == nil {
+		t.Fatal("truncated batch went undetected")
+	}
+	if _, err := DecodePublishBatch(nil); err == nil {
+		t.Fatal("empty payload went undetected")
+	}
+}
+
+func TestPublishBatchRejectsHostileCount(t *testing.T) {
+	// A batch claiming 2^32-1 records must fail on the count guard, not
+	// allocate first.
+	body := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodePublishBatch(appendCRC(body)); err == nil {
+		t.Fatal("hostile record count accepted")
+	}
+}
