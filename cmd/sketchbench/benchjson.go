@@ -40,10 +40,16 @@ type BenchFile struct {
 	// machine, GoMaxProcs is the scheduler parallelism the run actually
 	// had — the figure the parallel query kernel scales with, and the two
 	// diverge whenever the runner is CPU-quota'd (containerized CI).
-	GoVersion  string         `json:"go_version"`
-	NumCPU     int            `json:"num_cpu"`
-	GoMaxProcs int            `json:"gomaxprocs"`
-	Kernels    []KernelResult `json:"kernels"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// AcceleratedLanes records whether the multi-lane SHA-256 assembly
+	// engine was active, qualifying the multi-lane kernels and the matrix.
+	AcceleratedLanes bool           `json:"accelerated_lanes"`
+	Kernels          []KernelResult `json:"kernels"`
+	// Matrix is the core-count × lane-width sweep of the query kernels
+	// (see runMatrix); empty when the matrix was skipped.
+	Matrix []MatrixResult `json:"matrix,omitempty"`
 }
 
 // benchKey returns the fixed generator key used by every kernel benchmark.
@@ -76,6 +82,38 @@ func kernelBenchmarks() []struct {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e.DigestMsg(msg)
+			}
+		}},
+		{"sha256-multi4-block", func(b *testing.B) {
+			// One op = 4 lanes × one block through the portable 4-lane
+			// kernel; compare against 4× sha256-block for the (lack of)
+			// portable speedup documented in DESIGN.md.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prf.MultiLaneBlockBench(4, 1)
+			}
+		}},
+		{"sha256-multi8-block", func(b *testing.B) {
+			// One op = 8 lanes × one block through the widest engine
+			// (AVX2 assembly on amd64, portable elsewhere).
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prf.MultiLaneBlockBench(8, 1)
+			}
+		}},
+		{"prf-uint64-batch", func(b *testing.B) {
+			// One op = 64 messages through the batch evaluator at the
+			// automatic lane policy; compare against 64× hmac-midstate.
+			f := prf.NewFunc(benchKey())
+			me := f.NewMultiEvaluator()
+			msgs := make([][]byte, 64)
+			for i := range msgs {
+				msgs[i] = bytes.Repeat([]byte{byte(i)}, 150)
+			}
+			out := make([]uint64, len(msgs))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				me.Uint64Batch(msgs, out)
 			}
 		}},
 		{"evaluate-facade", func(b *testing.B) {
@@ -144,13 +182,16 @@ func kernelBenchmarks() []struct {
 }
 
 // writeBenchJSON measures every kernel and writes the results to path.
-// quick shrinks the store replay benchmark for CI smoke runs.
-func writeBenchJSON(path string, quick bool) error {
+// quick shrinks the store replay benchmark for CI smoke runs.  cpusSpec and
+// lanesSpec configure the core-count × lane-width matrix; an empty cpusSpec
+// skips it.
+func writeBenchJSON(path string, quick bool, cpusSpec, lanesSpec string) error {
 	file := BenchFile{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GeneratedAt:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		AcceleratedLanes: prf.HasAcceleratedLanes(),
 	}
 	benches := kernelBenchmarks()
 	benches = append(benches, storeBenchmarks(quick)...)
@@ -169,6 +210,13 @@ func writeBenchJSON(path string, quick bool) error {
 		})
 		fmt.Printf("%-22s %12.1f ns/op %6d allocs/op\n",
 			kb.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+	if cpusSpec != "" {
+		matrix, err := runMatrix(cpusSpec, lanesSpec)
+		if err != nil {
+			return err
+		}
+		file.Matrix = matrix
 	}
 	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

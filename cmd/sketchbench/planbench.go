@@ -72,6 +72,23 @@ func planBenchmarks(quick bool) []struct {
 				}
 			}
 		}},
+		{"plan-scan-multilane", func(b *testing.B) {
+			// The raw Algorithm 2 record loop the plan executor is built
+			// on: one (B, v) pair counted over 10k records through the
+			// kernel's 64-record multi-lane batch path, single goroutine.
+			h := prf.NewBiased(benchKey(), prf.MustProb(0.3))
+			subset := bitvec.Range(0, 4)
+			records := make([]sketch.Published, 0, planIntervalRecords)
+			for id := uint64(1); id <= uint64(planIntervalRecords); id++ {
+				records = append(records, routerRecord(id, subset))
+			}
+			v := bitvec.MustFromString("1010")
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sketch.CountMatches(h, records, subset, v)
+			}
+		}},
 		{"plan-interval-router-3node", func(b *testing.B) {
 			r, engines, done := benchCluster(b)
 			defer done()

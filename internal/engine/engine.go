@@ -85,16 +85,32 @@ func (e *Engine) AttachStore(st store.Store) error {
 	if st == nil {
 		return errors.New("engine: nil store")
 	}
-	err := st.Iterate(func(p sketch.Published) error {
-		if _, ok := e.table.Get(p.ID, p.Subset); ok {
+	// Buffer the stream and bulk-load: Table.Load batches runs of records
+	// sharing a subset (the store iterates in subset order) so the hot
+	// startup path pays one subset-key encoding per run instead of several
+	// per record, and skips already-present pairs itself.
+	batch := make([]sketch.Published, 0, 4096)
+	flush := func() error {
+		if len(batch) == 0 {
 			return nil
 		}
-		if err := e.table.Add(p); err != nil {
+		if err := e.table.Load(batch); err != nil {
 			return fmt.Errorf("engine: replaying store: %w", err)
+		}
+		batch = batch[:0]
+		return nil
+	}
+	err := st.Iterate(func(p sketch.Published) error {
+		batch = append(batch, p)
+		if len(batch) == cap(batch) {
+			return flush()
 		}
 		return nil
 	})
 	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
 		return err
 	}
 	e.st = st
@@ -172,16 +188,21 @@ func (e *Engine) IngestNew(p sketch.Published) (bool, error) {
 }
 
 // add inserts p into the table, reporting whether it was newly added.  An
-// identical re-publish reports (false, nil); a conflicting one returns the
-// table's rejection.
+// identical re-publish reports (false, nil) — without allocating, since
+// replicated retries make that the common duplicate — and a conflicting
+// one is rejected with Add's wording.
 func (e *Engine) add(p sketch.Published) (bool, error) {
-	if err := e.table.Add(p); err != nil {
-		if existing, ok := e.table.Get(p.ID, p.Subset); ok && existing == p.S {
-			return false, nil
-		}
+	existing, added, err := e.table.AddNew(p)
+	if err != nil {
 		return false, err
 	}
-	return true, nil
+	if added {
+		return true, nil
+	}
+	if existing == p.S {
+		return false, nil
+	}
+	return false, fmt.Errorf("sketch: user %v already published a sketch for subset %v", p.ID, p.Subset)
 }
 
 // SnapshotBatch streams the engine's stored records in bounded batches for

@@ -261,12 +261,9 @@ func buildTree(t *treeJSON, depth int) (*query.TreeNode, error) {
 }
 
 // parseRecord converts one publish-batch record into the tenant's domain,
-// sketching profile-bearing records with the gateway's sketcher.
-func (g *Gateway) parseRecord(t *Tenant, rec recordJSON) (sketch.Published, error) {
-	sub, err := parseSubsetJSON(rec.Subset)
-	if err != nil {
-		return sketch.Published{}, err
-	}
+// sketching profile-bearing records with the gateway's sketcher.  sub is
+// the record's already-parsed subset (see publishScratch.subsetFor).
+func (g *Gateway) parseRecord(t *Tenant, rec *recordJSON, sub bitvec.Subset) (sketch.Published, error) {
 	eff, err := t.EffectiveID(rec.ID)
 	if err != nil {
 		return sketch.Published{}, err

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -277,13 +278,69 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g.writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// publishScratch is the per-request decode state handlePublish recycles
+// across requests: the JSON decode target (whose per-record subset slices
+// keep their backing arrays between requests) and the parsed batch slice.
+// Publish is the gateway's hottest endpoint and the only one whose body
+// scales with batch size, so it is the one worth a pool.  It also caches
+// the last parsed subset: real batches overwhelmingly repeat one subset
+// record after record, so the per-record NewSubset cost (a positions copy
+// and a dedup map) collapses to a slice comparison.
+type publishScratch struct {
+	req   publishRequest
+	batch []sketch.Published
+
+	positions []int
+	subset    bitvec.Subset
+}
+
+var publishPool = sync.Pool{New: func() any { return new(publishScratch) }}
+
+// prepare readies the decode target for reuse.  Decoding JSON into a live
+// struct only sets the keys present in the document, so every element
+// within the backing array's capacity is cleared field-wise — a stale id,
+// profile string or sketch pointer from the previous request must not leak
+// into records that omit those keys — while each element's subset slice is
+// truncated in place so the decoder refills its backing array.
+func (s *publishScratch) prepare() {
+	recs := s.req.Records[:cap(s.req.Records)]
+	for i := range recs {
+		r := &recs[i]
+		r.ID = 0
+		r.Subset = r.Subset[:0]
+		r.Profile = ""
+		r.Sketch = nil
+	}
+	s.req.Records = recs[:0]
+	s.batch = s.batch[:0]
+}
+
+// subsetFor parses a record's subset positions, answering repeats of the
+// previous record's positions from the cache.  Subsets are immutable, so
+// records of one batch sharing the cached value is safe.
+func (s *publishScratch) subsetFor(positions []int) (bitvec.Subset, error) {
+	if len(positions) > 0 && slices.Equal(positions, s.positions) {
+		return s.subset, nil
+	}
+	sub, err := parseSubsetJSON(positions)
+	if err != nil {
+		return bitvec.Subset{}, err
+	}
+	s.positions = append(s.positions[:0], positions...)
+	s.subset = sub
+	return sub, nil
+}
+
 // handlePublish ingests a batch: quota reservation first (whole-batch
 // admission), then id rewriting and sketching, then one backend batch
 // publish.  A failed publish returns the reservation, so backend errors
 // never leak quota.
 func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request, t *Tenant) {
-	var req publishRequest
-	if !g.decode(w, r, &req) {
+	scratch := publishPool.Get().(*publishScratch)
+	defer publishPool.Put(scratch)
+	scratch.prepare()
+	req := &scratch.req
+	if !g.decode(w, r, req) {
 		return
 	}
 	if len(req.Records) == 0 {
@@ -307,9 +364,16 @@ func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request, t *Tenan
 		})
 		return
 	}
-	batch := make([]sketch.Published, 0, len(req.Records))
-	for _, rec := range req.Records {
-		p, err := g.parseRecord(t, rec)
+	batch := scratch.batch
+	for i := range req.Records {
+		rec := &req.Records[i]
+		sub, err := scratch.subsetFor(rec.Subset)
+		if err != nil {
+			t.quota.giveBack(n)
+			g.writeError(w, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: err.Error()})
+			return
+		}
+		p, err := g.parseRecord(t, rec, sub)
 		if err != nil {
 			t.quota.giveBack(n)
 			g.writeError(w, http.StatusBadRequest, apiError{Code: codeBadRequest, Message: err.Error()})
@@ -317,6 +381,7 @@ func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request, t *Tenan
 		}
 		batch = append(batch, p)
 	}
+	scratch.batch = batch
 	if err := g.backend.PublishAll(batch); err != nil {
 		t.quota.giveBack(n)
 		g.logf("gateway: publish of %d records for tenant %s failed: %v", n, t.Name, err)

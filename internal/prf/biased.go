@@ -125,6 +125,10 @@ func (b *Biased) Func() *Func { return b.f }
 type BitEvaluator struct {
 	ev Evaluator
 	p  Prob
+	// Lazily created batch path for BitMsgs64 (multi-lane SHA-256); nil
+	// until the first batched call so scalar users pay nothing.
+	me *MultiEvaluator
+	us []uint64
 }
 
 // NewBitEvaluator returns a fresh evaluation handle for this biased source.
@@ -152,6 +156,35 @@ func (be *BitEvaluator) Bit(parts ...[]byte) bool {
 // zero-allocation fast path batch kernels use.
 func (be *BitEvaluator) BitMsg(msg []byte) bool {
 	return be.p.Decide(be.ev.Uint64Msg(msg))
+}
+
+// BitMsgs64 evaluates the p-biased function on up to 64 tuple-encoded
+// messages at once, returning the outcomes as a packed bit word: bit i is
+// set iff the function is 1 on msgs[i].  The messages are hashed through
+// the multi-lane batch evaluator (see MultiEvaluator), so on architectures
+// with an accelerated engine this is several times faster than 64 BitMsg
+// calls while remaining bit-identical to them.  Allocation-free after the
+// first call.
+func (be *BitEvaluator) BitMsgs64(msgs [][]byte) uint64 {
+	if len(msgs) > 64 {
+		panic("prf: BitMsgs64 takes at most 64 messages")
+	}
+	if be.me == nil {
+		be.me = &MultiEvaluator{}
+	}
+	be.me.mac = be.ev.mac
+	if cap(be.us) < len(msgs) {
+		be.us = make([]uint64, 64)
+	}
+	us := be.us[:len(msgs)]
+	be.me.Uint64Batch(msgs, us)
+	var w uint64
+	for i, u := range us {
+		if be.p.Decide(u) {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
 }
 
 // Bias returns p, the probability that Bit is true on a fresh tuple.

@@ -1,0 +1,268 @@
+package prf
+
+import "encoding/binary"
+
+// MultiEvaluator is the batch counterpart of Evaluator: it evaluates the
+// keyed PRF over many pre-encoded messages at once, packing up to Lanes()
+// messages into each pass of the multi-lane SHA-256 compression.  Like the
+// scalar evaluator it resumes from the HMAC ipad/opad midstates, so a
+// message of b post-midstate blocks costs b+1 compression passes for a
+// whole lane group instead of per message.
+//
+// Messages of unequal length are handled by bucketing: the batch is
+// ordered by inner block count, each run of equal-size messages fills lane
+// groups, and ragged tails (a group of one) fall back to the scalar path.
+// Output is bit-identical to calling Evaluator.Uint64Msg / DigestMsg per
+// message, whatever the lane policy — FuzzMultiLaneEquivalence holds every
+// width to that.
+//
+// A MultiEvaluator is NOT safe for concurrent use — create one per
+// goroutine (the staging arrays make it a few KiB) or pool it.
+type MultiEvaluator struct {
+	mac    *hmacState
+	states laneStates
+	blocks laneBlocks
+	w      laneSchedule
+	h      Hasher // scalar fallback for lone messages
+	// idx orders the batch by inner block count without allocating.
+	idx []int
+	// group holds the current lane group's messages; unused lanes repeat
+	// the last real message so every lane compresses valid data.
+	group [lanesMax][]byte
+	// expand scratch: per-round extended messages and their digests.
+	extBuf []byte
+	exts   [][]byte
+	digs   [][DigestSize]byte
+}
+
+// NewMultiEvaluator returns a fresh batch evaluation handle for this
+// function, sharing its immutable key schedule.
+func (f *Func) NewMultiEvaluator() *MultiEvaluator {
+	return &MultiEvaluator{mac: f.mac}
+}
+
+// Rebind points the evaluator at a (possibly different) keyed function
+// while keeping its staging buffers, so pools can reuse it across keys.
+func (m *MultiEvaluator) Rebind(f *Func) { m.mac = f.mac }
+
+// innerBlocks returns how many post-midstate compressions the inner hash
+// of an n-byte message costs: the message plus mandatory padding (0x80 and
+// the 8-byte bit length), rounded up to whole blocks.
+func innerBlocks(n int) int { return (n + 9 + BlockSize - 1) / BlockSize }
+
+// Uint64Batch evaluates the PRF on every message, writing the uniform
+// 64-bit output of msgs[i] to out[i].  out must be at least len(msgs)
+// long.  It allocates nothing after warm-up.
+func (m *MultiEvaluator) Uint64Batch(msgs [][]byte, out []uint64) {
+	_ = out[:len(msgs)]
+	width := Lanes()
+	if width <= 1 || len(msgs) < 2 {
+		for i, msg := range msgs {
+			d := m.mac.sumMid(&m.h, msg)
+			out[i] = binary.BigEndian.Uint64(d[:8])
+		}
+		return
+	}
+	m.eachGroup(msgs, width, func(idx []int, k int) {
+		for l := 0; l < k; l++ {
+			out[idx[l]] = uint64(m.states[0][l])<<32 | uint64(m.states[1][l])
+		}
+	}, func(i int) {
+		d := m.mac.sumMid(&m.h, msgs[i])
+		out[i] = binary.BigEndian.Uint64(d[:8])
+	})
+}
+
+// DigestBatch evaluates the PRF on every message, writing the full 32-byte
+// digest of msgs[i] to out[i].  out must be at least len(msgs) long.
+func (m *MultiEvaluator) DigestBatch(msgs [][]byte, out [][DigestSize]byte) {
+	_ = out[:len(msgs)]
+	width := Lanes()
+	if width <= 1 || len(msgs) < 2 {
+		for i, msg := range msgs {
+			out[i] = m.mac.sumMid(&m.h, msg)
+		}
+		return
+	}
+	m.eachGroup(msgs, width, func(idx []int, k int) {
+		for l := 0; l < k; l++ {
+			d := &out[idx[l]]
+			for i := 0; i < 8; i++ {
+				binary.BigEndian.PutUint32(d[4*i:], m.states[i][l])
+			}
+		}
+	}, func(i int) {
+		out[i] = m.mac.sumMid(&m.h, msgs[i])
+	})
+}
+
+// ExpandBatch fills each outs[i] with the counter-mode pseudorandom stream
+// derived from msgs[i], bit-identical to Evaluator.Expand on the same
+// tuple encoding: round c of message i digests msgs[i] followed by the
+// 8-byte big-endian counter c.  Lane packing happens across messages
+// within each round, so expanding many keys at once batches the way the
+// query kernels do.
+func (m *MultiEvaluator) ExpandBatch(outs [][]byte, msgs [][]byte) {
+	_ = msgs[:len(outs)]
+	if cap(m.exts) < len(outs) {
+		m.exts = make([][]byte, len(outs))
+		m.digs = make([][DigestSize]byte, len(outs))
+	}
+	done := make([]int, 0, 16) // bytes produced per output; small batches stay on the stack
+	for range outs {
+		done = append(done, 0)
+	}
+	for counter := uint64(0); ; counter++ {
+		buf := m.extBuf[:0]
+		exts, digs := m.exts[:0], m.digs[:0]
+		starts := make([]int, 0, 16)
+		pend := make([]int, 0, 16)
+		for i, out := range outs {
+			if done[i] >= len(out) {
+				continue
+			}
+			starts = append(starts, len(buf))
+			buf = append(buf, msgs[i]...)
+			buf = binary.BigEndian.AppendUint64(buf, counter)
+			pend = append(pend, i)
+		}
+		if len(pend) == 0 {
+			m.extBuf = buf
+			return
+		}
+		for j, i := range pend {
+			end := len(buf)
+			if j+1 < len(pend) {
+				end = starts[j+1]
+			}
+			exts = append(exts, buf[starts[j]:end])
+			_ = i
+		}
+		digs = digs[:len(exts)]
+		m.DigestBatch(exts, digs)
+		for j, i := range pend {
+			done[i] += copy(outs[i][done[i]:], digs[j][:])
+		}
+		m.extBuf = buf
+	}
+}
+
+// eachGroup orders the batch by inner block count, carves each equal-size
+// run into lane groups and runs the multi-lane HMAC over them, calling
+// emit with the group's message indices; lone leftovers go through scalar.
+func (m *MultiEvaluator) eachGroup(msgs [][]byte, width int, emit func(idx []int, k int), scalar func(i int)) {
+	idx := m.idx[:0]
+	for i := range msgs {
+		idx = append(idx, i)
+	}
+	// Insertion sort by block count: the hot callers batch equal-length
+	// messages, so this is one linear pass; mixed batches are small.
+	for i := 1; i < len(idx); i++ {
+		j, v := i, idx[i]
+		nb := innerBlocks(len(msgs[v]))
+		for j > 0 && innerBlocks(len(msgs[idx[j-1]])) > nb {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = v
+	}
+	m.idx = idx
+	for lo := 0; lo < len(idx); {
+		nb := innerBlocks(len(msgs[idx[lo]]))
+		hi := lo + 1
+		for hi < len(idx) && innerBlocks(len(msgs[idx[hi]])) == nb {
+			hi++
+		}
+		for glo := lo; glo < hi; glo += width {
+			k := hi - glo
+			if k > width {
+				k = width
+			}
+			if k == 1 {
+				scalar(idx[glo])
+				continue
+			}
+			for l := 0; l < width; l++ {
+				src := glo + l
+				if src >= hi {
+					src = hi - 1 // repeat the last real message into spare lanes
+				}
+				m.group[l] = msgs[idx[src]]
+			}
+			m.hmacLanes(width, nb)
+			emit(idx[glo:hi], k)
+		}
+		lo = hi
+	}
+}
+
+// hmacLanes runs the midstate-resumed HMAC over the messages staged in
+// m.group[0:width], all of inner block count nb, leaving lane l's digest
+// words in m.states[0..7][l].
+func (m *MultiEvaluator) hmacLanes(width, nb int) {
+	// Inner hash: resume every lane from the ipad midstate and absorb the
+	// padded message blocks.
+	for i := 0; i < 8; i++ {
+		for l := 0; l < width; l++ {
+			m.states[i][l] = m.mac.istate[i]
+		}
+	}
+	for b := 0; b < nb; b++ {
+		for l := 0; l < width; l++ {
+			fillPaddedBlock(&m.blocks[l], m.group[l], b, nb)
+		}
+		m.compressLanes(width)
+	}
+	// Outer hash: one block per lane — the 32-byte inner digest, 0x80,
+	// zeros, and the bit length of the opad block plus the digest.
+	for l := 0; l < width; l++ {
+		blk := &m.blocks[l]
+		for i := 0; i < 8; i++ {
+			binary.BigEndian.PutUint32(blk[4*i:], m.states[i][l])
+		}
+		blk[DigestSize] = 0x80
+		for i := DigestSize + 1; i < BlockSize-8; i++ {
+			blk[i] = 0
+		}
+		binary.BigEndian.PutUint64(blk[BlockSize-8:], (BlockSize+DigestSize)*8)
+	}
+	for i := 0; i < 8; i++ {
+		for l := 0; l < width; l++ {
+			m.states[i][l] = m.mac.ostate[i]
+		}
+	}
+	m.compressLanes(width)
+}
+
+// compressLanes advances the staged lanes by one block: the forced-4 mode
+// runs the portable 4-lane kernel, everything else the 8-lane engine.
+func (m *MultiEvaluator) compressLanes(width int) {
+	if width == 4 {
+		compress4Blocks(&m.states, &m.blocks, &m.w)
+		return
+	}
+	compress8(&m.states, &m.blocks, &m.w)
+}
+
+// fillPaddedBlock writes 64 bytes of the inner hash's padded stream — the
+// message, then 0x80, zeros and the 8-byte bit length (which counts the
+// already-absorbed ipad block) — for the given block ordinal.
+func fillPaddedBlock(dst *[BlockSize]byte, msg []byte, block, nblocks int) {
+	off := block * BlockSize
+	n := 0
+	if off < len(msg) {
+		n = copy(dst[:], msg[off:])
+	}
+	if n == BlockSize {
+		return
+	}
+	for i := n; i < BlockSize; i++ {
+		dst[i] = 0
+	}
+	if p := len(msg) - off; p >= 0 && p < BlockSize {
+		dst[p] = 0x80
+	}
+	if block == nblocks-1 {
+		binary.BigEndian.PutUint64(dst[BlockSize-8:], uint64(BlockSize+len(msg))*8)
+	}
+}

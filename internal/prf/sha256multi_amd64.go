@@ -1,0 +1,23 @@
+//go:build amd64 && !purego
+
+package prf
+
+// cpuidHasAVX2 reports whether the CPU and OS support AVX2: CPUID
+// advertises AVX+OSXSAVE and AVX2, and XCR0 confirms the OS saves the
+// xmm/ymm register state across context switches.  Implemented in
+// sha256multi_amd64.s.
+func cpuidHasAVX2() bool
+
+// compress8AVX2 is the 8-lane SHA-256 compression with each state word
+// held as one ymm register of 8 lanes.  blocks are raw (big-endian) input
+// blocks; the routine byte-swaps and transposes them into w itself.
+// Implemented in sha256multi_amd64.s.
+//
+//go:noescape
+func compress8AVX2(states *laneStates, blocks *laneBlocks, w *laneSchedule)
+
+func init() {
+	if cpuidHasAVX2() {
+		compress8asm = compress8AVX2
+	}
+}

@@ -1,0 +1,253 @@
+//go:build amd64 && !purego
+
+// 8-lane SHA-256 compression for AVX2: each of the 8 working variables
+// a..h lives in one ymm register whose 8 dwords are 8 independent lanes,
+// so one pass of the 64 rounds advances 8 messages by a block.  Layout
+// matches the portable engine exactly — struct-of-arrays states and
+// schedule — so the two are interchangeable; TestCompress8EnginesAgree
+// and FuzzMultiLaneEquivalence hold them bit-identical.
+
+#include "textflag.h"
+
+// bswapMask shuffles each 32-bit lane from big-endian to host order.
+DATA bswapMask<>+0(SB)/8, $0x0405060700010203
+DATA bswapMask<>+8(SB)/8, $0x0c0d0e0f08090a0b
+DATA bswapMask<>+16(SB)/8, $0x0405060700010203
+DATA bswapMask<>+24(SB)/8, $0x0c0d0e0f08090a0b
+GLOBL bswapMask<>(SB), RODATA|NOPTR, $32
+
+// func cpuidHasAVX2() bool
+TEXT ·cpuidHasAVX2(SB), NOSPLIT, $0-1
+	MOVB $0, ret+0(FP)
+
+	// CPUID.(1,0).ECX: OSXSAVE (bit 27) and AVX (bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DI
+	ANDL $(1<<27 | 1<<28), DI
+	CMPL DI, $(1<<27 | 1<<28)
+	JNE  done
+
+	// XCR0 bits 1..2: the OS saves XMM and YMM state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  done
+
+	// CPUID.(7,0).EBX bit 5: AVX2.
+	MOVL  $7, AX
+	XORL  CX, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ    done
+	MOVB  $1, ret+0(FP)
+
+done:
+	RET
+
+// transpose8x8 turns 8 row registers (Y0..Y7, one per lane) into 8 column
+// registers and stores them at rows [off..off+7] of the w buffer (DX).
+// Clobbers Y8..Y15.
+#define TRANSPOSE_STORE(off) \
+	VPUNPCKLDQ Y1, Y0, Y8  \
+	VPUNPCKHDQ Y1, Y0, Y9  \
+	VPUNPCKLDQ Y3, Y2, Y10 \
+	VPUNPCKHDQ Y3, Y2, Y11 \
+	VPUNPCKLDQ Y5, Y4, Y12 \
+	VPUNPCKHDQ Y5, Y4, Y13 \
+	VPUNPCKLDQ Y7, Y6, Y14 \
+	VPUNPCKHDQ Y7, Y6, Y15 \
+	VPUNPCKLQDQ Y10, Y8, Y0  \
+	VPUNPCKHQDQ Y10, Y8, Y1  \
+	VPUNPCKLQDQ Y11, Y9, Y2  \
+	VPUNPCKHQDQ Y11, Y9, Y3  \
+	VPUNPCKLQDQ Y14, Y12, Y4 \
+	VPUNPCKHQDQ Y14, Y12, Y5 \
+	VPUNPCKLQDQ Y15, Y13, Y6 \
+	VPUNPCKHQDQ Y15, Y13, Y7 \
+	VPERM2I128 $0x20, Y4, Y0, Y8  \
+	VPERM2I128 $0x31, Y4, Y0, Y12 \
+	VPERM2I128 $0x20, Y5, Y1, Y9  \
+	VPERM2I128 $0x31, Y5, Y1, Y13 \
+	VPERM2I128 $0x20, Y6, Y2, Y10 \
+	VPERM2I128 $0x31, Y6, Y2, Y14 \
+	VPERM2I128 $0x20, Y7, Y3, Y11 \
+	VPERM2I128 $0x31, Y7, Y3, Y15 \
+	VMOVDQU Y8, ((off+0)*32)(DX)  \
+	VMOVDQU Y9, ((off+1)*32)(DX)  \
+	VMOVDQU Y10, ((off+2)*32)(DX) \
+	VMOVDQU Y11, ((off+3)*32)(DX) \
+	VMOVDQU Y12, ((off+4)*32)(DX) \
+	VMOVDQU Y13, ((off+5)*32)(DX) \
+	VMOVDQU Y14, ((off+6)*32)(DX) \
+	VMOVDQU Y15, ((off+7)*32)(DX)
+
+// func compress8AVX2(states *[8][8]uint32, blocks *[8][64]byte, w *[64][8]uint32)
+TEXT ·compress8AVX2(SB), NOSPLIT, $0-24
+	MOVQ states+0(FP), SI
+	MOVQ blocks+8(FP), R9
+	MOVQ w+16(FP), DX
+
+	// Stage 1: byte-swap and transpose the 8 blocks into w[0..15].
+	VMOVDQU bswapMask<>(SB), Y8
+	VMOVDQU (0*64)(R9), Y0
+	VMOVDQU (1*64)(R9), Y1
+	VMOVDQU (2*64)(R9), Y2
+	VMOVDQU (3*64)(R9), Y3
+	VMOVDQU (4*64)(R9), Y4
+	VMOVDQU (5*64)(R9), Y5
+	VMOVDQU (6*64)(R9), Y6
+	VMOVDQU (7*64)(R9), Y7
+	VPSHUFB Y8, Y0, Y0
+	VPSHUFB Y8, Y1, Y1
+	VPSHUFB Y8, Y2, Y2
+	VPSHUFB Y8, Y3, Y3
+	VPSHUFB Y8, Y4, Y4
+	VPSHUFB Y8, Y5, Y5
+	VPSHUFB Y8, Y6, Y6
+	VPSHUFB Y8, Y7, Y7
+	TRANSPOSE_STORE(0)
+
+	VMOVDQU bswapMask<>(SB), Y8
+	VMOVDQU (0*64+32)(R9), Y0
+	VMOVDQU (1*64+32)(R9), Y1
+	VMOVDQU (2*64+32)(R9), Y2
+	VMOVDQU (3*64+32)(R9), Y3
+	VMOVDQU (4*64+32)(R9), Y4
+	VMOVDQU (5*64+32)(R9), Y5
+	VMOVDQU (6*64+32)(R9), Y6
+	VMOVDQU (7*64+32)(R9), Y7
+	VPSHUFB Y8, Y0, Y0
+	VPSHUFB Y8, Y1, Y1
+	VPSHUFB Y8, Y2, Y2
+	VPSHUFB Y8, Y3, Y3
+	VPSHUFB Y8, Y4, Y4
+	VPSHUFB Y8, Y5, Y5
+	VPSHUFB Y8, Y6, Y6
+	VPSHUFB Y8, Y7, Y7
+	TRANSPOSE_STORE(8)
+
+	// Stage 2: expand the message schedule rows w[16..63].
+	LEAQ 512(DX), DI
+	MOVQ $48, CX
+
+sched:
+	VMOVDQU -480(DI), Y8            // w[i-15]
+	VPSRLD  $7, Y8, Y9
+	VPSLLD  $25, Y8, Y10
+	VPOR    Y10, Y9, Y9
+	VPSRLD  $18, Y8, Y11
+	VPSLLD  $14, Y8, Y10
+	VPOR    Y10, Y11, Y11
+	VPXOR   Y11, Y9, Y9
+	VPSRLD  $3, Y8, Y10
+	VPXOR   Y10, Y9, Y9             // s0
+	VMOVDQU -64(DI), Y8             // w[i-2]
+	VPSRLD  $17, Y8, Y12
+	VPSLLD  $15, Y8, Y10
+	VPOR    Y10, Y12, Y12
+	VPSRLD  $19, Y8, Y11
+	VPSLLD  $13, Y8, Y10
+	VPOR    Y10, Y11, Y11
+	VPXOR   Y11, Y12, Y12
+	VPSRLD  $10, Y8, Y10
+	VPXOR   Y10, Y12, Y12           // s1
+	VMOVDQU -512(DI), Y8            // w[i-16]
+	VPADDD  Y9, Y8, Y8
+	VPADDD  Y12, Y8, Y8
+	VMOVDQU -224(DI), Y10           // w[i-7]
+	VPADDD  Y10, Y8, Y8
+	VMOVDQU Y8, (DI)
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     sched
+
+	// Stage 3: 64 rounds with the state in Y0..Y7 = a..h.
+	VMOVDQU (0*32)(SI), Y0
+	VMOVDQU (1*32)(SI), Y1
+	VMOVDQU (2*32)(SI), Y2
+	VMOVDQU (3*32)(SI), Y3
+	VMOVDQU (4*32)(SI), Y4
+	VMOVDQU (5*32)(SI), Y5
+	VMOVDQU (6*32)(SI), Y6
+	VMOVDQU (7*32)(SI), Y7
+	LEAQ    ·sha256K(SB), BX
+	MOVQ    DX, DI
+	MOVQ    $64, CX
+
+rounds:
+	// S1(e), ch(e,f,g), t1 accumulated in Y8.
+	VPSRLD       $6, Y4, Y8
+	VPSLLD       $26, Y4, Y9
+	VPOR         Y9, Y8, Y8
+	VPSRLD       $11, Y4, Y10
+	VPSLLD       $21, Y4, Y9
+	VPOR         Y9, Y10, Y10
+	VPXOR        Y10, Y8, Y8
+	VPSRLD       $25, Y4, Y10
+	VPSLLD       $7, Y4, Y9
+	VPOR         Y9, Y10, Y10
+	VPXOR        Y10, Y8, Y8
+	VPXOR        Y5, Y6, Y9
+	VPAND        Y4, Y9, Y9
+	VPXOR        Y6, Y9, Y9
+	VPBROADCASTD (BX), Y10
+	VPADDD       (DI), Y10, Y10
+	VPADDD       Y9, Y8, Y8
+	VPADDD       Y10, Y8, Y8
+	VPADDD       Y7, Y8, Y8
+
+	// S0(a), maj(a,b,c), t2 in Y9.
+	VPSRLD $2, Y0, Y9
+	VPSLLD $30, Y0, Y10
+	VPOR   Y10, Y9, Y9
+	VPSRLD $13, Y0, Y11
+	VPSLLD $19, Y0, Y10
+	VPOR   Y10, Y11, Y11
+	VPXOR  Y11, Y9, Y9
+	VPSRLD $22, Y0, Y11
+	VPSLLD $10, Y0, Y10
+	VPOR   Y10, Y11, Y11
+	VPXOR  Y11, Y9, Y9
+	VPXOR  Y0, Y1, Y10
+	VPAND  Y2, Y10, Y10
+	VPAND  Y0, Y1, Y11
+	VPXOR  Y11, Y10, Y10
+	VPADDD Y10, Y9, Y9
+
+	// Rotate the working variables.
+	VMOVDQA Y6, Y7
+	VMOVDQA Y5, Y6
+	VMOVDQA Y4, Y5
+	VPADDD  Y3, Y8, Y4
+	VMOVDQA Y2, Y3
+	VMOVDQA Y1, Y2
+	VMOVDQA Y0, Y1
+	VPADDD  Y9, Y8, Y0
+
+	ADDQ $4, BX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  rounds
+
+	// Stage 4: add back the previous state and store.
+	VPADDD  (0*32)(SI), Y0, Y0
+	VPADDD  (1*32)(SI), Y1, Y1
+	VPADDD  (2*32)(SI), Y2, Y2
+	VPADDD  (3*32)(SI), Y3, Y3
+	VPADDD  (4*32)(SI), Y4, Y4
+	VPADDD  (5*32)(SI), Y5, Y5
+	VPADDD  (6*32)(SI), Y6, Y6
+	VPADDD  (7*32)(SI), Y7, Y7
+	VMOVDQU Y0, (0*32)(SI)
+	VMOVDQU Y1, (1*32)(SI)
+	VMOVDQU Y2, (2*32)(SI)
+	VMOVDQU Y3, (3*32)(SI)
+	VMOVDQU Y4, (4*32)(SI)
+	VMOVDQU Y5, (5*32)(SI)
+	VMOVDQU Y6, (6*32)(SI)
+	VMOVDQU Y7, (7*32)(SI)
+	VZEROUPPER
+	RET

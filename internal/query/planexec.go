@@ -189,17 +189,39 @@ func evalBitmaps(h prf.BitSource, records []sketch.Published, evals []FractionEv
 				k.Release()
 			}
 		}()
-		var prefix, suffix []byte
-		for i := lo; i < hi; i++ {
-			rec := &records[i]
-			prefix = sketch.AppendRecordPrefix(prefix[:0], rec.ID)
-			suffix = sketch.AppendRecordSuffix(suffix[:0], rec.S)
-			w, bit := i>>6, uint64(1)<<uint(i&63)
-			for j, k := range kernels {
-				if k.EvaluateParts(rec.ID, rec.S, prefix, suffix) {
-					out[j][w] |= bit
-				}
+		// Word-at-a-time: each 64-record window's prefix and suffix parts
+		// are encoded once into contiguous scratch, then replayed through
+		// every kernel's multi-lane batch path, which packs the 64 PRF
+		// messages into 8-wide SHA-256 lanes.  lo is 64-aligned (chunks are
+		// word multiples), so a window maps onto exactly one output word.
+		var partBuf []byte
+		var offs []int
+		prefixes := make([][]byte, 0, 64)
+		suffixes := make([][]byte, 0, 64)
+		for lo < hi {
+			n := hi - lo
+			if n > 64 {
+				n = 64
 			}
+			win := records[lo : lo+n]
+			partBuf, offs = partBuf[:0], offs[:0]
+			for i := range win {
+				offs = append(offs, len(partBuf))
+				partBuf = sketch.AppendRecordPrefix(partBuf, win[i].ID)
+				offs = append(offs, len(partBuf))
+				partBuf = sketch.AppendRecordSuffix(partBuf, win[i].S)
+			}
+			offs = append(offs, len(partBuf))
+			prefixes, suffixes = prefixes[:0], suffixes[:0]
+			for i := 0; i < n; i++ {
+				prefixes = append(prefixes, partBuf[offs[2*i]:offs[2*i+1]])
+				suffixes = append(suffixes, partBuf[offs[2*i+1]:offs[2*i+2]])
+			}
+			w := lo >> 6
+			for j, k := range kernels {
+				out[j][w] |= k.EvaluatePartsWord(win, prefixes, suffixes)
+			}
+			lo += n
 		}
 	}
 	if workers <= 1 || chunk >= n {

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"encoding/binary"
+	"math/bits"
 	"sync"
 
 	"sketchprivacy/internal/bitvec"
@@ -28,6 +29,12 @@ type Kernel struct {
 	// record of the query.
 	mid     []byte
 	scratch []byte
+	// Word-batch staging: up to 64 assembled messages live contiguously in
+	// msgBuf, sliced out via offs after the buffer stops growing (so the
+	// sub-slices never alias a stale backing array).
+	msgBuf []byte
+	offs   []int
+	msgs   [][]byte
 }
 
 // NewKernel returns a kernel specialised to (h, b, v).
@@ -102,14 +109,89 @@ func (k *Kernel) EvaluateParts(id bitvec.UserID, s Sketch, prefix, suffix []byte
 	return k.be.BitMsg(msg)
 }
 
+// EvaluateWord evaluates up to 64 records against the kernel's (B, v),
+// returning the outcomes as a packed bit word: bit i is set iff record i
+// matches.  The messages are staged together and hashed through the
+// multi-lane PRF batch path, bit-identical to 64 Evaluate calls.
+func (k *Kernel) EvaluateWord(records []Published) uint64 {
+	if len(records) > 64 {
+		panic("sketch: EvaluateWord takes at most 64 records")
+	}
+	if k.es == nil {
+		var w uint64
+		for i := range records {
+			if k.h.Bit(records[i].ID.Bytes(), k.b.Tag(), k.v.Bytes(), records[i].S.Bytes()) {
+				w |= 1 << uint(i)
+			}
+		}
+		return w
+	}
+	buf, offs := k.msgBuf[:0], k.offs[:0]
+	for i := range records {
+		offs = append(offs, len(buf))
+		buf = AppendRecordPrefix(buf, records[i].ID)
+		buf = append(buf, k.mid...)
+		buf = AppendRecordSuffix(buf, records[i].S)
+	}
+	offs = append(offs, len(buf))
+	k.msgBuf, k.offs = buf, offs
+	return k.be.BitMsgs64(k.sliceMsgs(len(records)))
+}
+
+// EvaluatePartsWord is EvaluateWord over pre-encoded per-record prefix and
+// suffix parts (see AppendRecordPrefix/AppendRecordSuffix): prefixes[i] and
+// suffixes[i] belong to records[i].  Plan executors evaluating many query
+// pairs against the same 64 records encode the parts once and replay them
+// through each pair's kernel, paying only the cached (B, v) midsection per
+// kernel.  Bit-identical to 64 EvaluateParts calls.
+func (k *Kernel) EvaluatePartsWord(records []Published, prefixes, suffixes [][]byte) uint64 {
+	if len(records) > 64 {
+		panic("sketch: EvaluatePartsWord takes at most 64 records")
+	}
+	if k.es == nil {
+		var w uint64
+		for i := range records {
+			if k.h.Bit(records[i].ID.Bytes(), k.b.Tag(), k.v.Bytes(), records[i].S.Bytes()) {
+				w |= 1 << uint(i)
+			}
+		}
+		return w
+	}
+	buf, offs := k.msgBuf[:0], k.offs[:0]
+	for i := range records {
+		offs = append(offs, len(buf))
+		buf = append(buf, prefixes[i]...)
+		buf = append(buf, k.mid...)
+		buf = append(buf, suffixes[i]...)
+	}
+	offs = append(offs, len(buf))
+	k.msgBuf, k.offs = buf, offs
+	return k.be.BitMsgs64(k.sliceMsgs(len(records)))
+}
+
+// sliceMsgs carves the first n staged messages out of msgBuf using the
+// recorded offsets, after all appends are done.
+func (k *Kernel) sliceMsgs(n int) [][]byte {
+	msgs := k.msgs[:0]
+	for i := 0; i < n; i++ {
+		msgs = append(msgs, k.msgBuf[k.offs[i]:k.offs[i+1]])
+	}
+	k.msgs = msgs
+	return msgs
+}
+
 // CountMatches evaluates every record against the kernel's (B, v) and
-// returns how many evaluate to 1 — the inner sum of Algorithm 2.
+// returns how many evaluate to 1 — the inner sum of Algorithm 2.  Records
+// are processed 64 at a time through the multi-lane batch path.
 func (k *Kernel) CountMatches(records []Published) int {
 	hits := 0
-	for i := range records {
-		if k.Evaluate(records[i].ID, records[i].S) {
-			hits++
+	for len(records) > 0 {
+		n := len(records)
+		if n > 64 {
+			n = 64
 		}
+		hits += bits.OnesCount64(k.EvaluateWord(records[:n]))
+		records = records[n:]
 	}
 	return hits
 }
@@ -118,8 +200,16 @@ func (k *Kernel) CountMatches(records []Published) int {
 // one bool per record to out (useful for golden tests and derived queries
 // that need per-record bits rather than the count).
 func (k *Kernel) EvaluateAll(records []Published, out []bool) []bool {
-	for i := range records {
-		out = append(out, k.Evaluate(records[i].ID, records[i].S))
+	for len(records) > 0 {
+		n := len(records)
+		if n > 64 {
+			n = 64
+		}
+		w := k.EvaluateWord(records[:n])
+		for i := 0; i < n; i++ {
+			out = append(out, w&(1<<uint(i)) != 0)
+		}
+		records = records[n:]
 	}
 	return out
 }

@@ -64,12 +64,78 @@ func (t *Table) Add(p Published) error {
 	return nil
 }
 
+// AddNew inserts p unless its (user, subset) pair already holds a sketch,
+// in which case the existing sketch is returned with added=false and NO
+// error: the caller decides whether the duplicate is an idempotent
+// re-publish or a budget violation.  The engine's ingest path is hot under
+// cluster retry convergence — every replicated retry is a duplicate here —
+// so this path must not pay Add's formatted rejection error per record.
+func (t *Table) AddNew(p Published) (existing Sketch, added bool, err error) {
+	if !p.S.Valid() {
+		return Sketch{}, false, fmt.Errorf("sketch: invalid sketch %v", p.S)
+	}
+	key := p.Subset.Key()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.bySubset[key]
+	if !ok {
+		m = make(map[bitvec.UserID]Sketch)
+		t.bySubset[key] = m
+		t.subsets[key] = p.Subset
+	}
+	if s, dup := m[p.ID]; dup {
+		return s, false, nil
+	}
+	m[p.ID] = p.S
+	delete(t.snapshots, key)
+	t.gen[key]++
+	return Sketch{}, true, nil
+}
+
 // AddAll inserts a batch of published sketches, stopping at the first error.
 func (t *Table) AddAll(ps []Published) error {
 	for _, p := range ps {
 		if err := t.Add(p); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// Load bulk-inserts records with replay semantics: a (user, subset) pair
+// already present is skipped — first record wins, matching a durable
+// store's newest-first replay order — instead of being rejected like Add's
+// protocol error, because replaying a store onto a warm table is not a
+// second publish.  Runs of records sharing a subset are batched under one
+// key encoding and one lock acquisition for the whole call, so the
+// per-record cost on the startup path is a single map insert.
+func (t *Table) Load(ps []Published) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var (
+		key string
+		m   map[bitvec.UserID]Sketch
+	)
+	for i := range ps {
+		p := &ps[i]
+		if !p.S.Valid() {
+			return fmt.Errorf("sketch: invalid sketch %v", p.S)
+		}
+		if m == nil || !p.Subset.Equal(ps[i-1].Subset) {
+			key = p.Subset.Key()
+			m = t.bySubset[key]
+			if m == nil {
+				m = make(map[bitvec.UserID]Sketch)
+				t.bySubset[key] = m
+				t.subsets[key] = p.Subset
+			}
+			delete(t.snapshots, key)
+			t.gen[key]++
+		}
+		if _, dup := m[p.ID]; dup {
+			continue
+		}
+		m[p.ID] = p.S
 	}
 	return nil
 }

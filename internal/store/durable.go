@@ -350,12 +350,23 @@ func openShard(opts Options, i int, m *metrics) (*dshard, error) {
 	}
 	nextSeq := uint64(1)
 	for si := range segs {
-		n, idx, err := openSegment(segs[si].path)
+		n, version, idx, body, err := openSegment(segs[si].path)
+		if err != nil {
+			return nil, err
+		}
+		// Decode eagerly: this verifies every per-frame checksum — the
+		// integrity wall for v2 record bytes, since the outer whole-file
+		// sum is not checked on open — so a corrupt segment fails Open
+		// loudly, and it feeds the first shard load without a second
+		// disk pass.
+		loaded, err := decodeSegmentRecords(version, uint32(n), body, segs[si].path)
 		if err != nil {
 			return nil, err
 		}
 		segs[si].records = n
+		segs[si].version = version
 		segs[si].idx = idx
+		segs[si].loaded = loaded
 		if segs[si].seq >= nextSeq {
 			nextSeq = segs[si].seq + 1
 		}
@@ -578,8 +589,19 @@ func (sh *dshard) rollLocked() error {
 // lock must be held.
 func (sh *dshard) loadShardLocked() ([]sketch.Published, error) {
 	sources := make([][]sketch.Published, 0, len(sh.segs)+1)
-	for _, seg := range sh.segs {
-		records, err := readSegment(seg.path)
+	for si := range sh.segs {
+		seg := &sh.segs[si]
+		var records []sketch.Published
+		var err error
+		if seg.loaded != nil {
+			// First load since open: the records were decoded (and
+			// per-frame checksummed) by openShard, so hand them over and
+			// free the cache.  Later loads (and segments rolled after
+			// open) take the disk path below.
+			records, seg.loaded = seg.loaded, nil
+		} else {
+			records, err = readSegment(seg.path)
+		}
 		if err != nil {
 			return nil, err
 		}

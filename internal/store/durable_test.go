@@ -273,34 +273,71 @@ func TestDurableLeftoverTmpSegmentIgnored(t *testing.T) {
 	}
 }
 
+// TestDurableCorruptSegmentFailsOpen pins the layered v2 integrity
+// contract: corruption in a record frame fails Open loudly (the eager
+// decode verifies every per-frame checksum), while corruption in the
+// advisory index/footer region degrades reads to the linear path —
+// still returning the exact records — instead of bricking the store.
 func TestDurableCorruptSegmentFailsOpen(t *testing.T) {
-	dir := t.TempDir()
-	st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 1, CompactInterval: -1})
-	if err != nil {
-		t.Fatal(err)
+	setup := func(t *testing.T) string {
+		dir := t.TempDir()
+		st, err := Open(Options{Dir: dir, Shards: 1, FlushThreshold: 1, CompactInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Append(testRecord(1, bitvec.MustSubset(0))); err != nil {
+			t.Fatal(err)
+		}
+		stats := st.Stats()
+		if stats.Segments() != 1 {
+			t.Fatalf("setup wanted 1 segment, got %d", stats.Segments())
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
 	}
-	if err := st.Append(testRecord(1, bitvec.MustSubset(0))); err != nil {
-		t.Fatal(err)
+	corrupt := func(t *testing.T, dir string, at func(data []byte) int) {
+		seg := filepath.Join(dir, "shard-0000", segmentName(1))
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[at(data)] ^= 0xFF
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	stats := st.Stats()
-	if stats.Segments() != 1 {
-		t.Fatalf("setup wanted 1 segment, got %d", stats.Segments())
-	}
-	if err := st.Close(); err != nil {
-		t.Fatal(err)
-	}
-	seg := filepath.Join(dir, "shard-0000", segmentName(1))
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)/2] ^= 0xFF
-	if err := os.WriteFile(seg, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(Options{Dir: dir, CompactInterval: -1}); err == nil {
-		t.Fatal("Open must fail on a corrupt (checksum-violating) segment")
-	}
+	t.Run("record frame", func(t *testing.T) {
+		dir := setup(t)
+		// First payload byte of the first record frame.
+		corrupt(t, dir, func([]byte) int { return segV2HeaderSize + segV2FrameHdr })
+		if _, err := Open(Options{Dir: dir, CompactInterval: -1}); err == nil {
+			t.Fatal("Open must fail on a segment with a corrupt record frame")
+		}
+	})
+	t.Run("index footer", func(t *testing.T) {
+		dir := setup(t)
+		// A byte of the footer's inner checksum: the index is advisory,
+		// so the open degrades to index-free reads rather than failing.
+		corrupt(t, dir, func(data []byte) int { return len(data) - 16 })
+		st, err := Open(Options{Dir: dir, CompactInterval: -1})
+		if err != nil {
+			t.Fatalf("index corruption must degrade, not fail open: %v", err)
+		}
+		defer st.Close()
+		var got []sketch.Published
+		if err := st.Iterate(func(p sketch.Published) error {
+			got = append(got, p)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := testRecord(1, bitvec.MustSubset(0))
+		if len(got) != 1 || got[0].ID != want.ID || got[0].S != want.S || !got[0].Subset.Equal(want.Subset) {
+			t.Fatalf("degraded read returned %+v, want %+v", got, want)
+		}
+	})
 }
 
 func TestDurableDirLockExcludesSecondOpen(t *testing.T) {

@@ -84,7 +84,7 @@ func FuzzSegmentIndex(f *testing.F) {
 			t.Fatal(err)
 		}
 
-		count, idx, err := openSegment(path)
+		count, _, idx, _, err := openSegment(path)
 		if err != nil {
 			if !corrupted {
 				t.Fatalf("clean segment failed open: %v", err)

@@ -226,6 +226,7 @@ func replayWAL(path string) (records []sketch.Published, size int64, err error) 
 		return nil, 0, err
 	}
 	valid := int64(0)
+	var dec wire.PublishedDecoder // replayed batches cluster by subset
 	for {
 		rest := data[valid:]
 		if len(rest) < walHeaderSize {
@@ -242,7 +243,7 @@ func replayWAL(path string) (records []sketch.Published, size int64, err error) 
 		if crc32.ChecksumIEEE(payload) != sum {
 			break
 		}
-		p, err := wire.DecodePublished(payload)
+		p, err := dec.Decode(payload)
 		if err != nil {
 			// The framing was intact but the payload does not decode: the
 			// record was fully written yet corrupt, which atomic appends

@@ -7,6 +7,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -146,6 +147,28 @@ func AppendPublished(dst []byte, p sketch.Published) []byte {
 
 // DecodePublished reverses EncodePublished.
 func DecodePublished(b []byte) (sketch.Published, error) {
+	return decodePublished(b, nil)
+}
+
+// PublishedDecoder decodes a stream of encoded published records, reusing
+// the parsed subset across consecutive records that carry identical tag
+// bytes.  Segment records are sorted by subset key and replayed WAL batches
+// cluster by subset, so the store's startup replay hits the cache almost
+// every record and skips the tag parse (and its per-record allocations).
+// Decoded records of one run share a single Subset value, which is safe:
+// subsets are immutable.  The zero value is ready to use; a decoder is not
+// safe for concurrent use.
+type PublishedDecoder struct {
+	tag    []byte
+	subset bitvec.Subset
+}
+
+// Decode is DecodePublished with the decoder's subset cache.
+func (d *PublishedDecoder) Decode(b []byte) (sketch.Published, error) {
+	return decodePublished(b, d)
+}
+
+func decodePublished(b []byte, d *PublishedDecoder) (sketch.Published, error) {
 	if len(b) < 8 {
 		return sketch.Published{}, ErrCorrupt
 	}
@@ -155,9 +178,18 @@ func DecodePublished(b []byte) (sketch.Published, error) {
 	if err != nil {
 		return sketch.Published{}, err
 	}
-	subset, err := bitvec.ParseTag(tag)
-	if err != nil {
-		return sketch.Published{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	var subset bitvec.Subset
+	if d != nil && d.tag != nil && bytes.Equal(tag, d.tag) {
+		subset = d.subset
+	} else {
+		subset, err = bitvec.ParseTag(tag)
+		if err != nil {
+			return sketch.Published{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if d != nil {
+			d.subset = subset
+			d.tag = append(d.tag[:0], tag...)
+		}
 	}
 	sb, rest, err := readBytes(rest)
 	if err != nil {
